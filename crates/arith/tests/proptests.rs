@@ -1,0 +1,168 @@
+//! Property-based tests: algebraic laws of `BigUint`, `BigInt`, `Rational`,
+//! checked against `u128`/`i128` reference semantics and against each other.
+
+use proptest::prelude::*;
+use pqe_arith::{BigInt, BigUint, Rational};
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    // Mix small values (edge cases) with multi-limb values.
+    prop_oneof![
+        (0u64..16).prop_map(BigUint::from),
+        any::<u64>().prop_map(BigUint::from),
+        any::<u128>().prop_map(BigUint::from),
+        (any::<u128>(), any::<u128>())
+            .prop_map(|(a, b)| &(&BigUint::from(a) << 128) + &BigUint::from(b)),
+    ]
+}
+
+fn bigint_strategy() -> impl Strategy<Value = BigInt> {
+    (biguint_strategy(), any::<bool>()).prop_map(|(m, neg)| {
+        let v = BigInt::from(m);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+fn rational_strategy() -> impl Strategy<Value = Rational> {
+    (bigint_strategy(), biguint_strategy()).prop_map(|(n, d)| {
+        let d = if d.is_zero() { BigUint::one() } else { d };
+        Rational::new(n, d)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = &BigUint::from(a) + &BigUint::from(b);
+        prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = &BigUint::from(a) * &BigUint::from(b);
+        prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn divrem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = BigUint::from(a).divrem(&BigUint::from(b));
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn add_commutative_associative(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn divrem_reconstructs(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn sub_inverts_add(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn shifts_are_pow2_muldiv(a in biguint_strategy(), s in 0u64..200) {
+        let two_s = BigUint::from(2u32).pow(s as u32);
+        prop_assert_eq!(&a << s, &a * &two_s);
+        prop_assert_eq!(&a >> s, &a / &two_s);
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_maximal(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+        // Co-factors must be coprime.
+        let ca = &a / &g;
+        let cb = &b / &g;
+        prop_assert!(ca.gcd(&cb).is_one());
+    }
+
+    #[test]
+    fn decimal_roundtrips(a in biguint_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigUint::from_decimal(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn bits_bounds_value(a in biguint_strategy()) {
+        prop_assume!(!a.is_zero());
+        let b = a.bits();
+        prop_assert!(a >= BigUint::from(2u32).pow((b - 1) as u32));
+        prop_assert!(a < BigUint::from(2u32).pow(b as u32));
+    }
+
+    #[test]
+    fn bigint_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let (x, y) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!((&x + &y).to_string(), (a as i128 + b as i128).to_string());
+        prop_assert_eq!((&x - &y).to_string(), (a as i128 - b as i128).to_string());
+        prop_assert_eq!((&x * &y).to_string(), (a as i128 * b as i128).to_string());
+        if b != 0 {
+            prop_assert_eq!((&x / &y).to_string(), (a as i128 / b as i128).to_string());
+            prop_assert_eq!((&x % &y).to_string(), (a as i128 % b as i128).to_string());
+        }
+    }
+
+    #[test]
+    fn bigint_add_negate_is_zero(a in bigint_strategy()) {
+        prop_assert!((&a + &(-&a)).is_zero());
+    }
+
+    #[test]
+    fn rational_field_laws(a in rational_strategy(), b in rational_strategy(), c in rational_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&(&a - &b) + &b, a.clone());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a);
+        }
+    }
+
+    #[test]
+    fn rational_normalized_invariants(a in rational_strategy()) {
+        prop_assert!(!a.denominator().is_zero());
+        if a.is_zero() {
+            prop_assert!(a.denominator().is_one());
+        } else {
+            prop_assert!(a.numerator().magnitude().gcd(a.denominator()).is_one());
+        }
+    }
+
+    #[test]
+    fn rational_display_roundtrips(a in rational_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+    }
+
+    #[test]
+    fn complement_involution(n in 0u64..1000, d in 1u64..1000) {
+        prop_assume!(n <= d);
+        let p = Rational::from_ratio(n as i64, d);
+        prop_assert!(p.is_probability());
+        prop_assert!(p.complement().is_probability());
+        prop_assert_eq!(p.complement().complement(), p);
+    }
+}

@@ -1,0 +1,89 @@
+//! Interned input alphabets shared by string and tree automata.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned alphabet symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// Raw interner index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ{}", self.0)
+    }
+}
+
+/// A finite input alphabet `Σ`, interning symbol names.
+#[derive(Debug, Clone, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl Alphabet {
+    /// An empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol (idempotent).
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&s) = self.by_name.get(name) {
+            return s;
+        }
+        let s = SymbolId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), s);
+        s
+    }
+
+    /// Looks up an existing symbol by name.
+    pub fn get(&self, name: &str) -> Option<SymbolId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of `s`.
+    pub fn name(&self, s: SymbolId) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols.
+    pub fn symbols(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        (0..self.names.len() as u32).map(SymbolId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut a = Alphabet::new();
+        let x = a.intern("R(a,b)");
+        let y = a.intern("¬R(a,b)");
+        assert_ne!(x, y);
+        assert_eq!(a.intern("R(a,b)"), x);
+        assert_eq!(a.get("¬R(a,b)"), Some(y));
+        assert_eq!(a.name(x), "R(a,b)");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.symbols().count(), 2);
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+
+//! # pqe-automata — string and tree automata with approximate counting
+//!
+//! The automata substrate of van Bremen & Meel (PODS 2023). The paper's
+//! reductions target two black boxes that had no open implementation:
+//!
+//! * **CountNFA** ([`count_nfa`]) — the FPRAS of Arenas, Croquevielle,
+//!   Jayaram & Riveros (JACM '21) for `|L_n(M)|`, the number of distinct
+//!   strings of length `n` accepted by an NFA;
+//! * **CountNFTA** ([`count_nfta`]) — its STOC '21 generalization to
+//!   counting distinct labelled trees of size `n` accepted by a top-down
+//!   NFTA.
+//!
+//! Both are implemented here as faithful practical adaptations (see
+//! `DESIGN.md` §2.5): level-wise self-reducible counting, where each
+//! `L(q, n)` is a polynomial-fan-in union of extensions of smaller
+//! languages, estimated with the Karp–Luby union estimator over per-part
+//! samplers and membership oracles, with rejection sampling providing the
+//! (approximately) uniform per-part samples. Unions are first split by root
+//! symbol — those parts are *disjoint* and add exactly — so sampling effort
+//! concentrates on genuinely ambiguous transitions.
+//!
+//! The crate also implements the paper's two syntactic extensions and their
+//! polynomial translations to ordinary NFTAs:
+//!
+//! * **augmented NFTAs** (§4.1): transitions labelled by strings with
+//!   optional (`?`) symbols — [`AugmentedNfta::translate`];
+//! * **NFTAs with multipliers** (§5.1): transitions that multiply the
+//!   number of accepted trees by an integer `n`, realized by a binary
+//!   comparator gadget of `Θ(log n)` states — [`MultiplierNfta::translate`].
+//!
+//! Exact (exponential-time) counters — subset-determinization string/tree
+//! counting and run counting — serve as test oracles.
+
+mod alphabet;
+mod augmented;
+pub mod config;
+mod multiplier;
+mod multiplier_nfa;
+mod nfa;
+mod nfa_fpras;
+mod nfta;
+mod nfta_exact;
+mod nfta_fpras;
+mod nfta_run_estimator;
+
+pub use alphabet::{Alphabet, SymbolId};
+pub use augmented::{AugSymbol, AugTransition, AugmentedNfta};
+pub use config::FprasConfig;
+pub use multiplier::{required_bits, MulTransition, MultiplierNfta};
+pub use multiplier_nfa::{MulNfaTransition, MultiplierNfa};
+pub use nfa::{Nfa, StateId};
+pub use nfa_fpras::count_nfa;
+pub use nfta::{IndexedTree, Nfta, Transition, Tree};
+pub use nfta_exact::{count_runs, count_trees_exact};
+pub use nfta_fpras::{count_nfta, NftaCounter};
+pub use nfta_run_estimator::{count_nfta_run_based, RunTables};
+
+/// Temporary diagnostics for the NFTA counter (pub for profiling bins).
+pub mod nfta_counters {
+    pub use crate::nfta_fpras::{CNT_EST, CNT_MEMBER, CNT_SAMPLES, CNT_TRIES};
+}

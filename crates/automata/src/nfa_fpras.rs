@@ -1,0 +1,434 @@
+//! CountNFA — the `#NFA` FPRAS (Arenas, Croquevielle, Jayaram & Riveros,
+//! JACM '21), as a practical adaptation (see crate docs and DESIGN.md §2.5).
+//!
+//! Self-reduction: `L(q, i) = ⋃_{(a,q') ∈ δ(q)} a·L(q', i−1)`.
+//! Parts with different lead symbols are disjoint and add exactly; parts
+//! sharing a symbol are combined with the Karp–Luby union estimator
+//! (sample part ∝ size estimate, sample a string from it, weight by the
+//! reciprocal of the number of parts containing it — membership is a
+//! polynomial subset-simulation). Per-part uniform-ish samples come from
+//! rejection sampling through the same recursion.
+
+use crate::{FprasConfig, Nfa, StateId, SymbolId};
+use pqe_arith::{BigFloat, BigUint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Approximates `|L_n(M)|`, the number of distinct length-`n` strings
+/// accepted by `nfa`, running `cfg.repetitions` independent estimates and
+/// returning their median.
+pub fn count_nfa(nfa: &Nfa, n: usize, cfg: &FprasConfig) -> BigFloat {
+    let mut results: Vec<BigFloat> = (0..cfg.repetitions.max(1))
+        .map(|r| NfaCounter::new(nfa, cfg.clone(), cfg.seed.wrapping_add(r as u64)).count(n))
+        .collect();
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    results[results.len() / 2]
+}
+
+struct NfaCounter<'a> {
+    nfa: &'a Nfa,
+    cfg: FprasConfig,
+    rng: RefCell<StdRng>,
+    est: RefCell<HashMap<(StateId, usize), BigFloat>>,
+    /// Memoized per-symbol-group union estimates, keyed by
+    /// `(state, symbol, suffix length)`. Without this, sampling re-runs
+    /// the union estimator recursively — exponential work.
+    group_memo: RefCell<HashMap<(StateId, SymbolId, usize), BigFloat>>,
+    /// Per-state transitions grouped by symbol with deduplicated targets,
+    /// precomputed once — hot in both estimation and sampling.
+    groups_cache: Vec<Vec<(SymbolId, Vec<StateId>)>>,
+    /// Exact accepting-path counts per `(state, length)`, powering the SIR
+    /// string sampler (mirrors the NFTA counter's `RunTables`).
+    path_counts: RefCell<HashMap<(StateId, usize), BigUint>>,
+}
+
+impl<'a> NfaCounter<'a> {
+    fn new(nfa: &'a Nfa, cfg: FprasConfig, seed: u64) -> Self {
+        let groups_cache = (0..nfa.num_states())
+            .map(|qi| {
+                let mut m: BTreeMap<SymbolId, BTreeSet<StateId>> = BTreeMap::new();
+                for &(a, t) in nfa.transitions_from(StateId(qi as u32)) {
+                    m.entry(a).or_default().insert(t);
+                }
+                m.into_iter()
+                    .map(|(a, ts)| (a, ts.into_iter().collect()))
+                    .collect()
+            })
+            .collect();
+        NfaCounter {
+            nfa,
+            cfg,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            est: RefCell::new(HashMap::new()),
+            group_memo: RefCell::new(HashMap::new()),
+            groups_cache,
+            path_counts: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Exact number of accepting paths of length `i` from `q` (memoized).
+    fn path_count(&self, q: StateId, i: usize) -> BigUint {
+        if let Some(v) = self.path_counts.borrow().get(&(q, i)) {
+            return v.clone();
+        }
+        let v = if i == 0 {
+            if self.nfa.accepting_states().contains(&q) {
+                BigUint::one()
+            } else {
+                BigUint::zero()
+            }
+        } else {
+            let mut acc = BigUint::zero();
+            for &(_, t) in self.nfa.transitions_from(q) {
+                acc += self.path_count(t, i - 1);
+            }
+            acc
+        };
+        self.path_counts.borrow_mut().insert((q, i), v.clone());
+        v
+    }
+
+    /// Samples an accepting path (run) of length `i` from `q`, uniformly
+    /// among paths, returning its string. `None` iff no path exists.
+    fn sample_path(&self, q: StateId, i: usize) -> Option<Vec<SymbolId>> {
+        if self.path_count(q, i).is_zero() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(i);
+        let mut cur = q;
+        for step in 0..i {
+            let remaining = i - step - 1;
+            let choices: Vec<((SymbolId, StateId), BigUint)> = self
+                .nfa
+                .transitions_from(cur)
+                .iter()
+                .map(|&(a, t)| ((a, t), self.path_count(t, remaining)))
+                .filter(|(_, c)| !c.is_zero())
+                .collect();
+            debug_assert!(!choices.is_empty());
+            let total: BigFloat = choices
+                .iter()
+                .map(|(_, c)| BigFloat::from_biguint(c))
+                .sum();
+            let u: f64 = self.rng.borrow_mut().random();
+            let threshold = total * u;
+            let mut acc = BigFloat::zero();
+            let mut picked = choices.len() - 1;
+            for (ci, (_, c)) in choices.iter().enumerate() {
+                acc = acc + BigFloat::from_biguint(c);
+                if threshold < acc {
+                    picked = ci;
+                    break;
+                }
+            }
+            let ((a, t), _) = choices[picked].clone();
+            out.push(a);
+            cur = t;
+        }
+        Some(out)
+    }
+
+    /// `M(x)`: the number of accepting runs of `x` from `q` (exact
+    /// count-weighted subset simulation).
+    fn runs_of_string(&self, q: StateId, x: &[SymbolId]) -> BigUint {
+        let mut cur: HashMap<StateId, BigUint> = HashMap::from([(q, BigUint::one())]);
+        for &sym in x {
+            let mut next: HashMap<StateId, BigUint> = HashMap::new();
+            for (s, count) in &cur {
+                for &(a, t) in self.nfa.transitions_from(*s) {
+                    if a == sym {
+                        let e = next.entry(t).or_insert_with(BigUint::zero);
+                        *e += count;
+                    }
+                }
+            }
+            cur = next;
+            if cur.is_empty() {
+                break;
+            }
+        }
+        cur.into_iter()
+            .filter(|(s, _)| self.nfa.accepting_states().contains(s))
+            .fold(BigUint::zero(), |acc, (_, c)| &acc + &c)
+    }
+
+    fn count(&self, n: usize) -> BigFloat {
+        let parts: Vec<StateId> = self.nfa.initial_states().iter().copied().collect();
+        self.union_estimate(&parts, n, |x, q| {
+            self.nfa.accepts_from(BTreeSet::from([q]), x)
+        })
+    }
+
+    /// Size estimate of `L(q, i)`, memoized.
+    fn state_est(&self, q: StateId, i: usize) -> BigFloat {
+        if let Some(v) = self.est.borrow().get(&(q, i)) {
+            return *v;
+        }
+        let v = if i == 0 {
+            if self.nfa.accepting_states().contains(&q) {
+                BigFloat::one()
+            } else {
+                BigFloat::zero()
+            }
+        } else {
+            let mut total = BigFloat::zero();
+            for (a, targets) in self.groups(q) {
+                total = total + self.group_est(q, *a, targets, i);
+            }
+            total
+        };
+        self.est.borrow_mut().insert((q, i), v);
+        v
+    }
+
+    /// Outgoing transitions of `q` grouped by symbol, targets deduplicated
+    /// (precomputed).
+    fn groups(&self, q: StateId) -> &[(SymbolId, Vec<StateId>)] {
+        &self.groups_cache[q.index()]
+    }
+
+    /// Estimate of `|⋃_t a·L(t, i−1)|` for one symbol group (the `a` prefix
+    /// is a bijection, so this equals `|⋃_t L(t, i−1)|`), memoized on
+    /// `(q, a, i)`.
+    fn group_est(&self, q: StateId, a: SymbolId, targets: &[StateId], i: usize) -> BigFloat {
+        if let Some(v) = self.group_memo.borrow().get(&(q, a, i)) {
+            return *v;
+        }
+        let v = self.union_estimate(targets, i - 1, |x, t| {
+            self.nfa.accepts_from(BTreeSet::from([t]), x)
+        });
+        self.group_memo.borrow_mut().insert((q, a, i), v);
+        v
+    }
+
+    /// The Karp–Luby union estimator over parts `L(t, len)` with membership
+    /// oracle `member(x, t)`.
+    fn union_estimate(
+        &self,
+        parts: &[StateId],
+        len: usize,
+        member: impl Fn(&[SymbolId], StateId) -> bool,
+    ) -> BigFloat {
+        let sized: Vec<(StateId, BigFloat)> = parts
+            .iter()
+            .map(|&t| (t, self.state_est(t, len)))
+            .filter(|(_, s)| !s.is_zero())
+            .collect();
+        match sized.len() {
+            0 => BigFloat::zero(),
+            1 => sized[0].1,
+            m => {
+                // Adaptive Karp–Luby estimation (see the NFTA counter).
+                let total: BigFloat = sized.iter().map(|(_, s)| *s).sum();
+                let cap = self.cfg.union_samples(m);
+                let floor = self.cfg.union_sample_floor.min(cap);
+                let eps_loc = self.cfg.local_epsilon();
+                let (mut taken, mut mean, mut m2) = (0usize, 0.0f64, 0.0f64);
+                for _ in 0..cap {
+                    let t = self.pick_part(&sized, total);
+                    let Some(x) = self.sample_string(t, len) else {
+                        continue;
+                    };
+                    let n_holding = sized
+                        .iter()
+                        .filter(|(t2, _)| member(&x, *t2))
+                        .count()
+                        .max(1);
+                    let v = 1.0 / n_holding as f64;
+                    taken += 1;
+                    let delta = v - mean;
+                    mean += delta / taken as f64;
+                    m2 += delta * (v - mean);
+                    if taken >= floor && mean > 0.0 {
+                        let sem = (m2 / (taken as f64 * (taken as f64 - 1.0))).sqrt() / mean;
+                        if sem < eps_loc {
+                            break;
+                        }
+                    }
+                }
+                if taken == 0 {
+                    return BigFloat::zero();
+                }
+                total * mean
+            }
+        }
+    }
+
+    fn pick_part(&self, sized: &[(StateId, BigFloat)], total: BigFloat) -> StateId {
+        let u: f64 = self.rng.borrow_mut().random();
+        let threshold = total * u;
+        let mut acc = BigFloat::zero();
+        for (t, s) in sized {
+            acc = acc + *s;
+            if threshold < acc {
+                return *t;
+            }
+        }
+        sized.last().unwrap().0
+    }
+
+    /// Draws an (approximately uniform) string from `L(q, i)` by
+    /// sampling-importance-resampling over exact path samples: each of
+    /// `sir_candidates` accepting paths (drawn uniformly via the exact
+    /// path-count DP, no retries) is weighted by the reciprocal of its
+    /// string's run multiplicity `M(x)`, and one is resampled by weight —
+    /// cost `O(candidates · i)` regardless of depth, unlike nested
+    /// rejection (see DESIGN.md §2.5).
+    fn sample_string(&self, q: StateId, i: usize) -> Option<Vec<SymbolId>> {
+        if self.path_count(q, i).is_zero() {
+            return None;
+        }
+        let k = self.cfg.sir_candidates.max(1);
+        let mut candidates: Vec<(Vec<SymbolId>, f64)> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let x = self.sample_path(q, i)?;
+            let m = self.runs_of_string(q, &x).to_f64().max(1.0);
+            candidates.push((x, 1.0 / m));
+        }
+        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
+        let mut threshold: f64 = self.rng.borrow_mut().random::<f64>() * total;
+        for (x, w) in candidates.drain(..) {
+            threshold -= w;
+            if threshold <= 0.0 {
+                return Some(x);
+            }
+        }
+        unreachable!("weights are positive")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Alphabet;
+
+    fn check_close(nfa: &Nfa, n: usize, cfg: &FprasConfig, tol: f64) {
+        let exact = nfa.count_strings_exact(n);
+        let approx = count_nfa(nfa, n, cfg);
+        if exact.is_zero() {
+            assert!(approx.is_zero(), "expected 0, got {approx}");
+            return;
+        }
+        let rel = approx.relative_error_to(&BigFloat::from_biguint(&exact));
+        assert!(
+            rel <= tol,
+            "n={n}: exact {exact}, approx {approx}, rel err {rel}"
+        );
+    }
+
+    /// Strings over {0,1} ending in 1 — unambiguous.
+    fn ends_in_one() -> Nfa {
+        let mut alpha = Alphabet::new();
+        let zero = alpha.intern("0");
+        let one = alpha.intern("1");
+        let mut m = Nfa::new(alpha);
+        let s = m.add_state();
+        let f = m.add_state();
+        m.set_initial(s);
+        m.set_accepting(f);
+        m.add_transition(s, zero, s);
+        m.add_transition(s, one, s);
+        m.add_transition(s, one, f);
+        m
+    }
+
+    /// Highly ambiguous: strings over {a,b} containing at least one `a`,
+    /// accepted once per `a` occurrence "marked".
+    fn contains_a_ambiguous() -> Nfa {
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut m = Nfa::new(alpha);
+        let s = m.add_state();
+        let f = m.add_state();
+        m.set_initial(s);
+        m.set_accepting(f);
+        m.add_transition(s, a, s);
+        m.add_transition(s, b, s);
+        m.add_transition(s, a, f);
+        m.add_transition(f, a, f);
+        m.add_transition(f, b, f);
+        m
+    }
+
+    #[test]
+    fn unambiguous_count_is_near_exact() {
+        let m = ends_in_one();
+        let cfg = FprasConfig::with_epsilon(0.1).with_seed(7);
+        // Unambiguous: every union is a single part, so the estimate is the
+        // exact path-count DP.
+        for n in 1..=12 {
+            check_close(&m, n, &cfg, 1e-9);
+        }
+    }
+
+    #[test]
+    fn ambiguous_count_within_tolerance() {
+        let m = contains_a_ambiguous();
+        assert!(m.is_ambiguous_upto(4));
+        let cfg = FprasConfig::with_epsilon(0.15).with_seed(11);
+        for n in 1..=10 {
+            check_close(&m, n, &cfg, 0.15);
+        }
+    }
+
+    #[test]
+    fn empty_language_counts_zero() {
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let mut m = Nfa::new(alpha);
+        let s = m.add_state();
+        let dead = m.add_state();
+        m.set_initial(s);
+        m.set_accepting(dead); // accepting but only reachable... not at n=3
+        m.add_transition(s, a, s);
+        let cfg = FprasConfig::default();
+        assert!(count_nfa(&m, 3, &cfg).is_zero());
+    }
+
+    #[test]
+    fn length_zero_edge_cases() {
+        let m = ends_in_one();
+        let cfg = FprasConfig::default();
+        assert!(count_nfa(&m, 0, &cfg).is_zero()); // initial not accepting
+        let mut alpha = Alphabet::new();
+        alpha.intern("a");
+        let mut m2 = Nfa::new(alpha);
+        let s = m2.add_state();
+        m2.set_initial(s);
+        m2.set_accepting(s);
+        assert_eq!(count_nfa(&m2, 0, &cfg).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn multiple_overlapping_initial_states() {
+        // Both initial states accept exactly the same language: the union
+        // estimator must not double count.
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let mut m = Nfa::new(alpha);
+        let p = m.add_state();
+        let q = m.add_state();
+        let f = m.add_state();
+        m.set_initial(p);
+        m.set_initial(q);
+        m.set_accepting(f);
+        m.add_transition(p, a, f);
+        m.add_transition(q, a, f);
+        let cfg = FprasConfig::with_epsilon(0.1).with_seed(3);
+        let approx = count_nfa(&m, 1, &cfg);
+        let rel = (approx.to_f64() - 1.0).abs();
+        assert!(rel <= 0.1, "approx {approx}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = contains_a_ambiguous();
+        let cfg = FprasConfig::with_epsilon(0.2).with_seed(99);
+        let a = count_nfa(&m, 8, &cfg);
+        let b = count_nfa(&m, 8, &cfg);
+        assert_eq!(a, b);
+    }
+}

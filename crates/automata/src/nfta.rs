@@ -1,0 +1,405 @@
+//! Top-down non-deterministic finite tree automata (paper §2).
+
+use crate::{Alphabet, StateId, SymbolId};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A labelled tree `t ∈ Trees_k[Σ]`: a node label plus an ordered list of
+/// children (the paper's prefix-closed-set view, materialized).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tree {
+    /// The node's label `t(u)`.
+    pub label: SymbolId,
+    /// Ordered children.
+    pub children: Vec<Tree>,
+}
+
+impl Tree {
+    /// A leaf node.
+    pub fn leaf(label: SymbolId) -> Self {
+        Tree {
+            label,
+            children: Vec::new(),
+        }
+    }
+
+    /// An internal node.
+    pub fn node(label: SymbolId, children: Vec<Tree>) -> Self {
+        Tree { label, children }
+    }
+
+    /// `|t|`: the number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(Tree::size).sum::<usize>()
+    }
+
+    /// Pre-order traversal of the labels.
+    pub fn labels_preorder(&self) -> Vec<SymbolId> {
+        let mut out = Vec::with_capacity(self.size());
+        self.collect_preorder(&mut out);
+        out
+    }
+
+    fn collect_preorder(&self, out: &mut Vec<SymbolId>) {
+        out.push(self.label);
+        for c in &self.children {
+            c.collect_preorder(out);
+        }
+    }
+
+    /// Renders with the given alphabet, e.g. `a(b,c(d))`.
+    pub fn display(&self, alphabet: &Alphabet) -> String {
+        let mut s = alphabet.name(self.label).to_owned();
+        if !self.children.is_empty() {
+            s.push('(');
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&c.display(alphabet));
+            }
+            s.push(')');
+        }
+        s
+    }
+}
+
+/// One transition `(src, symbol, children) ∈ Δ ⊆ S × Σ × (∪_i S^i)`.
+/// `children.is_empty()` is the leaf case `(s, a, λ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub src: StateId,
+    /// Node label consumed.
+    pub symbol: SymbolId,
+    /// States assigned to the node's children, in order.
+    pub children: Vec<StateId>,
+}
+
+/// A top-down NFTA `T = (S, Σ, Δ, s_init)` without λ-transitions.
+///
+/// (The paper allows λ-transitions as sugar and removes them by standard
+/// procedures; every automaton this workspace constructs is λ-free by
+/// design — see DESIGN.md §2.1.)
+#[derive(Debug, Clone)]
+pub struct Nfta {
+    alphabet: Alphabet,
+    num_states: usize,
+    transitions: Vec<Transition>,
+    by_src: Vec<Vec<usize>>,
+    /// Transitions indexed by `(symbol, arity)` for bottom-up runs.
+    by_symbol_arity: HashMap<(SymbolId, usize), Vec<usize>>,
+    initial: StateId,
+}
+
+impl Nfta {
+    /// A one-state automaton (state 0 = initial) over `alphabet`.
+    pub fn new(alphabet: Alphabet) -> Self {
+        Nfta {
+            alphabet,
+            num_states: 1,
+            transitions: Vec::new(),
+            by_src: vec![Vec::new()],
+            by_symbol_arity: HashMap::new(),
+            initial: StateId(0),
+        }
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let s = StateId(self.num_states as u32);
+        self.num_states += 1;
+        self.by_src.push(Vec::new());
+        s
+    }
+
+    /// Adds a transition. Idempotent: `Δ` is a relation, so re-adding an
+    /// existing tuple is a no-op (duplicates would otherwise inflate the
+    /// run count).
+    pub fn add_transition(&mut self, t: Transition) {
+        debug_assert!(t.src.index() < self.num_states);
+        debug_assert!(t.children.iter().all(|c| c.index() < self.num_states));
+        if self.by_src[t.src.index()]
+            .iter()
+            .any(|&i| self.transitions[i] == t)
+        {
+            return;
+        }
+        let idx = self.transitions.len();
+        self.by_src[t.src.index()].push(idx);
+        self.by_symbol_arity
+            .entry((t.symbol, t.children.len()))
+            .or_default()
+            .push(idx);
+        self.transitions.push(t);
+    }
+
+    /// Re-roots the automaton at `s`.
+    pub fn set_initial(&mut self, s: StateId) {
+        debug_assert!(s.index() < self.num_states);
+        self.initial = s;
+    }
+
+    /// The initial state `s_init`.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// The alphabet `Σ`.
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// Mutable alphabet access (translations extend it).
+    pub fn alphabet_mut(&mut self) -> &mut Alphabet {
+        &mut self.alphabet
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Indices of transitions with source `s`.
+    pub fn transitions_from(&self, s: StateId) -> &[usize] {
+        &self.by_src[s.index()]
+    }
+
+    /// The size `|T|`: total encoding length of the transition relation
+    /// (counted as the number of state/symbol slots written).
+    pub fn size(&self) -> usize {
+        self.transitions
+            .iter()
+            .map(|t| 2 + t.children.len())
+            .sum()
+    }
+
+    /// The set of states `q` such that `t` is accepted when started from
+    /// `q` (bottom-up evaluation).
+    pub fn run_states(&self, t: &Tree) -> BTreeSet<StateId> {
+        self.run_sparse(t).into_iter().collect()
+    }
+
+    /// Sparse variant of [`Nfta::run_states`] — the hot path of the FPRAS
+    /// membership oracle. Run-state sets of the automata built by the PQE
+    /// reduction are tiny (chain states accept at exactly one position), so
+    /// a sorted vector beats any dense representation.
+    pub(crate) fn run_sparse(&self, t: &Tree) -> Vec<StateId> {
+        let child_sets: Vec<Vec<StateId>> =
+            t.children.iter().map(|c| self.run_sparse(c)).collect();
+        let mut out: Vec<StateId> = Vec::new();
+        if let Some(cands) = self.by_symbol_arity.get(&(t.label, t.children.len())) {
+            for &ti in cands {
+                let tr = &self.transitions[ti];
+                if tr
+                    .children
+                    .iter()
+                    .zip(child_sets.iter())
+                    .all(|(q, set)| set.binary_search(q).is_ok())
+                {
+                    out.push(tr.src);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether `T` accepts `t` (a run from `s_init` exists).
+    pub fn accepts(&self, t: &Tree) -> bool {
+        self.accepts_from(self.initial, t)
+    }
+
+    /// Whether `t` is accepted starting from state `q`.
+    ///
+    /// Top-down with memoization on `(state, node)`: visits only the
+    /// state/node pairs actually reachable from `q`, which on the large
+    /// chain-structured automata of the PQE reduction is dramatically
+    /// cheaper than a bottom-up pass over every same-symbol transition.
+    pub fn accepts_from(&self, q: StateId, t: &Tree) -> bool {
+        let it = IndexedTree::new(t);
+        let mut memo = HashMap::new();
+        self.accepted_at(q, &it, 0, &mut memo)
+    }
+
+    /// Memoized top-down acceptance over an [`IndexedTree`]. Callers doing
+    /// repeated membership checks against the same tree should share the
+    /// index and the memo.
+    pub fn accepted_at(
+        &self,
+        q: StateId,
+        it: &IndexedTree,
+        node: usize,
+        memo: &mut HashMap<(u32, u32), bool>,
+    ) -> bool {
+        if let Some(&v) = memo.get(&(q.0, node as u32)) {
+            return v;
+        }
+        let arity = it.children[node].len();
+        let mut ok = false;
+        for &ti in &self.by_src[q.index()] {
+            let tr = &self.transitions[ti];
+            if tr.symbol != it.labels[node] || tr.children.len() != arity {
+                continue;
+            }
+            if tr
+                .children
+                .iter()
+                .zip(it.children[node].iter())
+                .all(|(&cq, &cn)| self.accepted_at(cq, it, cn, memo))
+            {
+                ok = true;
+                break;
+            }
+        }
+        memo.insert((q.0, node as u32), ok);
+        ok
+    }
+}
+
+/// A preorder-indexed view of a [`Tree`] for repeated acceptance checks:
+/// node 0 is the root, `children[i]` lists the node ids of node `i`'s
+/// children.
+pub struct IndexedTree {
+    /// Label per node, preorder.
+    pub labels: Vec<SymbolId>,
+    /// Child node ids per node.
+    pub children: Vec<Vec<usize>>,
+}
+
+impl IndexedTree {
+    /// Flattens `t` in preorder.
+    pub fn new(t: &Tree) -> Self {
+        let mut it = IndexedTree {
+            labels: Vec::with_capacity(t.size()),
+            children: Vec::with_capacity(t.size()),
+        };
+        it.add(t);
+        it
+    }
+
+    fn add(&mut self, t: &Tree) -> usize {
+        let id = self.labels.len();
+        self.labels.push(t.label);
+        self.children.push(Vec::with_capacity(t.children.len()));
+        for c in &t.children {
+            let cid = self.add(c);
+            self.children[id].push(cid);
+        }
+        id
+    }
+}
+
+impl fmt::Display for Nfta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "NFTA: {} states, {} transitions, init {}",
+            self.num_states,
+            self.transitions.len(),
+            self.initial
+        )?;
+        for t in &self.transitions {
+            let kids: Vec<String> = t.children.iter().map(|c| c.to_string()).collect();
+            writeln!(
+                f,
+                "  ({}, {}, [{}])",
+                t.src,
+                self.alphabet.name(t.symbol),
+                kids.join(" ")
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Automaton accepting full binary trees with `a` at internal nodes and
+    /// `b` at leaves.
+    fn full_binary() -> (Nfta, SymbolId, SymbolId) {
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut t = Nfta::new(alpha);
+        let q = t.initial();
+        t.add_transition(Transition {
+            src: q,
+            symbol: a,
+            children: vec![q, q],
+        });
+        t.add_transition(Transition {
+            src: q,
+            symbol: b,
+            children: vec![],
+        });
+        (t, a, b)
+    }
+
+    #[test]
+    fn tree_size_and_preorder() {
+        let (_, a, b) = full_binary();
+        let t = Tree::node(a, vec![Tree::leaf(b), Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b)])]);
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.labels_preorder(), vec![a, b, a, b, b]);
+    }
+
+    #[test]
+    fn acceptance_of_full_binary_trees() {
+        let (aut, a, b) = full_binary();
+        assert!(aut.accepts(&Tree::leaf(b)));
+        assert!(aut.accepts(&Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b)])));
+        // a node with one child: no transition of arity 1.
+        assert!(!aut.accepts(&Tree::node(a, vec![Tree::leaf(b)])));
+        // a as a leaf: no leaf transition for a.
+        assert!(!aut.accepts(&Tree::leaf(a)));
+    }
+
+    #[test]
+    fn run_states_bottom_up() {
+        let (aut, _, b) = full_binary();
+        let states = aut.run_states(&Tree::leaf(b));
+        assert!(states.contains(&aut.initial()));
+    }
+
+    #[test]
+    fn accepts_from_specific_state() {
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let mut aut = Nfta::new(alpha);
+        let q0 = aut.initial();
+        let q1 = aut.add_state();
+        aut.add_transition(Transition {
+            src: q1,
+            symbol: a,
+            children: vec![],
+        });
+        assert!(!aut.accepts(&Tree::leaf(a))); // q0 has no transitions
+        assert!(aut.accepts_from(q1, &Tree::leaf(a)));
+        aut.set_initial(q1);
+        assert!(aut.accepts(&Tree::leaf(a)));
+        let _ = q0;
+    }
+
+    #[test]
+    fn size_counts_encoding_slots() {
+        let (aut, _, _) = full_binary();
+        // (q,a,[q,q]) = 4 slots, (q,b,[]) = 2 slots.
+        assert_eq!(aut.size(), 6);
+    }
+
+    #[test]
+    fn display_tree() {
+        let (aut, a, b) = full_binary();
+        let t = Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b)]);
+        assert_eq!(t.display(aut.alphabet()), "a(b,b)");
+    }
+}

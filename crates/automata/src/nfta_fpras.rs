@@ -1,0 +1,544 @@
+//! CountNFTA — the FPRAS for counting trees of a fixed size accepted by an
+//! NFTA (Arenas, Croquevielle, Jayaram & Riveros, STOC '21), as a practical
+//! adaptation (crate docs, DESIGN.md §2.5).
+//!
+//! Self-reduction:
+//!
+//! ```text
+//! Trees(q, n)        = ⋃_{τ = (q, a, q₁…q_k) ∈ Δ}  a( Forest(q₁…q_k, n−1) )
+//! Forest(ε, 0)       = { empty forest }
+//! Forest(q₁…q_k, m)  = ⨄_{j}  Trees(q₁, j) × Forest(q₂…q_k, m−j)
+//! ```
+//!
+//! Forests decompose **disjointly** over the first-tree size `j` and
+//! **independently** as a product — both exact given tree estimates. The
+//! only approximation sits at tree level: transitions sharing a root symbol
+//! can accept overlapping tree sets, so each symbol group is estimated with
+//! the Karp–Luby union estimator (membership = bottom-up acceptance check)
+//! and sampled with rejection. Symbol groups themselves are disjoint and
+//! add exactly. In the automata built by the PQE reduction, most states are
+//! deterministic chain states (gadget bits, fact sequences) whose unions
+//! have a single part — those are counted exactly, so sampling effort
+//! concentrates on the genuinely ambiguous witness-choice states.
+
+use crate::{FprasConfig, Nfta, RunTables, StateId, SymbolId, Tree};
+use pqe_arith::BigFloat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Temporary instrumentation counters (sampling diagnostics).
+pub static CNT_SAMPLES: AtomicU64 = AtomicU64::new(0);
+/// Rejection tries.
+pub static CNT_TRIES: AtomicU64 = AtomicU64::new(0);
+/// Membership checks.
+pub static CNT_MEMBER: AtomicU64 = AtomicU64::new(0);
+/// tree_est computations.
+pub static CNT_EST: AtomicU64 = AtomicU64::new(0);
+
+/// Approximates `|L_n(T)|`, the number of distinct size-`n` labelled trees
+/// accepted by `nfta`, as the median of `cfg.repetitions` independent
+/// estimates.
+pub fn count_nfta(nfta: &Nfta, n: usize, cfg: &FprasConfig) -> BigFloat {
+    let mut results: Vec<BigFloat> = (0..cfg.repetitions.max(1))
+        .map(|r| {
+            NftaCounter::new(nfta, cfg.clone().with_seed(cfg.seed.wrapping_add(r as u64)))
+                .count(n)
+        })
+        .collect();
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    results[results.len() / 2]
+}
+
+/// A single-run CountNFTA estimator with memoized size tables.
+///
+/// Exposed so the PQE pipeline can reuse one counter across calls (the
+/// estimate tables depend only on the automaton).
+pub struct NftaCounter<'a> {
+    nfta: &'a Nfta,
+    cfg: FprasConfig,
+    rng: RefCell<StdRng>,
+    tree_memo: RefCell<HashMap<(StateId, usize), BigFloat>>,
+    forest_memo: RefCell<HashMap<(Vec<StateId>, usize), BigFloat>>,
+    /// Memoized per-group union estimates, keyed by
+    /// `(state, group index, size)`. Without this, every sampling step
+    /// would re-run the union estimator recursively — exponential work.
+    group_memo: RefCell<HashMap<(StateId, usize, usize), BigFloat>>,
+    /// Per-state transition groups (by root symbol, or one group per state
+    /// under `naive_unions`), deduplicated, precomputed once — hot in both
+    /// estimation and sampling.
+    groups_cache: Vec<Vec<Vec<usize>>>,
+    /// Exact run-count tables powering the SIR tree sampler.
+    runs: RefCell<RunTables<'a>>,
+    /// Per-state flag: `true` iff some state reachable from it (including
+    /// itself) has an ambiguous symbol group. Where `false`, every tree has
+    /// exactly one run, so a single run-sample is already uniform and the
+    /// SIR machinery is skipped.
+    ambiguous_below: Vec<bool>,
+}
+
+impl<'a> NftaCounter<'a> {
+    /// Creates a counter with its own RNG stream.
+    pub fn new(nfta: &'a Nfta, cfg: FprasConfig) -> Self {
+        let seed = cfg.seed;
+        let groups_cache: Vec<Vec<Vec<usize>>> = (0..nfta.num_states())
+            .map(|qi| {
+                let mut m: BTreeMap<SymbolId, Vec<usize>> = BTreeMap::new();
+                for &ti in nfta.transitions_from(StateId(qi as u32)) {
+                    let tr = &nfta.transitions()[ti];
+                    // Ablation: one group per state instead of per symbol.
+                    let key = if cfg.naive_unions { SymbolId(0) } else { tr.symbol };
+                    let group = m.entry(key).or_default();
+                    if !group.iter().any(|&gj| {
+                        let other = &nfta.transitions()[gj];
+                        other.symbol == tr.symbol && other.children == tr.children
+                    }) {
+                        group.push(ti);
+                    }
+                }
+                m.into_values().collect()
+            })
+            .collect();
+        let ambiguous_below = compute_ambiguous_below(nfta, &groups_cache);
+        NftaCounter {
+            nfta,
+            cfg,
+            rng: RefCell::new(StdRng::seed_from_u64(seed)),
+            tree_memo: RefCell::new(HashMap::new()),
+            forest_memo: RefCell::new(HashMap::new()),
+            group_memo: RefCell::new(HashMap::new()),
+            groups_cache,
+            runs: RefCell::new(RunTables::new(nfta)),
+            ambiguous_below,
+        }
+    }
+
+    /// Single-run estimate of `|L_n(T)|`.
+    pub fn count(&self, n: usize) -> BigFloat {
+        self.tree_est(self.nfta.initial(), n)
+    }
+
+    /// Estimated `|Trees(q, n)|`.
+    pub fn tree_est(&self, q: StateId, n: usize) -> BigFloat {
+        if n == 0 {
+            return BigFloat::zero();
+        }
+        if let Some(v) = self.tree_memo.borrow().get(&(q, n)) {
+            return *v;
+        }
+        CNT_EST.fetch_add(1, Ordering::Relaxed);
+        let mut total = BigFloat::zero();
+        for (gi, group) in self.groups(q).iter().enumerate() {
+            total = total + self.group_est(q, gi, group, n);
+        }
+        self.tree_memo.borrow_mut().insert((q, n), total);
+        total
+    }
+
+    /// Transition groups of `q` (see `groups_cache`).
+    fn groups(&self, q: StateId) -> &[Vec<usize>] {
+        &self.groups_cache[q.index()]
+    }
+
+    /// Estimated size of one group's union
+    /// `⋃_τ a_τ(Forest(children(τ), n−1))`, memoized on `(q, group, n)`.
+    fn group_est(&self, q: StateId, gi: usize, group: &[usize], n: usize) -> BigFloat {
+        if let Some(v) = self.group_memo.borrow().get(&(q, gi, n)) {
+            return *v;
+        }
+        let v = self.group_est_uncached(group, n);
+        self.group_memo.borrow_mut().insert((q, gi, n), v);
+        v
+    }
+
+    fn group_est_uncached(&self, group: &[usize], n: usize) -> BigFloat {
+        let sized: Vec<(usize, BigFloat)> = group
+            .iter()
+            .map(|&ti| {
+                let tr = &self.nfta.transitions()[ti];
+                (ti, self.forest_est(&tr.children, n - 1))
+            })
+            .filter(|(_, s)| !s.is_zero())
+            .collect();
+        match sized.len() {
+            0 => BigFloat::zero(),
+            1 => sized[0].1,
+            m => {
+                // Adaptive Karp–Luby estimation: draw until the standard
+                // error of the mean of 1/N falls below the per-union
+                // budget, capped by `union_samples(m)` (Welford online
+                // variance).
+                let total: BigFloat = sized.iter().map(|(_, s)| *s).sum();
+                let cap = self.cfg.union_samples(m);
+                let floor = self.cfg.union_sample_floor.min(cap);
+                let eps_loc = self.cfg.local_epsilon();
+                let (mut taken, mut mean, mut m2) = (0usize, 0.0f64, 0.0f64);
+                for _ in 0..cap {
+                    CNT_SAMPLES.fetch_add(1, Ordering::Relaxed);
+                    let ti = self.pick_weighted(&sized, total);
+                    let tr = &self.nfta.transitions()[ti];
+                    let Some(forest) = self.sample_forest(&tr.children, n - 1) else {
+                        continue;
+                    };
+                    let tree = Tree::node(tr.symbol, forest);
+                    let x = 1.0 / self.membership_count(&sized, &tree) as f64;
+                    taken += 1;
+                    let delta = x - mean;
+                    mean += delta / taken as f64;
+                    m2 += delta * (x - mean);
+                    if taken >= floor && mean > 0.0 {
+                        let sem = (m2 / (taken as f64 * (taken as f64 - 1.0))).sqrt() / mean;
+                        if sem < eps_loc {
+                            break;
+                        }
+                    }
+                }
+                if taken == 0 {
+                    return BigFloat::zero();
+                }
+                total * mean
+            }
+        }
+    }
+
+    /// In how many of the group's parts does `tree` lie? (≥ 1 for sampled
+    /// trees.) One shared tree index and memo across all candidates.
+    fn membership_count(&self, sized: &[(usize, BigFloat)], tree: &Tree) -> usize {
+        CNT_MEMBER.fetch_add(1, Ordering::Relaxed);
+        let it = crate::IndexedTree::new(tree);
+        let mut memo = HashMap::new();
+        sized
+            .iter()
+            .filter(|&&(ti, _)| {
+                let tr = &self.nfta.transitions()[ti];
+                tr.symbol == tree.label
+                    && tr.children.len() == it.children[0].len()
+                    && tr
+                        .children
+                        .iter()
+                        .zip(it.children[0].iter())
+                        .all(|(&cq, &cn)| self.nfta.accepted_at(cq, &it, cn, &mut memo))
+            })
+            .count()
+            .max(1)
+    }
+
+    /// Estimated `|Forest(states, m)|` — exact sum-product over the
+    /// first-tree size, given tree estimates.
+    pub fn forest_est(&self, states: &[StateId], m: usize) -> BigFloat {
+        if states.is_empty() {
+            return if m == 0 {
+                BigFloat::one()
+            } else {
+                BigFloat::zero()
+            };
+        }
+        if m < states.len() {
+            return BigFloat::zero();
+        }
+        // Unary forests are just trees: skip the size-split loop.
+        if states.len() == 1 {
+            return self.tree_est(states[0], m);
+        }
+        let key = (states.to_vec(), m);
+        if let Some(v) = self.forest_memo.borrow().get(&key) {
+            return *v;
+        }
+        let (first, rest) = states.split_first().unwrap();
+        let mut total = BigFloat::zero();
+        for j in 1..=(m - rest.len()) {
+            let t = self.tree_est(*first, j);
+            if t.is_zero() {
+                continue;
+            }
+            let f = self.forest_est(rest, m - j);
+            total = total + t * f;
+        }
+        self.forest_memo.borrow_mut().insert(key, total);
+        total
+    }
+
+    /// Samples an (approximately uniform) tree from `Trees(q, n)` by
+    /// sampling-importance-resampling over exact run-samples:
+    /// `sir_candidates` runs are drawn uniformly among accepting runs
+    /// (exact DP, no retries), each weighted by `1/M(t)` — the reciprocal
+    /// of its tree's run multiplicity (exact DP) — and one is resampled by
+    /// weight. As the candidate count grows the draw converges to uniform
+    /// over *distinct* trees; unlike nested rejection sampling, the cost is
+    /// `O(candidates · n)` regardless of tree depth (see DESIGN.md §2.5).
+    ///
+    /// `None` iff no accepting run of size `n` exists.
+    pub fn sample_tree(&self, q: StateId, n: usize) -> Option<Tree> {
+        let mut runs = self.runs.borrow_mut();
+        if runs.tree_runs(q, n).is_zero() {
+            return None;
+        }
+        let k = if self.ambiguous_below[q.index()] {
+            self.cfg.sir_candidates.max(1)
+        } else {
+            // Unambiguous below q: runs are in bijection with trees, so
+            // one run-sample is exactly uniform.
+            1
+        };
+        let first = {
+            let mut rng = self.rng.borrow_mut();
+            runs.sample_run(q, n, &mut *rng)?
+        };
+        CNT_TRIES.fetch_add(1, Ordering::Relaxed);
+        if k == 1 {
+            return Some(first);
+        }
+        let m_first = runs.runs_of_tree(q, &first);
+        let mut candidates: Vec<(Tree, f64)> = Vec::with_capacity(k);
+        let m0 = m_first.to_f64().max(1.0);
+        candidates.push((first, 1.0 / m0));
+        for _ in 1..k {
+            CNT_TRIES.fetch_add(1, Ordering::Relaxed);
+            let t = {
+                let mut rng = self.rng.borrow_mut();
+                runs.sample_run(q, n, &mut *rng)?
+            };
+            let m = runs.runs_of_tree(q, &t).to_f64().max(1.0);
+            candidates.push((t, 1.0 / m));
+        }
+        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
+        let mut threshold: f64 = self.rng.borrow_mut().random::<f64>() * total;
+        for (t, w) in candidates.drain(..) {
+            threshold -= w;
+            if threshold <= 0.0 {
+                return Some(t);
+            }
+        }
+        unreachable!("weights are positive")
+    }
+
+    /// Samples a forest from `Forest(states, m)`: first-tree size
+    /// proportional to its share, then independent components.
+    fn sample_forest(&self, states: &[StateId], m: usize) -> Option<Vec<Tree>> {
+        if states.is_empty() {
+            return (m == 0).then(Vec::new);
+        }
+        if self.forest_est(states, m).is_zero() {
+            return None;
+        }
+        if states.len() == 1 {
+            return self.sample_tree(states[0], m).map(|t| vec![t]);
+        }
+        let (first, rest) = states.split_first().unwrap();
+        let options: Vec<(usize, BigFloat)> = (1..=(m - rest.len()))
+            .map(|j| {
+                let w = self.tree_est(*first, j) * self.forest_est(rest, m - j);
+                (j, w)
+            })
+            .filter(|(_, w)| !w.is_zero())
+            .collect();
+        let total: BigFloat = options.iter().map(|(_, w)| *w).sum();
+        let j = self.pick_weighted(&options, total);
+        let head = self.sample_tree(*first, j)?;
+        let mut tail = self.sample_forest(rest, m - j)?;
+        let mut forest = Vec::with_capacity(1 + tail.len());
+        forest.push(head);
+        forest.append(&mut tail);
+        Some(forest)
+    }
+
+    /// Draws a key from `(key, weight)` pairs proportionally to weight.
+    fn pick_weighted<K: Copy>(&self, weighted: &[(K, BigFloat)], total: BigFloat) -> K {
+        debug_assert!(!weighted.is_empty());
+        let u: f64 = self.rng.borrow_mut().random();
+        let threshold = total * u;
+        let mut acc = BigFloat::zero();
+        for (k, w) in weighted {
+            acc = acc + *w;
+            if threshold < acc {
+                return *k;
+            }
+        }
+        weighted.last().unwrap().0
+    }
+}
+
+/// Monotone fixpoint: a state is "ambiguous below" if it owns a symbol
+/// group with more than one (deduplicated) transition, or can reach one.
+fn compute_ambiguous_below(nfta: &Nfta, groups_cache: &[Vec<Vec<usize>>]) -> Vec<bool> {
+    let n = nfta.num_states();
+    let mut amb: Vec<bool> = (0..n)
+        .map(|q| groups_cache[q].iter().any(|g| g.len() > 1))
+        .collect();
+    loop {
+        let mut changed = false;
+        for q in 0..n {
+            if amb[q] {
+                continue;
+            }
+            let reaches = nfta.transitions_from(StateId(q as u32)).iter().any(|&ti| {
+                nfta.transitions()[ti]
+                    .children
+                    .iter()
+                    .any(|c| amb[c.index()])
+            });
+            if reaches {
+                amb[q] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return amb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{count_trees_exact, Alphabet, Transition};
+    use pqe_arith::BigUint;
+
+    fn check_close(nfta: &Nfta, n: usize, cfg: &FprasConfig, tol: f64) {
+        let exact = count_trees_exact(nfta, n);
+        let approx = count_nfta(nfta, n, cfg);
+        if exact.is_zero() {
+            assert!(approx.is_zero(), "expected 0 at size {n}, got {approx}");
+            return;
+        }
+        let rel = approx.relative_error_to(&BigFloat::from_biguint(&exact));
+        assert!(
+            rel <= tol,
+            "size {n}: exact {exact}, approx {approx}, rel {rel}"
+        );
+    }
+
+    fn full_binary() -> Nfta {
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut t = Nfta::new(alpha);
+        let q = t.initial();
+        t.add_transition(Transition { src: q, symbol: a, children: vec![q, q] });
+        t.add_transition(Transition { src: q, symbol: b, children: vec![] });
+        t
+    }
+
+    #[test]
+    fn unambiguous_counts_are_exact() {
+        // Full binary trees: every union has one part per symbol, so the
+        // estimate reduces to the exact DP. Catalan numbers expected.
+        let aut = full_binary();
+        let cfg = FprasConfig::with_epsilon(0.1).with_seed(5);
+        for n in [1usize, 3, 5, 7, 9, 11] {
+            check_close(&aut, n, &cfg, 1e-9);
+        }
+        check_close(&aut, 2, &cfg, 0.0); // zero
+    }
+
+    /// Ambiguous: two overlapping transitions. State q accepts a(x) where
+    /// x is a leaf accepted by r1 (labels l1|l2) or r2 (labels l2|l3) —
+    /// the l2 leaf is shared.
+    fn overlapping() -> Nfta {
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let l1 = alpha.intern("l1");
+        let l2 = alpha.intern("l2");
+        let l3 = alpha.intern("l3");
+        let mut t = Nfta::new(alpha);
+        let q = t.initial();
+        let r1 = t.add_state();
+        let r2 = t.add_state();
+        t.add_transition(Transition { src: q, symbol: a, children: vec![r1] });
+        t.add_transition(Transition { src: q, symbol: a, children: vec![r2] });
+        for (state, labels) in [(r1, [l1, l2]), (r2, [l2, l3])] {
+            for l in labels {
+                t.add_transition(Transition { src: state, symbol: l, children: vec![] });
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn overlapping_union_not_double_counted() {
+        let aut = overlapping();
+        // Trees of size 2: a(l1), a(l2), a(l3) — three, not four.
+        assert_eq!(count_trees_exact(&aut, 2).to_u64(), Some(3));
+        let cfg = FprasConfig::with_epsilon(0.1).with_seed(17);
+        check_close(&aut, 2, &cfg, 0.12);
+    }
+
+    /// A deeper ambiguous automaton: strings (unary trees) over {a,b}
+    /// containing at least one a, in tree form.
+    fn unary_contains_a() -> Nfta {
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let e = alpha.intern("end");
+        let mut t = Nfta::new(alpha);
+        let q = t.initial(); // still waiting for an a
+        let f = t.add_state(); // an a was seen
+        t.add_transition(Transition { src: q, symbol: a, children: vec![q] });
+        t.add_transition(Transition { src: q, symbol: b, children: vec![q] });
+        t.add_transition(Transition { src: q, symbol: a, children: vec![f] });
+        t.add_transition(Transition { src: f, symbol: a, children: vec![f] });
+        t.add_transition(Transition { src: f, symbol: b, children: vec![f] });
+        t.add_transition(Transition { src: f, symbol: e, children: vec![] });
+        t
+    }
+
+    #[test]
+    fn deep_ambiguous_chain_within_tolerance() {
+        let aut = unary_contains_a();
+        let cfg = FprasConfig::with_epsilon(0.15).with_seed(23);
+        // Size n+1 trees = strings of length n containing an a, + end marker:
+        // 2^n - b-only = 2^n - 1.
+        for n in [3usize, 5, 8] {
+            let exact = count_trees_exact(&aut, n + 1);
+            assert_eq!(exact.to_u64(), Some((1u64 << n) - 1));
+            check_close(&aut, n + 1, &cfg, 0.15);
+        }
+    }
+
+    #[test]
+    fn sample_tree_produces_accepted_trees() {
+        let aut = unary_contains_a();
+        let counter = NftaCounter::new(&aut, FprasConfig::with_epsilon(0.2).with_seed(31));
+        for _ in 0..50 {
+            let t = counter.sample_tree(aut.initial(), 6).expect("nonempty");
+            assert_eq!(t.size(), 6);
+            assert!(aut.accepts(&t), "sampled unaccepted tree {}", t.display(aut.alphabet()));
+        }
+    }
+
+    #[test]
+    fn empty_language_estimates_zero() {
+        let aut = full_binary();
+        let cfg = FprasConfig::default();
+        assert!(count_nfta(&aut, 0, &cfg).is_zero());
+        assert!(count_nfta(&aut, 4, &cfg).is_zero()); // even sizes impossible
+    }
+
+    #[test]
+    fn naive_union_ablation_agrees() {
+        // The ungrouped estimator must approximate the same quantity.
+        let aut = unary_contains_a();
+        let exact = count_trees_exact(&aut, 9);
+        let grouped = count_nfta(&aut, 9, &FprasConfig::with_epsilon(0.15).with_seed(2));
+        let naive = count_nfta(
+            &aut,
+            9,
+            &FprasConfig::with_epsilon(0.15).with_seed(2).with_naive_unions(),
+        );
+        let e = BigFloat::from_biguint(&exact);
+        assert!(grouped.relative_error_to(&e) <= 0.15, "grouped {grouped} vs {exact}");
+        assert!(naive.relative_error_to(&e) <= 0.2, "naive {naive} vs {exact}");
+    }
+
+    #[test]
+    fn counter_reuse_is_consistent() {
+        let aut = full_binary();
+        let counter = NftaCounter::new(&aut, FprasConfig::default());
+        let a = counter.count(7);
+        let b = counter.count(7);
+        assert_eq!(a, b); // memoized tables
+        assert_eq!(a.to_biguint_round(), BigUint::from(5u32));
+    }
+}

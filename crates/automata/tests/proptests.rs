@@ -1,0 +1,134 @@
+//! Property tests on the automata substrate: the FPRAS against the exact
+//! subset-determinization oracle on random automata, and exactness of the
+//! translation constructions.
+
+use proptest::prelude::*;
+use pqe_arith::{BigFloat, BigUint};
+use pqe_automata::{
+    count_nfa, count_trees_exact, required_bits, Alphabet, AugSymbol, AugTransition,
+    AugmentedNfta, FprasConfig, MulTransition, MultiplierNfta, Nfa,
+};
+
+/// A random NFA over 2 symbols with up to 4 states; transition triples
+/// `(src, sym, dst)` drawn from a bitviewed seed.
+fn random_nfa() -> impl Strategy<Value = Nfa> {
+    (
+        2usize..=4,
+        proptest::collection::vec((0u32..4, 0u32..2, 0u32..4), 1..14),
+        proptest::collection::vec(any::<bool>(), 4),
+        proptest::collection::vec(any::<bool>(), 4),
+    )
+        .prop_map(|(states, triples, init, acc)| {
+            let mut alpha = Alphabet::new();
+            let syms = [alpha.intern("a"), alpha.intern("b")];
+            let mut m = Nfa::new(alpha);
+            let ids: Vec<_> = (0..states).map(|_| m.add_state()).collect();
+            for (s, a, t) in triples {
+                let (s, t) = (s as usize % states, t as usize % states);
+                m.add_transition(ids[s], syms[a as usize], ids[t]);
+            }
+            let mut any_init = false;
+            for (i, &b) in init.iter().take(states).enumerate() {
+                if b {
+                    m.set_initial(ids[i]);
+                    any_init = true;
+                }
+            }
+            if !any_init {
+                m.set_initial(ids[0]);
+            }
+            for (i, &b) in acc.iter().take(states).enumerate() {
+                if b {
+                    m.set_accepting(ids[i]);
+                }
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fpras_tracks_exact_on_random_nfas(nfa in random_nfa(), n in 1usize..7) {
+        let exact = nfa.count_strings_exact(n);
+        let cfg = FprasConfig::with_epsilon(0.15).with_seed(0xF00D);
+        let approx = count_nfa(&nfa, n, &cfg);
+        if exact.is_zero() {
+            prop_assert!(approx.is_zero());
+        } else {
+            let rel = approx.relative_error_to(&BigFloat::from_biguint(&exact));
+            // Generous bound: random automata can be pathologically
+            // ambiguous; the median-of-5 estimate must still be close.
+            prop_assert!(rel <= 0.35, "exact {exact}, approx {approx}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn string_count_never_exceeds_path_count(nfa in random_nfa(), n in 0usize..7) {
+        // Each distinct string has ≥ 1 accepting run.
+        prop_assert!(nfa.count_strings_exact(n) <= nfa.count_accepting_paths(n));
+    }
+
+    #[test]
+    fn unambiguous_nfas_have_equal_counts(nfa in random_nfa(), n in 0usize..6) {
+        if !nfa.is_ambiguous_upto(n) {
+            prop_assert_eq!(nfa.count_strings_exact(n), nfa.count_accepting_paths(n));
+        }
+    }
+
+    #[test]
+    fn multiplier_gadget_is_exact(n in 1u32..64, pad in 0u64..3) {
+        let mult = BigUint::from(n);
+        let width = required_bits(&mult).max(1) + pad;
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let mut m = MultiplierNfta::new(alpha);
+        let q = m.initial();
+        m.add_transition(MulTransition {
+            src: q,
+            symbol: a,
+            multiplier: mult,
+            bit_width: width,
+            children: vec![],
+        });
+        let nfta = m.translate();
+        prop_assert_eq!(
+            count_trees_exact(&nfta, 1 + width as usize).to_u64(),
+            Some(n as u64)
+        );
+    }
+
+    #[test]
+    fn optional_symbols_count_powers_of_two(flags in proptest::collection::vec(any::<bool>(), 1..7)) {
+        // A single augmented transition with k symbols, `opt` of them
+        // optional, accepts exactly 2^opt trees.
+        let mut alpha = Alphabet::new();
+        let syms: Vec<_> = (0..flags.len())
+            .map(|i| alpha.intern(&format!("s{i}")))
+            .collect();
+        let mut aug = AugmentedNfta::new(alpha);
+        let q = aug.initial();
+        aug.add_transition(AugTransition {
+            src: q,
+            label: syms
+                .iter()
+                .zip(flags.iter())
+                .map(|(&s, &opt)| {
+                    if opt {
+                        AugSymbol::optional(s)
+                    } else {
+                        AugSymbol::plain(s)
+                    }
+                })
+                .collect(),
+            children: vec![],
+        });
+        let (nfta, _) = aug.translate();
+        let opt = flags.iter().filter(|&&b| b).count() as u32;
+        prop_assert_eq!(
+            count_trees_exact(&nfta, flags.len()).to_u64(),
+            Some(1u64 << opt)
+        );
+    }
+}

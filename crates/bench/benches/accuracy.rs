@@ -1,0 +1,33 @@
+//! E6 companion — cost of accuracy: one full `(construction + counting)`
+//! estimate at each ε, paired with the error distributions printed by
+//! `--bin accuracy`. Also benches the exact oracles that E6 validates
+//! against, so the accuracy/runtime trade-off is visible in one report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqe_automata::FprasConfig;
+use pqe_bench::path_workload;
+use pqe_core::baselines::{brute_force_pqe, karp_luby_pqe, naive_monte_carlo_pqe};
+use pqe_core::pqe_estimate;
+
+fn bench_estimators_at_fixed_epsilon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_estimator_cost");
+    g.sample_size(10);
+    let w = path_workload(3, 2, 0.6, 606);
+    let cfg = FprasConfig::with_epsilon(0.15).with_seed(66);
+    g.bench_with_input(BenchmarkId::new("fpras", &w.label), &w, |b, w| {
+        b.iter(|| pqe_estimate(&w.query, &w.h, &cfg).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("karp_luby_2k", &w.label), &w, |b, w| {
+        b.iter(|| karp_luby_pqe(&w.query, &w.h, 2000, 9))
+    });
+    g.bench_with_input(BenchmarkId::new("naive_mc_20k", &w.label), &w, |b, w| {
+        b.iter(|| naive_monte_carlo_pqe(&w.query, &w.h, 20_000, 9))
+    });
+    g.bench_with_input(BenchmarkId::new("brute_force", &w.label), &w, |b, w| {
+        b.iter(|| brute_force_pqe(&w.query, &w.h))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimators_at_fixed_epsilon);
+criterion_main!(benches);

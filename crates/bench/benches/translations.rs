@@ -1,0 +1,89 @@
+//! E9 — the §4.1 / §5.1 translation costs (Remarks 1 and 2):
+//! augmented-NFTA → ordinary NFTA is linear in the annotation size;
+//! the multiplier gadget adds `Θ(log n)` states per transition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pqe_arith::BigUint;
+use pqe_automata::{
+    required_bits, Alphabet, AugSymbol, AugTransition, AugmentedNfta, MulTransition,
+    MultiplierNfta,
+};
+
+fn augmented_chain(symbols: usize) -> AugmentedNfta {
+    let mut alpha = Alphabet::new();
+    let syms: Vec<_> = (0..symbols).map(|i| alpha.intern(&format!("f{i}"))).collect();
+    let mut aug = AugmentedNfta::new(alpha);
+    let q = aug.initial();
+    aug.add_transition(AugTransition {
+        src: q,
+        label: syms.iter().map(|&s| AugSymbol::optional(s)).collect(),
+        children: vec![],
+    });
+    aug
+}
+
+fn bench_augmented_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_augmented_translate");
+    for symbols in [16usize, 64, 256, 1024] {
+        let aug = augmented_chain(symbols);
+        g.bench_with_input(BenchmarkId::from_parameter(symbols), &aug, |b, aug| {
+            b.iter(|| aug.translate())
+        });
+    }
+    g.finish();
+}
+
+fn multiplier_single(n: u64) -> MultiplierNfta {
+    let mut alpha = Alphabet::new();
+    let a = alpha.intern("a");
+    let mut m = MultiplierNfta::new(alpha);
+    let q = m.initial();
+    let mult = BigUint::from(n);
+    let width = required_bits(&mult).max(1);
+    m.add_transition(MulTransition {
+        src: q,
+        symbol: a,
+        multiplier: mult,
+        bit_width: width,
+        children: vec![],
+    });
+    m
+}
+
+fn bench_multiplier_translation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_multiplier_translate");
+    for n in [10u64, 1_000, 1_000_000, 1_000_000_000] {
+        let m = multiplier_single(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| m.translate())
+        });
+    }
+    g.finish();
+}
+
+fn bench_gadget_state_counts(c: &mut Criterion) {
+    // Not a timing benchmark so much as a recorded series: state counts
+    // must grow logarithmically (asserted here, reported via criterion's
+    // parameter labels).
+    let mut g = c.benchmark_group("e9_gadget_states_log_n");
+    for n in [10u64, 10_000, 10_000_000] {
+        let m = multiplier_single(n);
+        let t = m.translate();
+        let k = required_bits(&BigUint::from(n));
+        assert_eq!(t.num_states() as u64, 1 + 2 * k);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n},states={}", t.num_states())),
+            &m,
+            |b, m| b.iter(|| m.translate().num_states()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_augmented_translation,
+    bench_multiplier_translation,
+    bench_gadget_state_counts
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Experiment E7 — the `poly(|Q|, |H|, ε⁻¹)` runtime bound of Theorems
+//! 1–3, measured along each axis separately with the other two held fixed.
+//! Log–log slopes estimate the polynomial degree.
+//!
+//! ```sh
+//! cargo run --release -p pqe-bench --bin runtime_scaling
+//! ```
+
+use pqe_automata::FprasConfig;
+use pqe_bench::{ms, timed};
+use pqe_core::pqe_estimate;
+use pqe_db::generators;
+use pqe_query::shapes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn slope(points: &[(f64, f64)]) -> f64 {
+    // Least-squares slope in log–log space.
+    let n = points.len() as f64;
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x.ln(), b + y.ln()));
+    let (mx, my) = (sx / n, sy / n);
+    let (num, den): (f64, f64) = points.iter().fold((0.0, 0.0), |(num, den), &(x, y)| {
+        (
+            num + (x.ln() - mx) * (y.ln() - my),
+            den + (x.ln() - mx) * (x.ln() - mx),
+        )
+    });
+    num / den
+}
+
+fn main() {
+    println!("E7: runtime scaling of PQEEstimate along each axis\n");
+
+    // ── axis 1: |D| (fixed query length 3, fixed ε) ──────────────────────
+    println!("axis |D| (path length 3, ε = 0.25):");
+    println!("| width | |D| | time |");
+    let cfg = FprasConfig::with_epsilon(0.25).with_seed(777);
+    let mut pts = Vec::new();
+    for width in [2usize, 4, 6, 8, 10] {
+        let mut rng = StdRng::seed_from_u64(700 + width as u64);
+        let db = generators::layered_graph_connected(3, width, 0.8, &mut rng);
+        let h = generators::with_random_probs(db, 8, &mut rng);
+        let q = shapes::path_query(3);
+        let (rep, t) = timed(|| pqe_estimate(&q, &h, &cfg).unwrap());
+        println!("| {width} | {} | {} |", h.len(), ms(t));
+        pts.push((h.len() as f64, t.as_secs_f64().max(1e-4)));
+        let _ = rep;
+    }
+    println!("log–log slope ≈ {:.2} (polynomial in |D|)\n", slope(&pts));
+
+    // ── axis 2: |Q| (fixed per-relation size, fixed ε) ───────────────────
+    println!("axis |Q| (width 3 per layer, ε = 0.25):");
+    println!("| i | |D| | time |");
+    let mut pts = Vec::new();
+    for i in [2usize, 4, 8, 12, 16] {
+        let mut rng = StdRng::seed_from_u64(800 + i as u64);
+        let db = generators::layered_graph_connected(i, 3, 0.8, &mut rng);
+        let h = generators::with_random_probs(db, 8, &mut rng);
+        let q = shapes::path_query(i);
+        let (_, t) = timed(|| pqe_estimate(&q, &h, &cfg).unwrap());
+        println!("| {i} | {} | {} |", h.len(), ms(t));
+        pts.push((i as f64, t.as_secs_f64().max(1e-4)));
+    }
+    println!(
+        "log–log slope ≈ {:.2} (polynomial in |Q| — the paper's headline;\n  compare the Θ(|D|^i) lineage of E4/E5)\n",
+        slope(&pts)
+    );
+
+    // ── axis 3: ε⁻¹ (fixed instance) ─────────────────────────────────────
+    println!("axis 1/ε (path length 3, width 3):");
+    println!("| ε | time |");
+    let mut rng = StdRng::seed_from_u64(900);
+    let db = generators::layered_graph_connected(3, 3, 0.8, &mut rng);
+    let h = generators::with_random_probs(db, 8, &mut rng);
+    let q = shapes::path_query(3);
+    let mut pts = Vec::new();
+    for eps in [0.4, 0.2, 0.1, 0.05] {
+        let cfg = FprasConfig::with_epsilon(eps).with_seed(901);
+        let (_, t) = timed(|| pqe_estimate(&q, &h, &cfg).unwrap());
+        println!("| {eps} | {} |", ms(t));
+        pts.push((1.0 / eps, t.as_secs_f64().max(1e-4)));
+    }
+    println!("log–log slope ≈ {:.2} (polynomial in ε⁻¹)", slope(&pts));
+}

@@ -1,0 +1,144 @@
+//! Shared workload builders and measurement helpers for the experiment
+//! harnesses (see `DESIGN.md` §3 for the experiment index and
+//! `EXPERIMENTS.md` for recorded results).
+
+use pqe_arith::{BigFloat, Rational};
+use pqe_db::{generators, Database, ProbDatabase};
+use pqe_query::{shapes, ConjunctiveQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// A deterministic workload: query + probabilistic database.
+pub struct Workload {
+    /// Human-readable label for table rows.
+    pub label: String,
+    /// The query.
+    pub query: ConjunctiveQuery,
+    /// The instance.
+    pub h: ProbDatabase,
+}
+
+/// Path-query workload on a layered graph with at least one full path.
+pub fn path_workload(len: usize, width: usize, density: f64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = generators::layered_graph_connected(len, width, density, &mut rng);
+    let h = generators::with_random_probs(db, 8, &mut rng);
+    Workload {
+        label: format!("path(len={len},width={width},|D|={})", h.len()),
+        query: shapes::path_query(len),
+        h,
+    }
+}
+
+/// Path-query workload at uniform probability 1/2 (uniform reliability).
+pub fn path_ur_workload(
+    len: usize,
+    width: usize,
+    density: f64,
+    seed: u64,
+) -> (ConjunctiveQuery, Database) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = generators::layered_graph_connected(len, width, density, &mut rng);
+    (shapes::path_query(len), db)
+}
+
+/// Safe star-query workload.
+pub fn star_workload(arms: usize, centers: usize, fanout: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = generators::star_data(arms, centers, fanout, 0.9, &mut rng);
+    let h = generators::with_random_probs(db, 8, &mut rng);
+    Workload {
+        label: format!("star(arms={arms},|D|={})", h.len()),
+        query: shapes::star_query(arms),
+        h,
+    }
+}
+
+/// Uniform-1/2 variant of a database (for UR experiments).
+pub fn at_half(db: Database) -> ProbDatabase {
+    generators::with_uniform_probs(db, Rational::from_ratio(1, 2))
+}
+
+/// Times a closure, returning `(result, wall time)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed())
+}
+
+/// Per-method time budget for blow-up experiments: once a method overruns
+/// at some size, larger sizes are skipped (exact methods are *expected* to
+/// die — that is the result).
+pub struct Budget {
+    limit: Duration,
+    exhausted: bool,
+}
+
+impl Budget {
+    /// A budget of `limit` per invocation.
+    pub fn new(limit: Duration) -> Self {
+        Budget {
+            limit,
+            exhausted: false,
+        }
+    }
+
+    /// Runs `f` if the budget is not exhausted; marks it exhausted when the
+    /// call overruns. Returns `None` when skipped.
+    pub fn run<T>(&mut self, f: impl FnOnce() -> T) -> Option<(T, Duration)> {
+        if self.exhausted {
+            return None;
+        }
+        let (v, took) = timed(f);
+        if took > self.limit {
+            self.exhausted = true;
+        }
+        Some((v, took))
+    }
+
+    /// Whether the budget has been exhausted by an overrun.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+}
+
+/// Relative error of an estimate against an exact rational (`inf` when the
+/// reference is zero and the estimate is not).
+pub fn rel_error(est: &BigFloat, exact: &Rational) -> f64 {
+    est.relative_error_to(&BigFloat::from_rational(exact))
+}
+
+/// Formats a duration as compact milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.1}ms", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = path_workload(3, 2, 0.5, 9);
+        let b = path_workload(3, 2, 0.5, 9);
+        assert_eq!(a.h.len(), b.h.len());
+        assert_eq!(a.label, b.label);
+    }
+
+    #[test]
+    fn budget_skips_after_overrun() {
+        let mut b = Budget::new(Duration::from_millis(1));
+        let r = b.run(|| std::thread::sleep(Duration::from_millis(5)));
+        assert!(r.is_some());
+        assert!(b.exhausted());
+        assert!(b.run(|| 42).is_none());
+    }
+
+    #[test]
+    fn rel_error_basics() {
+        let est = BigFloat::from_f64(0.55);
+        let exact = Rational::from_ratio(1, 2);
+        assert!((rel_error(&est, &exact) - 0.1).abs() < 1e-9);
+    }
+}

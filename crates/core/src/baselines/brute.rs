@@ -1,0 +1,89 @@
+//! Exact brute force over all `2^{|D|}` possible worlds.
+//!
+//! The ground-truth oracle for every randomized component in the workspace.
+//! Guarded by [`pqe_db::worlds::MAX_ENUM_FACTS`].
+
+use pqe_arith::{BigUint, Rational};
+use pqe_db::{worlds, Database, ProbDatabase};
+use pqe_engine::eval_boolean;
+use pqe_query::ConjunctiveQuery;
+
+/// Exact `Pr_H(Q)` by summing the probability of every satisfying world.
+///
+/// Panics if `|D|` exceeds [`worlds::MAX_ENUM_FACTS`].
+pub fn brute_force_pqe(q: &ConjunctiveQuery, h: &ProbDatabase) -> Rational {
+    let db = h.database();
+    let mut total = Rational::zero();
+    for world in worlds::enumerate(db.len()) {
+        let sub = db.subinstance(&world);
+        if eval_boolean(q, &sub) {
+            total = &total + &h.world_prob(&world);
+        }
+    }
+    total
+}
+
+/// Exact `UR(Q, D)`: the number of subinstances satisfying `Q`.
+///
+/// Panics if `|D|` exceeds [`worlds::MAX_ENUM_FACTS`].
+pub fn brute_force_ur(q: &ConjunctiveQuery, db: &Database) -> BigUint {
+    let mut count = BigUint::zero();
+    for world in worlds::enumerate(db.len()) {
+        let sub = db.subinstance(&world);
+        if eval_boolean(q, &sub) {
+            count += BigUint::one();
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqe_db::Schema;
+    use pqe_query::{parse, shapes};
+
+    fn single_fact_db() -> Database {
+        let mut db = Database::new(Schema::new([("R", 2)]));
+        db.add_fact("R", &["a", "b"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn single_fact_probability() {
+        let h = ProbDatabase::uniform(single_fact_db(), Rational::from_ratio(2, 7));
+        let q = parse("R(x,y)").unwrap();
+        assert_eq!(brute_force_pqe(&q, &h).to_string(), "2/7");
+    }
+
+    #[test]
+    fn ur_equals_pqe_times_power_at_half() {
+        let mut db = Database::new(Schema::new([("R1", 2), ("R2", 2)]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        db.add_fact("R2", &["b", "c"]).unwrap();
+        db.add_fact("R2", &["b", "d"]).unwrap();
+        let q = shapes::path_query(2);
+        let ur = brute_force_ur(&q, &db);
+        let h = ProbDatabase::uniform(db, Rational::from_ratio(1, 2));
+        let pr = brute_force_pqe(&q, &h);
+        // UR = 2^|D| · Pr at π ≡ 1/2 (paper §2).
+        let expected = &pr * &Rational::from(BigUint::from(8u32));
+        assert_eq!(Rational::from(ur), expected);
+    }
+
+    #[test]
+    fn tautology_and_contradiction() {
+        let h = ProbDatabase::uniform(single_fact_db(), Rational::from_ratio(1, 3));
+        let empty = parse("R(x,y)").unwrap().restrict_atoms(&[]);
+        assert!(brute_force_pqe(&empty, &h).is_one());
+        let impossible = parse("Missing(x)").unwrap();
+        assert!(brute_force_pqe(&impossible, &h).is_zero());
+    }
+
+    #[test]
+    fn certain_facts_drive_probability_to_one() {
+        let h = ProbDatabase::uniform(single_fact_db(), Rational::one());
+        let q = parse("R(x,y)").unwrap();
+        assert!(brute_force_pqe(&q, &h).is_one());
+    }
+}

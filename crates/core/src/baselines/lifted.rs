@@ -1,0 +1,288 @@
+//! Exact lifted inference (the Dalvi–Suciu "safe plan") for hierarchical
+//! self-join-free queries — the `FP` entry of Table 1, rows 1 and 3.
+//!
+//! For a *hierarchical* SJF query, `Pr_H(Q)` factorizes recursively:
+//!
+//! * **independent join** — connected components of the query share no
+//!   variables, hence (by self-join-freeness) no facts:
+//!   `Pr(Q₁ ∧ Q₂) = Pr(Q₁) · Pr(Q₂)`;
+//! * **independent project** — a root variable `x` occurring in every atom
+//!   partitions the witnesses by the value of `x`:
+//!   `Pr(∃x Q) = 1 − ∏_c (1 − Pr(Q[x:=c]))`;
+//! * **ground atoms / single atoms** read probabilities off `π` directly.
+//!
+//! Non-hierarchical queries have no root variable in some component and
+//! the recursion reports [`LiftedError::Unsafe`] — exactly the queries
+//! that are #P-hard in data complexity (Dalvi–Suciu dichotomy), where only
+//! the FPRAS applies.
+
+use pqe_arith::Rational;
+use pqe_db::{Const, ProbDatabase};
+use pqe_query::{analysis, ConjunctiveQuery, Term};
+use std::collections::BTreeSet;
+
+/// Failure of the safe-plan recursion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftedError {
+    /// The query (or some sub-query reached by substitution) has a
+    /// connected component with no root variable: not hierarchical, hence
+    /// unsafe.
+    Unsafe {
+        /// The offending sub-query, rendered.
+        subquery: String,
+    },
+    /// The query repeats a relation symbol; lifted inference here requires
+    /// self-join-freeness for the independence arguments.
+    NotSelfJoinFree,
+}
+
+impl std::fmt::Display for LiftedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiftedError::Unsafe { subquery } => {
+                write!(f, "query is unsafe (no root variable in component {subquery:?})")
+            }
+            LiftedError::NotSelfJoinFree => write!(f, "query contains self-joins"),
+        }
+    }
+}
+
+impl std::error::Error for LiftedError {}
+
+/// Exact `Pr_H(Q)` for hierarchical (safe) self-join-free queries, in
+/// polynomial combined complexity.
+pub fn lifted_pqe(q: &ConjunctiveQuery, h: &ProbDatabase) -> Result<Rational, LiftedError> {
+    if !q.is_self_join_free() {
+        return Err(LiftedError::NotSelfJoinFree);
+    }
+    eval(q, h)
+}
+
+fn eval(q: &ConjunctiveQuery, h: &ProbDatabase) -> Result<Rational, LiftedError> {
+    if q.is_empty() {
+        return Ok(Rational::one());
+    }
+    // Independent join over connected components.
+    let comps = analysis::connected_components(q);
+    if comps.len() > 1 {
+        let mut acc = Rational::one();
+        for comp in comps {
+            let sub = q.restrict_atoms(&comp);
+            acc = &acc * &eval(&sub, h)?;
+            if acc.is_zero() {
+                return Ok(acc);
+            }
+        }
+        return Ok(acc);
+    }
+
+    // Single connected component.
+    if q.len() == 1 {
+        return Ok(single_atom_prob(q, h));
+    }
+
+    // Independent project on a root variable.
+    let roots = analysis::root_variables(q);
+    let Some(&x) = roots.first() else {
+        return Err(LiftedError::Unsafe {
+            subquery: q.to_string(),
+        });
+    };
+    // Candidate values: constants appearing in some column of x in the
+    // first atom's relation (values outside cannot satisfy that atom, so
+    // they contribute a factor of 1).
+    let domain = column_values(q, h, x);
+    let mut product = Rational::one();
+    for c in domain {
+        let name = h.database().consts().name(c).to_owned();
+        let sub = q.substitute(x, &name);
+        let p = eval(&sub, h)?;
+        product = &product * &p.complement();
+        if product.is_zero() {
+            break;
+        }
+    }
+    Ok(product.complement())
+}
+
+/// `Pr(∃ x̄. R(pattern))`: at least one matching fact present.
+fn single_atom_prob(q: &ConjunctiveQuery, h: &ProbDatabase) -> Rational {
+    let atom = &q.atoms()[0];
+    let db = h.database();
+    let Some(rel) = db.schema().relation(&atom.relation) else {
+        return Rational::zero();
+    };
+    let mut none_present = Rational::one();
+    'facts: for &f in db.facts_of(rel) {
+        let fact = db.fact(f);
+        // Match constants and repeated variables within the atom.
+        let mut bound: Vec<Option<Const>> = vec![None; q.num_vars()];
+        for (term, &val) in atom.terms.iter().zip(fact.args.iter()) {
+            match term {
+                Term::Const(name) => {
+                    if db.consts().get(name) != Some(val) {
+                        continue 'facts;
+                    }
+                }
+                Term::Var(v) => match bound[v.index()] {
+                    Some(prev) if prev != val => continue 'facts,
+                    _ => bound[v.index()] = Some(val),
+                },
+            }
+        }
+        none_present = &none_present * &h.prob(f).complement();
+    }
+    none_present.complement()
+}
+
+/// Values appearing in `x`'s positions across all atoms (intersection over
+/// atoms for efficiency — any value missing from some atom's column yields
+/// probability 0 for that branch anyway).
+fn column_values(
+    q: &ConjunctiveQuery,
+    h: &ProbDatabase,
+    x: pqe_query::Var,
+) -> BTreeSet<Const> {
+    let db = h.database();
+    let mut result: Option<BTreeSet<Const>> = None;
+    for atom in q.atoms() {
+        let positions: Vec<usize> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| (t.as_var() == Some(x)).then_some(i))
+            .collect();
+        if positions.is_empty() {
+            continue;
+        }
+        let mut vals = BTreeSet::new();
+        if let Some(rel) = db.schema().relation(&atom.relation) {
+            for &f in db.facts_of(rel) {
+                for &p in &positions {
+                    vals.insert(db.fact(f).args[p]);
+                }
+            }
+        }
+        result = Some(match result {
+            None => vals,
+            Some(prev) => prev.intersection(&vals).copied().collect(),
+        });
+    }
+    result.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::brute_force_pqe;
+    use pqe_db::{generators, Database, Schema};
+    use pqe_query::{parse, shapes};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_atom_matches_brute_force() {
+        let mut db = Database::new(Schema::new([("R", 2)]));
+        db.add_fact("R", &["a", "b"]).unwrap();
+        db.add_fact("R", &["c", "d"]).unwrap();
+        let h = ProbDatabase::with_probs(
+            db,
+            vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 3)],
+        )
+        .unwrap();
+        let q = parse("R(x,y)").unwrap();
+        assert_eq!(lifted_pqe(&q, &h).unwrap(), brute_force_pqe(&q, &h));
+        // 1 − 1/2·2/3 = 2/3.
+        assert_eq!(lifted_pqe(&q, &h).unwrap().to_string(), "2/3");
+    }
+
+    #[test]
+    fn star_queries_match_brute_force() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for arms in 1..=3usize {
+            let db = generators::star_data(arms, 2, 2, 0.9, &mut rng);
+            if db.len() > 14 {
+                continue;
+            }
+            let h = generators::with_random_probs(db, 6, &mut rng);
+            let q = shapes::star_query(arms);
+            assert_eq!(
+                lifted_pqe(&q, &h).unwrap(),
+                brute_force_pqe(&q, &h),
+                "arms = {arms}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_path_is_safe_and_matches() {
+        // R(x,y),S(y,z) is hierarchical: y is a root variable.
+        let mut rng = StdRng::seed_from_u64(10);
+        let db = generators::layered_graph(2, 2, 0.9, &mut rng);
+        let h = generators::with_random_probs(db, 5, &mut rng);
+        let q = shapes::path_query(2);
+        assert_eq!(lifted_pqe(&q, &h).unwrap(), brute_force_pqe(&q, &h));
+    }
+
+    #[test]
+    fn three_path_is_unsafe() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let db = generators::layered_graph(3, 2, 1.0, &mut rng);
+        let h = ProbDatabase::uniform(db, Rational::from_ratio(1, 2));
+        let q = shapes::path_query(3);
+        assert!(matches!(
+            lifted_pqe(&q, &h),
+            Err(LiftedError::Unsafe { .. })
+        ));
+    }
+
+    #[test]
+    fn h0_is_unsafe() {
+        let mut db = Database::new(Schema::new([("R", 1), ("S", 2), ("T", 1)]));
+        db.add_fact("R", &["a"]).unwrap();
+        db.add_fact("S", &["a", "b"]).unwrap();
+        db.add_fact("T", &["b"]).unwrap();
+        let h = ProbDatabase::uniform(db, Rational::from_ratio(1, 2));
+        assert!(matches!(
+            lifted_pqe(&shapes::h0_query(), &h),
+            Err(LiftedError::Unsafe { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_queries_multiply() {
+        let mut db = Database::new(Schema::new([("R", 1), ("S", 1)]));
+        db.add_fact("R", &["a"]).unwrap();
+        db.add_fact("S", &["b"]).unwrap();
+        let h = ProbDatabase::with_probs(
+            db,
+            vec![Rational::from_ratio(1, 2), Rational::from_ratio(1, 3)],
+        )
+        .unwrap();
+        let q = parse("R(x), S(y)").unwrap();
+        assert_eq!(lifted_pqe(&q, &h).unwrap().to_string(), "1/6");
+    }
+
+    #[test]
+    fn self_join_rejected() {
+        let db = Database::new(Schema::new([("R", 2)]));
+        let h = ProbDatabase::uniform(db, Rational::from_ratio(1, 2));
+        assert_eq!(
+            lifted_pqe(&shapes::self_join_path(2), &h),
+            Err(LiftedError::NotSelfJoinFree)
+        );
+    }
+
+    #[test]
+    fn scales_beyond_brute_force_reach() {
+        // 3 relations × 60 facts: 2^180 worlds, trivial for lifted inference.
+        let mut rng = StdRng::seed_from_u64(12);
+        let db = generators::star_data(3, 10, 6, 0.8, &mut rng);
+        assert!(db.len() > 100);
+        let h = generators::with_random_probs(db, 10, &mut rng);
+        let q = shapes::star_query(3);
+        let p = lifted_pqe(&q, &h).unwrap();
+        assert!(p.is_probability());
+        assert!(!p.is_zero());
+    }
+}

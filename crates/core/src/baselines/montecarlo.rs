@@ -1,0 +1,83 @@
+//! Naive Monte-Carlo estimation: sample worlds, report the satisfying
+//! fraction.
+//!
+//! Polynomial per sample and trivially parallel, but the guarantee is only
+//! *additive*: `|estimate − Pr(Q)| ≤ ε` needs `O(ε⁻²)` samples regardless
+//! of `Pr(Q)`, so relative accuracy on small probabilities requires
+//! `Ω(Pr(Q)⁻¹)` samples. The experiment suite uses it to show why the
+//! multiplicative `(1±ε)` guarantee of the FPRAS matters.
+
+use pqe_db::{worlds, ProbDatabase};
+use pqe_engine::eval_boolean;
+use pqe_query::ConjunctiveQuery;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Estimates `Pr_H(Q)` as the fraction of `samples` sampled worlds
+/// satisfying `Q`. Deterministic given `seed`.
+pub fn naive_monte_carlo_pqe(
+    q: &ConjunctiveQuery,
+    h: &ProbDatabase,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    assert!(samples > 0);
+    let db = h.database();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    for _ in 0..samples {
+        let world = worlds::sample_world(h, &mut rng);
+        if eval_boolean(q, &db.subinstance(&world)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::brute_force_pqe;
+    use pqe_arith::Rational;
+    use pqe_db::generators;
+    use pqe_query::shapes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn additive_accuracy_on_moderate_probability() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let db = generators::layered_graph_connected(2, 2, 0.7, &mut rng);
+        let h = generators::with_random_probs(db, 4, &mut rng);
+        let q = shapes::path_query(2);
+        let exact = brute_force_pqe(&q, &h).to_f64();
+        let est = naive_monte_carlo_pqe(&q, &h, 20_000, 3);
+        assert!((est - exact).abs() < 0.02, "exact {exact}, est {est}");
+    }
+
+    #[test]
+    fn small_probabilities_round_to_zero() {
+        // Pr ≈ (1/100)^4: naive MC with few samples sees nothing — the
+        // failure mode that motivates relative guarantees.
+        let mut rng = StdRng::seed_from_u64(52);
+        let db = generators::layered_graph_connected(4, 1, 1.0, &mut rng);
+        let h = generators::with_uniform_probs(db, Rational::from_ratio(1, 100));
+        let q = shapes::path_query(4);
+        let exact = brute_force_pqe(&q, &h).to_f64();
+        assert!(exact > 0.0 && exact < 1e-7);
+        let est = naive_monte_carlo_pqe(&q, &h, 2_000, 4);
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let db = generators::layered_graph(2, 2, 0.8, &mut rng);
+        let h = generators::with_uniform_probs(db, Rational::from_ratio(1, 2));
+        let q = shapes::path_query(2);
+        assert_eq!(
+            naive_monte_carlo_pqe(&q, &h, 500, 9),
+            naive_monte_carlo_pqe(&q, &h, 500, 9)
+        );
+    }
+}

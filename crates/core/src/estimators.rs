@@ -1,0 +1,386 @@
+//! The three estimators of the paper: `PathEstimate` (Thm 2),
+//! `UREstimate` (Thm 3), and `PQEEstimate` (Thm 1).
+
+use crate::reductions::{
+    build_path_nfa, build_path_pqe_nfa, build_pqe_automaton, build_ur_automaton, ReductionError,
+};
+use pqe_arith::{BigFloat, BigUint};
+use pqe_automata::{count_nfa, count_nfta, FprasConfig};
+use pqe_db::{Database, ProbDatabase};
+use pqe_query::ConjunctiveQuery;
+use std::time::Instant;
+
+/// Why an estimate could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The reduction could not be built (self-joins, not a path query, …).
+    Reduction(ReductionError),
+}
+
+impl From<ReductionError> for EstimateError {
+    fn from(e: ReductionError) -> Self {
+        EstimateError::Reduction(e)
+    }
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::Reduction(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// Result of `PQEEstimate` (Theorem 1).
+#[derive(Debug, Clone)]
+pub struct PqeReport {
+    /// The `(1±ε)` estimate of `Pr_H(Q)`.
+    pub probability: BigFloat,
+    /// Tree size `k` counted.
+    pub target_size: usize,
+    /// The denominator `d = ∏ d_f`.
+    pub denominator: BigUint,
+    /// States / transition-encoding size of the final NFTA.
+    pub automaton_states: usize,
+    /// Encoding size of the final NFTA.
+    pub automaton_size: usize,
+    /// Wall-clock construction + counting time.
+    pub elapsed: std::time::Duration,
+}
+
+/// `PQEEstimate(Q, H)` — Theorem 1: a `(1±ε)` approximation of `Pr_H(Q)`
+/// for self-join-free bounded-hypertree-width conjunctive queries, in time
+/// `poly(|Q|, |H|, ε⁻¹)`.
+///
+/// The empty query is certain (`Pr = 1`); a query over relations with no
+/// facts gets probability 0 — both handled by the construction itself.
+pub fn pqe_estimate(
+    q: &ConjunctiveQuery,
+    h: &ProbDatabase,
+    cfg: &FprasConfig,
+) -> Result<PqeReport, EstimateError> {
+    let start = Instant::now();
+    if q.is_empty() {
+        return Ok(PqeReport {
+            probability: BigFloat::one(),
+            target_size: 0,
+            denominator: BigUint::one(),
+            automaton_states: 0,
+            automaton_size: 0,
+            elapsed: start.elapsed(),
+        });
+    }
+    let pqe = build_pqe_automaton(q, h)?;
+    let trees = count_nfta(&pqe.nfta, pqe.target_size, cfg);
+    let probability = trees / BigFloat::from_biguint(&pqe.denominator);
+    Ok(PqeReport {
+        probability,
+        target_size: pqe.target_size,
+        denominator: pqe.denominator,
+        automaton_states: pqe.nfta.num_states(),
+        automaton_size: pqe.nfta.size(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Result of `UREstimate` (Theorem 3).
+#[derive(Debug, Clone)]
+pub struct UrReport {
+    /// The `(1±ε)` estimate of `UR(Q, D)` (a count, so reported as a wide
+    /// float; round with [`BigFloat::to_biguint_round`]).
+    pub reliability: BigFloat,
+    /// Tree size counted (`|D'| + c`).
+    pub target_size: usize,
+    /// Free facts outside `Q`'s relations (already folded into
+    /// `reliability` as `2^dropped`).
+    pub dropped_facts: usize,
+    /// States of the translated NFTA.
+    pub automaton_states: usize,
+    /// Encoding size of the translated NFTA.
+    pub automaton_size: usize,
+    /// Wall-clock time.
+    pub elapsed: std::time::Duration,
+}
+
+/// `UREstimate(Q, D)` — Theorem 3: a `(1±ε)` approximation of the uniform
+/// reliability `UR(Q, D)` (the number of satisfying subinstances).
+pub fn ur_estimate(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    cfg: &FprasConfig,
+) -> Result<UrReport, EstimateError> {
+    let start = Instant::now();
+    if q.is_empty() {
+        return Ok(UrReport {
+            reliability: BigFloat::one().scale_exp(db.len() as i64),
+            target_size: 0,
+            dropped_facts: db.len(),
+            automaton_states: 0,
+            automaton_size: 0,
+            elapsed: start.elapsed(),
+        });
+    }
+    let ur = build_ur_automaton(q, db)?;
+    let (nfta, _) = ur.aug.translate();
+    let trees = count_nfta(&nfta, ur.target_size, cfg);
+    let reliability = trees.scale_exp(ur.dropped_facts as i64);
+    Ok(UrReport {
+        reliability,
+        target_size: ur.target_size,
+        dropped_facts: ur.dropped_facts,
+        automaton_states: nfta.num_states(),
+        automaton_size: nfta.size(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Result of `PathEstimate` (Theorem 2).
+#[derive(Debug, Clone)]
+pub struct PathUrReport {
+    /// The `(1±ε)` estimate of `UR(Q, D)`.
+    pub reliability: BigFloat,
+    /// String length counted (`|D'|`).
+    pub target_len: usize,
+    /// NFA states.
+    pub automaton_states: usize,
+    /// NFA transition count.
+    pub automaton_size: usize,
+    /// Wall-clock time.
+    pub elapsed: std::time::Duration,
+}
+
+/// `PathEstimate(Q, D)` — Theorem 2 (the §3 warm-up): a `(1±ε)`
+/// approximation of `UR(Q, D)` for self-join-free *path* queries, via the
+/// string-automaton reduction and CountNFA.
+pub fn path_ur_estimate(
+    q: &ConjunctiveQuery,
+    db: &Database,
+    cfg: &FprasConfig,
+) -> Result<PathUrReport, EstimateError> {
+    let start = Instant::now();
+    let p = build_path_nfa(q, db)?;
+    let strings = count_nfa(&p.nfa, p.target_len, cfg);
+    let reliability = strings.scale_exp(p.dropped_facts as i64);
+    Ok(PathUrReport {
+        reliability,
+        target_len: p.target_len,
+        automaton_states: p.nfa.num_states(),
+        automaton_size: p.nfa.size(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// `PathPQEEstimate(Q, H)` — the weighted extension of Theorem 2 (see
+/// `reductions::path_pqe`): a `(1±ε)` approximation of `Pr_H(Q)` for
+/// self-join-free *path* queries, entirely via string automata.
+pub fn path_pqe_estimate(
+    q: &ConjunctiveQuery,
+    h: &ProbDatabase,
+    cfg: &FprasConfig,
+) -> Result<PqeReport, EstimateError> {
+    let start = Instant::now();
+    let p = build_path_pqe_nfa(q, h)?;
+    let strings = count_nfa(&p.nfa, p.target_len, cfg);
+    let probability = strings / BigFloat::from_biguint(&p.denominator);
+    Ok(PqeReport {
+        probability,
+        target_size: p.target_len,
+        denominator: p.denominator,
+        automaton_states: p.nfa.num_states(),
+        automaton_size: p.nfa.size(),
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Sensitivity of the query probability to one fact: estimates the
+/// *influence* `∂Pr_H(Q)/∂π(f) = Pr(Q | f present) − Pr(Q | f absent)`
+/// (by multilinearity of `Pr_H(Q)` in the fact probabilities) with two
+/// FPRAS runs on modified instances.
+///
+/// Both terms carry `(1±ε)` *relative* error, so the difference carries
+/// **additive** error up to `ε·(Pr(Q|f=1) + Pr(Q|f=0))`; choose ε
+/// accordingly. Influence ranks facts by how much cleaning/verifying them
+/// would change the query answer — the sensitivity analysis use-case of
+/// probabilistic databases.
+pub fn fact_influence(
+    q: &ConjunctiveQuery,
+    h: &ProbDatabase,
+    fact: pqe_db::FactId,
+    cfg: &FprasConfig,
+) -> Result<f64, EstimateError> {
+    let mut with = h.clone();
+    with.set_prob(fact, pqe_arith::Rational::one());
+    let mut without = h.clone();
+    without.set_prob(fact, pqe_arith::Rational::zero());
+    let p1 = pqe_estimate(q, &with, cfg)?.probability;
+    let p0 = pqe_estimate(q, &without, cfg)?.probability;
+    Ok(p1.to_f64() - p0.to_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{brute_force_pqe, brute_force_ur};
+    use pqe_arith::Rational;
+    use pqe_db::generators;
+    use pqe_query::shapes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> FprasConfig {
+        FprasConfig::with_epsilon(0.15).with_seed(1234)
+    }
+
+    fn assert_rel_close(est: &BigFloat, exact: &BigFloat, tol: f64, ctx: &str) {
+        if exact.is_zero() {
+            assert!(est.is_zero(), "{ctx}: expected 0, got {est}");
+            return;
+        }
+        let rel = est.relative_error_to(exact);
+        assert!(rel <= tol, "{ctx}: exact {exact}, est {est}, rel {rel}");
+    }
+
+    #[test]
+    fn pqe_estimate_matches_brute_force_on_unsafe_path() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let db = generators::layered_graph_connected(3, 2, 0.5, &mut rng);
+        let h = generators::with_random_probs(db, 4, &mut rng);
+        let q = shapes::path_query(3);
+        let exact = BigFloat::from_rational(&brute_force_pqe(&q, &h));
+        let report = pqe_estimate(&q, &h, &cfg()).unwrap();
+        assert_rel_close(&report.probability, &exact, 0.15, "3-path");
+    }
+
+    #[test]
+    fn pqe_estimate_matches_brute_force_on_h0() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut db = pqe_db::Database::new(pqe_db::Schema::new([("R", 1), ("S", 2), ("T", 1)]));
+        db.add_fact("R", &["a"]).unwrap();
+        db.add_fact("R", &["b"]).unwrap();
+        db.add_fact("S", &["a", "u"]).unwrap();
+        db.add_fact("S", &["b", "v"]).unwrap();
+        db.add_fact("S", &["b", "u"]).unwrap();
+        db.add_fact("T", &["u"]).unwrap();
+        db.add_fact("T", &["v"]).unwrap();
+        let h = generators::with_random_probs(db, 6, &mut rng);
+        let q = shapes::h0_query();
+        let exact = BigFloat::from_rational(&brute_force_pqe(&q, &h));
+        let report = pqe_estimate(&q, &h, &cfg()).unwrap();
+        assert_rel_close(&report.probability, &exact, 0.15, "h0");
+    }
+
+    #[test]
+    fn ur_estimate_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let db = generators::layered_graph_connected(3, 2, 0.5, &mut rng);
+        let q = shapes::path_query(3);
+        let exact = BigFloat::from_biguint(&brute_force_ur(&q, &db));
+        let report = ur_estimate(&q, &db, &cfg()).unwrap();
+        assert_rel_close(&report.reliability, &exact, 0.15, "ur 3-path");
+    }
+
+    #[test]
+    fn path_estimate_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let db = generators::layered_graph_connected(4, 2, 0.4, &mut rng);
+        let q = shapes::path_query(4);
+        let exact = BigFloat::from_biguint(&brute_force_ur(&q, &db));
+        let report = path_ur_estimate(&q, &db, &cfg()).unwrap();
+        assert_rel_close(&report.reliability, &exact, 0.15, "path nfa");
+    }
+
+    #[test]
+    fn nfa_and_nfta_routes_agree_on_paths() {
+        let mut rng = StdRng::seed_from_u64(65);
+        let db = generators::layered_graph_connected(3, 3, 0.5, &mut rng);
+        let q = shapes::path_query(3);
+        let via_nfa = path_ur_estimate(&q, &db, &cfg()).unwrap().reliability;
+        let via_nfta = ur_estimate(&q, &db, &cfg()).unwrap().reliability;
+        assert_rel_close(&via_nfa, &via_nfta, 0.3, "route agreement");
+    }
+
+    #[test]
+    fn ur_pqe_half_relation() {
+        // UR(Q,D) = 2^{|D|} · Pr_{π≡1/2}(Q): E10.
+        let mut rng = StdRng::seed_from_u64(66);
+        let db = generators::layered_graph_connected(2, 2, 0.6, &mut rng);
+        let q = shapes::path_query(2);
+        let n = db.len();
+        let ur = ur_estimate(&q, &db, &cfg()).unwrap().reliability;
+        let h = generators::with_uniform_probs(db, Rational::from_ratio(1, 2));
+        let pr = pqe_estimate(&q, &h, &cfg()).unwrap().probability;
+        let scaled = pr.scale_exp(n as i64);
+        assert_rel_close(&ur, &scaled, 0.3, "ur/pqe relation");
+    }
+
+    #[test]
+    fn empty_query_is_certain() {
+        let db = pqe_db::Database::new(pqe_db::Schema::new([("R", 1)]));
+        let h = ProbDatabase::uniform(db.clone(), Rational::from_ratio(1, 2));
+        let q = shapes::path_query(1).restrict_atoms(&[]);
+        let report = pqe_estimate(&q, &h, &cfg()).unwrap();
+        assert_eq!(report.probability.to_f64(), 1.0);
+        let ur = ur_estimate(&q, &db, &cfg()).unwrap();
+        assert_eq!(ur.reliability.to_f64(), 1.0); // 2^0 (empty db)
+    }
+
+    #[test]
+    fn cyclic_width2_query_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(67);
+        let mut db = pqe_db::Database::new(pqe_db::Schema::new([
+            ("R1", 2),
+            ("R2", 2),
+            ("R3", 2),
+        ]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        db.add_fact("R1", &["a", "c"]).unwrap();
+        db.add_fact("R2", &["b", "c"]).unwrap();
+        db.add_fact("R2", &["c", "d"]).unwrap();
+        db.add_fact("R3", &["c", "a"]).unwrap();
+        db.add_fact("R3", &["d", "a"]).unwrap();
+        let h = generators::with_random_probs(db, 5, &mut rng);
+        let q = shapes::cycle_query(3);
+        let exact = BigFloat::from_rational(&brute_force_pqe(&q, &h));
+        let report = pqe_estimate(&q, &h, &cfg()).unwrap();
+        assert_rel_close(&report.probability, &exact, 0.15, "cycle");
+    }
+
+    #[test]
+    fn path_pqe_estimate_matches_brute_force() {
+        let mut rng = StdRng::seed_from_u64(68);
+        let db = generators::layered_graph_connected(3, 2, 0.6, &mut rng);
+        let h = generators::with_random_probs(db, 4, &mut rng);
+        let q = shapes::path_query(3);
+        let exact = BigFloat::from_rational(&brute_force_pqe(&q, &h));
+        let report = path_pqe_estimate(&q, &h, &cfg()).unwrap();
+        assert_rel_close(&report.probability, &exact, 0.15, "path pqe nfa");
+    }
+
+    #[test]
+    fn fact_influence_matches_exact_difference() {
+        let mut rng = StdRng::seed_from_u64(69);
+        let db = generators::layered_graph_connected(2, 2, 0.7, &mut rng);
+        let h = generators::with_random_probs(db, 5, &mut rng);
+        let q = shapes::path_query(2);
+        let f = pqe_db::FactId(0);
+        let est = fact_influence(&q, &h, f, &cfg()).unwrap();
+        let mut with = h.clone();
+        with.set_prob(f, Rational::one());
+        let mut without = h.clone();
+        without.set_prob(f, Rational::zero());
+        let exact = brute_force_pqe(&q, &with).to_f64() - brute_force_pqe(&q, &without).to_f64();
+        assert!((est - exact).abs() <= 0.1, "est {est}, exact {exact}");
+        // Influence of a fact is non-negative for monotone queries.
+        assert!(est >= -0.05);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let db = pqe_db::Database::new(pqe_db::Schema::new([("R", 2)]));
+        let h = ProbDatabase::uniform(db.clone(), Rational::from_ratio(1, 2));
+        assert!(pqe_estimate(&shapes::self_join_path(2), &h, &cfg()).is_err());
+        assert!(path_ur_estimate(&shapes::star_query(2), &db, &cfg()).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! §3 warm-up: the NFA construction for self-join-free path queries.
+//!
+//! Given a path query `Q = R₁(x₁,x₂), …, R_n(x_n,x_{n+1})` and a database
+//! `D` (projected onto `Q`'s relations), the construction builds an NFA
+//! `M` whose accepted strings of length `|D|` correspond one-to-one to the
+//! subinstances `D' ⊆ D` with `D' ⊨ Q`:
+//!
+//! * a state `[i, j, w]` means "processing atom `i`, about to emit the
+//!   presence/absence of the `j`-th `R_i`-fact, with the `w`-th `R_i`-fact
+//!   chosen as witness";
+//! * the witness fact is emitted positively (it must be present), every
+//!   other fact of the relation positively or negatively (free choice);
+//! * crossing from atom `i` to `i+1` non-deterministically picks the next
+//!   witness among the `R_{i+1}`-facts joining the current witness.
+//!
+//! The fixed emission order (atoms in query order `R₁ ≺ ⋯ ≺ R_n`, facts in
+//! `≺_i` order within each relation) ensures each subinstance is encoded by
+//! exactly one string; ambiguity (several witness paths for one
+//! subinstance) is exactly what CountNFA tolerates.
+
+use pqe_automata::{Alphabet, Nfa, StateId, SymbolId};
+use pqe_db::{Database, FactId};
+use pqe_query::{analysis, ConjunctiveQuery};
+use std::collections::HashMap;
+
+use super::ReductionError;
+
+/// The §3 construction's output.
+pub struct PathNfa {
+    /// The automaton `M`.
+    pub nfa: Nfa,
+    /// Positive symbol per projected fact (indexed by the projected
+    /// database's [`FactId`]s).
+    pub pos_symbols: Vec<SymbolId>,
+    /// Negated symbol per projected fact.
+    pub neg_symbols: Vec<SymbolId>,
+    /// Accepted strings have exactly this length (`|D'|`, the projected
+    /// instance size).
+    pub target_len: usize,
+    /// Facts of `D` over relations not in `Q`: free choices contributing a
+    /// factor `2^dropped_facts` to `UR(Q, D)`.
+    pub dropped_facts: usize,
+    /// The projected database (fact ids index into this).
+    pub projected: Database,
+}
+
+/// Builds the §3 NFA for a self-join-free path query.
+///
+/// Errors if `q` is not a self-join-free path query.
+pub fn build_path_nfa(q: &ConjunctiveQuery, db: &Database) -> Result<PathNfa, ReductionError> {
+    if !q.is_self_join_free() {
+        return Err(ReductionError::NotSelfJoinFree);
+    }
+    if analysis::as_path_query(q).is_none() {
+        return Err(ReductionError::NotAPathQuery);
+    }
+
+    // Project D onto the query's relations (Theorem 3's preprocessing).
+    let keep: Vec<Option<pqe_db::RelId>> = q
+        .atoms()
+        .iter()
+        .map(|a| db.schema().relation(&a.relation))
+        .collect();
+    let keep_set: std::collections::BTreeSet<pqe_db::RelId> =
+        keep.iter().flatten().copied().collect();
+    let (proj, _) = db.project(|r| keep_set.contains(&r));
+    let dropped_facts = db.len() - proj.len();
+
+    // Facts per atom, in ≺_i order (empty when the relation is absent).
+    let per_atom: Vec<Vec<FactId>> = q
+        .atoms()
+        .iter()
+        .map(|a| match proj.schema().relation(&a.relation) {
+            Some(r) => proj.facts_of(r).to_vec(),
+            None => Vec::new(),
+        })
+        .collect();
+
+    let mut alphabet = Alphabet::new();
+    let pos_symbols: Vec<SymbolId> = proj
+        .fact_ids()
+        .map(|f| alphabet.intern(&proj.display_fact(f)))
+        .collect();
+    let neg_symbols: Vec<SymbolId> = proj
+        .fact_ids()
+        .map(|f| alphabet.intern(&format!("¬{}", proj.display_fact(f))))
+        .collect();
+
+    let mut nfa = Nfa::new(alphabet);
+    let n = q.len();
+    let mut states: HashMap<(usize, usize, usize), StateId> = HashMap::new();
+    // Create states lazily only where a relation has facts.
+    for (i, facts) in per_atom.iter().enumerate() {
+        for j in 0..facts.len() {
+            for w in 0..facts.len() {
+                states.insert((i, j, w), nfa.add_state());
+            }
+        }
+    }
+    let s_end = nfa.add_state();
+    nfa.set_accepting(s_end);
+
+    // Join columns: witness of atom i joins witness of atom i+1 when the
+    // second argument of the former equals the first argument of the
+    // latter (path shape).
+    let joins = |i: usize, w: usize, w2: usize| -> bool {
+        let f1 = proj.fact(per_atom[i][w]);
+        let f2 = proj.fact(per_atom[i + 1][w2]);
+        f1.args[1] == f2.args[0]
+    };
+
+    for (i, facts) in per_atom.iter().enumerate() {
+        let c_i = facts.len();
+        for w in 0..c_i {
+            for j in 0..c_i {
+                let src = states[&(i, j, w)];
+                let pos = pos_symbols[facts[j].index()];
+                let neg = neg_symbols[facts[j].index()];
+                // Successor states after emitting fact j.
+                let mut targets: Vec<StateId> = Vec::new();
+                if j + 1 < c_i {
+                    targets.push(states[&(i, j + 1, w)]);
+                } else if i + 1 < n {
+                    for w2 in 0..per_atom[i + 1].len() {
+                        if joins(i, w, w2) {
+                            targets.push(states[&(i + 1, 0, w2)]);
+                        }
+                    }
+                } else {
+                    targets.push(s_end);
+                }
+                for t in targets {
+                    nfa.add_transition(src, pos, t);
+                    if j != w {
+                        nfa.add_transition(src, neg, t);
+                    }
+                }
+            }
+        }
+    }
+
+    // Initial states: one per witness choice for the first atom.
+    if !per_atom.is_empty() {
+        for w in 0..per_atom[0].len() {
+            nfa.set_initial(states[&(0, 0, w)]);
+        }
+    }
+
+    Ok(PathNfa {
+        nfa,
+        pos_symbols,
+        neg_symbols,
+        target_len: proj.len(),
+        dropped_facts,
+        projected: proj,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::brute_force_ur;
+    use pqe_arith::BigUint;
+    use pqe_db::{generators, Schema};
+    use pqe_query::shapes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn exact_via_nfa(p: &PathNfa) -> BigUint {
+        let strings = p.nfa.count_strings_exact(p.target_len);
+        &strings * &(&BigUint::one() << p.dropped_facts as u64)
+    }
+
+    #[test]
+    fn two_path_manual() {
+        // R: a→b; S: b→c, b→d. Satisfying subinstances: must contain
+        // R(a,b) and at least one S fact: 1 × 3 = 3.
+        let mut db = Database::new(Schema::new([("R1", 2), ("R2", 2)]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        db.add_fact("R2", &["b", "c"]).unwrap();
+        db.add_fact("R2", &["b", "d"]).unwrap();
+        let q = shapes::path_query(2);
+        let p = build_path_nfa(&q, &db).unwrap();
+        assert_eq!(p.target_len, 3);
+        assert_eq!(exact_via_nfa(&p).to_u64(), Some(3));
+        assert_eq!(brute_force_ur(&q, &db).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for len in 2..=4usize {
+            for trial in 0..5 {
+                let db = generators::layered_graph(len, 2, 0.6, &mut rng);
+                if db.len() > 16 {
+                    continue;
+                }
+                let q = shapes::path_query(len);
+                let p = build_path_nfa(&q, &db).unwrap();
+                let expected = brute_force_ur(&q, &db);
+                assert_eq!(
+                    exact_via_nfa(&p),
+                    expected,
+                    "len={len} trial={trial} |D|={}",
+                    db.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_relations_double_count() {
+        // An extra relation T not in the query doubles UR per fact.
+        let mut db = Database::new(Schema::new([("R1", 2), ("T", 1)]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        db.add_fact("T", &["x"]).unwrap();
+        db.add_fact("T", &["y"]).unwrap();
+        let q = shapes::path_query(1);
+        let p = build_path_nfa(&q, &db).unwrap();
+        assert_eq!(p.dropped_facts, 2);
+        assert_eq!(exact_via_nfa(&p).to_u64(), Some(4)); // 1 × 2^2
+        assert_eq!(brute_force_ur(&q, &db).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn empty_relation_gives_zero() {
+        let mut db = Database::new(Schema::new([("R1", 2), ("R2", 2)]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        // R2 empty.
+        let q = shapes::path_query(2);
+        let p = build_path_nfa(&q, &db).unwrap();
+        assert!(exact_via_nfa(&p).is_zero());
+    }
+
+    #[test]
+    fn missing_relation_gives_zero() {
+        let mut db = Database::new(Schema::new([("R1", 2)]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        let q = shapes::path_query(2); // needs R2, absent from the schema
+        let p = build_path_nfa(&q, &db).unwrap();
+        assert!(exact_via_nfa(&p).is_zero());
+    }
+
+    #[test]
+    fn rejects_non_path_queries() {
+        let db = Database::new(Schema::new([("R1", 2)]));
+        assert!(matches!(
+            build_path_nfa(&shapes::star_query(2), &db),
+            Err(ReductionError::NotAPathQuery)
+        ));
+        assert!(matches!(
+            build_path_nfa(&shapes::self_join_path(2), &db),
+            Err(ReductionError::NotSelfJoinFree)
+        ));
+    }
+
+    #[test]
+    fn nfa_size_is_polynomial() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let db = generators::layered_graph(3, 4, 1.0, &mut rng);
+        let q = shapes::path_query(3);
+        let p = build_path_nfa(&q, &db).unwrap();
+        let d = db.len();
+        // States: Σ c_i² + 1 ≤ |D|² + 1; transitions ≤ 2·states·|D|.
+        assert!(p.nfa.num_states() <= d * d + 1);
+        assert!(p.nfa.size() <= 2 * d * d * d);
+    }
+}

@@ -1,0 +1,225 @@
+//! Theorem 1 (§5.2): from uniform reliability to full PQE by attaching
+//! multiplier gadgets.
+//!
+//! Writing each fact probability as `π(f) = w_f / d_f` (normalized), the
+//! weighted subinstance mass satisfies
+//!
+//! ```text
+//! Pr_H(Q) = d⁻¹ · Σ_{D' ⊨ Q} ∏_{f ∈ D'} w_f · ∏_{f ∉ D'} (d_f − w_f),   d = ∏ d_f
+//! ```
+//!
+//! Every accepted tree of the Proposition 1 automaton contains each fact
+//! exactly once, positively or negated; multiplying positive transitions by
+//! `w_f` and negated ones by `d_f − w_f` therefore scales the tree count to
+//! exactly the sum above. Gadgets for the two polarities of a fact are
+//! padded to a common bit-width `K_f` so all accepted trees keep one target
+//! size `k = |D'| + c + Σ_f K_f` (DESIGN.md §2.2); zero multipliers
+//! (probability-0/1 facts) delete the corresponding transitions.
+
+use super::{build_ur_automaton, fact_multipliers, ReductionError, UrAutomaton};
+use pqe_arith::BigUint;
+use pqe_automata::{MulTransition, MultiplierNfta, Nfta, SymbolId};
+use pqe_db::ProbDatabase;
+use pqe_query::ConjunctiveQuery;
+use std::collections::HashMap;
+
+/// Output of the Theorem 1 construction.
+pub struct PqeAutomaton {
+    /// The final ordinary NFTA (gadgets expanded) to feed to CountNFTA.
+    pub nfta: Nfta,
+    /// Count trees of exactly this size.
+    pub target_size: usize,
+    /// The global denominator `d = ∏ d_f`:
+    /// `Pr_H(Q) = |L_target(nfta)| / d`.
+    pub denominator: BigUint,
+    /// The underlying Proposition 1 automaton (before multipliers).
+    pub ur: UrAutomaton,
+}
+
+/// Builds the §5.2 PQE automaton for a self-join-free bounded-width query
+/// on a probabilistic database.
+pub fn build_pqe_automaton(
+    q: &ConjunctiveQuery,
+    h: &ProbDatabase,
+) -> Result<PqeAutomaton, ReductionError> {
+    // Project H onto Q's relations: dropped facts marginalize to 1.
+    let keep: std::collections::BTreeSet<pqe_db::RelId> = q
+        .atoms()
+        .iter()
+        .filter_map(|a| h.database().schema().relation(&a.relation))
+        .collect();
+    let hproj = h.project(|r| keep.contains(&r));
+
+    let ur = build_ur_automaton(q, hproj.database())?;
+    debug_assert_eq!(ur.dropped_facts, 0, "projection already applied");
+    let (nfta0, neg_map) = ur.aug.translate();
+
+    // Per fact: positive multiplier w_f, negated multiplier d_f − w_f,
+    // common gadget width K_f.
+    let mut by_symbol: HashMap<SymbolId, (BigUint, u64)> = HashMap::new();
+    let mut extra_nodes: usize = 0;
+    for f in ur.projected.fact_ids() {
+        let m = fact_multipliers(&hproj, f);
+        extra_nodes += m.width as usize;
+        let sym = ur.fact_symbols[f.index()];
+        if let Some(w) = m.positive {
+            by_symbol.insert(sym, (w, m.width));
+        }
+        if let Some(c) = m.negated {
+            by_symbol.insert(neg_map[sym.index()], (c, m.width));
+        }
+    }
+
+    let mut mul = MultiplierNfta::from_nfta_shell(&nfta0);
+    for t in nfta0.transitions() {
+        if t.symbol == ur.padding {
+            mul.add_transition(MulTransition {
+                src: t.src,
+                symbol: t.symbol,
+                multiplier: BigUint::one(),
+                bit_width: 0,
+                children: t.children.clone(),
+            });
+            continue;
+        }
+        // Symbols absent from the map carry multiplier 0 (probability-0
+        // positive / probability-1 negated occurrence): deleted.
+        if let Some((m, width)) = by_symbol.get(&t.symbol) {
+            mul.add_transition(MulTransition {
+                src: t.src,
+                symbol: t.symbol,
+                multiplier: m.clone(),
+                bit_width: *width,
+                children: t.children.clone(),
+            });
+        }
+    }
+
+    let nfta = mul.translate();
+    Ok(PqeAutomaton {
+        nfta,
+        target_size: ur.target_size + extra_nodes,
+        denominator: hproj.denominator_product(),
+        ur,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::brute_force_pqe;
+    use pqe_arith::Rational;
+    use pqe_automata::count_trees_exact;
+    use pqe_db::{Database, FactId, Schema};
+    use pqe_query::shapes;
+
+    /// Exact PQE through the automaton (exact tree counting oracle).
+    fn exact_via_automaton(q: &ConjunctiveQuery, h: &ProbDatabase) -> Rational {
+        let pqe = build_pqe_automaton(q, h).unwrap();
+        let trees = count_trees_exact(&pqe.nfta, pqe.target_size);
+        Rational::new(trees.into(), pqe.denominator.clone())
+    }
+
+    fn two_path_db() -> Database {
+        let mut db = Database::new(Schema::new([("R1", 2), ("R2", 2)]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        db.add_fact("R2", &["b", "c"]).unwrap();
+        db.add_fact("R2", &["b", "d"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn uniform_half_matches_ur_scaling() {
+        // π ≡ 1/2: Pr = UR / 2^|D| = 3/8.
+        let h = ProbDatabase::uniform(two_path_db(), Rational::from_ratio(1, 2));
+        let q = shapes::path_query(2);
+        assert_eq!(exact_via_automaton(&q, &h).to_string(), "3/8");
+        assert_eq!(brute_force_pqe(&q, &h).to_string(), "3/8");
+    }
+
+    #[test]
+    fn heterogeneous_probabilities_match_brute_force() {
+        let db = two_path_db();
+        let probs = vec![
+            Rational::from_ratio(1, 3),
+            Rational::from_ratio(2, 5),
+            Rational::from_ratio(3, 7),
+        ];
+        let h = ProbDatabase::with_probs(db, probs).unwrap();
+        let q = shapes::path_query(2);
+        let exact = brute_force_pqe(&q, &h);
+        assert_eq!(exact_via_automaton(&q, &h), exact);
+        // Pr = 1/3 · (1 − (1−2/5)(1−3/7)) = 1/3 · (1 − 3/5·4/7) = 1/3 · 23/35.
+        assert_eq!(exact.to_string(), "23/105");
+    }
+
+    #[test]
+    fn probability_zero_and_one_facts() {
+        let db = two_path_db();
+        let probs = vec![
+            Rational::one(),             // R1(a,b) certain
+            Rational::zero(),            // R2(b,c) impossible
+            Rational::from_ratio(1, 2),  // R2(b,d) fair
+        ];
+        let h = ProbDatabase::with_probs(db, probs).unwrap();
+        let q = shapes::path_query(2);
+        let exact = brute_force_pqe(&q, &h);
+        assert_eq!(exact.to_string(), "1/2");
+        assert_eq!(exact_via_automaton(&q, &h), exact);
+    }
+
+    #[test]
+    fn unsatisfiable_query_has_probability_zero() {
+        let mut db = Database::new(Schema::new([("R1", 2), ("R2", 2)]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        db.add_fact("R2", &["x", "y"]).unwrap();
+        let h = ProbDatabase::uniform(db, Rational::from_ratio(2, 3));
+        let q = shapes::path_query(2);
+        assert!(exact_via_automaton(&q, &h).is_zero());
+    }
+
+    #[test]
+    fn star_query_with_probabilities() {
+        let mut db = Database::new(Schema::new([("R1", 2), ("R2", 2)]));
+        db.add_fact("R1", &["h", "s1"]).unwrap();
+        db.add_fact("R1", &["h", "s2"]).unwrap();
+        db.add_fact("R2", &["h", "t1"]).unwrap();
+        let probs = vec![
+            Rational::from_ratio(1, 2),
+            Rational::from_ratio(1, 3),
+            Rational::from_ratio(1, 4),
+        ];
+        let h = ProbDatabase::with_probs(db, probs).unwrap();
+        let q = shapes::star_query(2);
+        assert_eq!(exact_via_automaton(&q, &h), brute_force_pqe(&q, &h));
+    }
+
+    #[test]
+    fn dropped_relations_marginalize_to_one() {
+        let mut db = Database::new(Schema::new([("R1", 2), ("Z", 1)]));
+        db.add_fact("R1", &["a", "b"]).unwrap();
+        db.add_fact("Z", &["zz"]).unwrap();
+        let mut h = ProbDatabase::uniform(db, Rational::from_ratio(1, 2));
+        h.set_prob(FactId(1), Rational::from_ratio(99, 100));
+        let q = shapes::path_query(1);
+        assert_eq!(exact_via_automaton(&q, &h).to_string(), "1/2");
+        assert_eq!(brute_force_pqe(&q, &h).to_string(), "1/2");
+    }
+
+    #[test]
+    fn gadget_overhead_is_logarithmic_in_weights() {
+        let db = two_path_db();
+        // Large denominators: weights up to 999 need ~10 bits per side.
+        let probs = vec![
+            Rational::from_ratio(123, 997),
+            Rational::from_ratio(500, 999),
+            Rational::from_ratio(998, 999),
+        ];
+        let h = ProbDatabase::with_probs(db, probs).unwrap();
+        let q = shapes::path_query(2);
+        let pqe = build_pqe_automaton(&q, &h).unwrap();
+        // ≤ 10 bits per fact.
+        assert!(pqe.target_size <= pqe.ur.target_size + 3 * 10);
+        assert_eq!(exact_via_automaton(&q, &h), brute_force_pqe(&q, &h));
+    }
+}

@@ -1,0 +1,233 @@
+//! Database instances: finite sets of facts with per-relation fact order.
+
+use crate::{Const, ConstTable, DbError, Fact, RelId, Schema};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a fact within one [`Database`] (its index in insertion
+/// order). The *global* order of `FactId`s is the consistent fact order the
+/// paper's constructions fix; within a relation, the induced subsequence is
+/// the total order `≺_i` on `R_i`-facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A database instance `D`: a finite, duplicate-free set of facts over a
+/// [`Schema`], with interned constants (paper §2).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    schema: Schema,
+    consts: ConstTable,
+    facts: Vec<Fact>,
+    by_rel: Vec<Vec<FactId>>,
+    dedup: HashMap<Fact, FactId>,
+}
+
+impl Database {
+    /// Creates an empty instance over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let by_rel = vec![Vec::new(); schema.len()];
+        Database {
+            schema,
+            consts: ConstTable::new(),
+            facts: Vec::new(),
+            by_rel,
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// The schema of this instance.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The constant interner.
+    pub fn consts(&self) -> &ConstTable {
+        &self.consts
+    }
+
+    /// `|D|`: the number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Adds the fact `rel(args…)` by name, interning constants.
+    /// Returns the existing id if the fact is already present.
+    pub fn add_fact(&mut self, rel: &str, args: &[&str]) -> Result<FactId, DbError> {
+        let rel_id = self
+            .schema
+            .relation(rel)
+            .ok_or_else(|| DbError::UnknownRelation(rel.to_owned()))?;
+        let expected = self.schema.arity(rel_id);
+        if args.len() != expected {
+            return Err(DbError::ArityMismatch {
+                relation: rel.to_owned(),
+                expected,
+                got: args.len(),
+            });
+        }
+        let consts: Vec<Const> = args.iter().map(|a| self.consts.intern(a)).collect();
+        Ok(self.add_fact_raw(Fact::new(rel_id, consts)))
+    }
+
+    /// Adds an already-interned fact (idempotent).
+    pub fn add_fact_raw(&mut self, fact: Fact) -> FactId {
+        debug_assert_eq!(fact.arity(), self.schema.arity(fact.rel));
+        if let Some(&id) = self.dedup.get(&fact) {
+            return id;
+        }
+        let id = FactId(self.facts.len() as u32);
+        self.by_rel[fact.rel.index()].push(id);
+        self.dedup.insert(fact.clone(), id);
+        self.facts.push(fact);
+        id
+    }
+
+    /// The fact behind `id`.
+    pub fn fact(&self, id: FactId) -> &Fact {
+        &self.facts[id.index()]
+    }
+
+    /// Looks up a fact by value.
+    pub fn fact_id(&self, fact: &Fact) -> Option<FactId> {
+        self.dedup.get(fact).copied()
+    }
+
+    /// All fact ids in the global consistent order.
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + '_ {
+        (0..self.facts.len() as u32).map(FactId)
+    }
+
+    /// The `R_i`-facts of relation `rel`, in the total order `≺_i`
+    /// (insertion order).
+    pub fn facts_of(&self, rel: RelId) -> &[FactId] {
+        &self.by_rel[rel.index()]
+    }
+
+    /// Renders a fact for humans, e.g. `R(a,b)`.
+    pub fn display_fact(&self, id: FactId) -> String {
+        let f = self.fact(id);
+        let args: Vec<&str> = f.args.iter().map(|&c| self.consts.name(c)).collect();
+        format!("{}({})", self.schema.name(f.rel), args.join(","))
+    }
+
+    /// The sub-database containing only relations that `keep` selects,
+    /// along with the mapping from new fact ids to original ones.
+    ///
+    /// This is the "projection onto the relations occurring in `Q`" step of
+    /// Theorem 3 / Theorem 1: facts over other relations marginalize out.
+    pub fn project(&self, keep: impl Fn(RelId) -> bool) -> (Database, Vec<FactId>) {
+        let mut out = Database::new(self.schema.clone());
+        out.consts = self.consts.clone();
+        let mut back = Vec::new();
+        for id in self.fact_ids() {
+            let f = self.fact(id);
+            if keep(f.rel) {
+                out.add_fact_raw(f.clone());
+                back.push(id);
+            }
+        }
+        (out, back)
+    }
+
+    /// The subinstance `D' ⊆ D` selected by `included` (indexed by
+    /// `FactId`), preserving relative fact order.
+    pub fn subinstance(&self, included: &[bool]) -> Database {
+        assert_eq!(included.len(), self.len());
+        let mut out = Database::new(self.schema.clone());
+        out.consts = self.consts.clone();
+        for id in self.fact_ids() {
+            if included[id.index()] {
+                out.add_fact_raw(self.fact(id).clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Database {
+        let mut db = Database::new(Schema::new([("R", 2), ("S", 2)]));
+        db.add_fact("R", &["a", "b"]).unwrap();
+        db.add_fact("R", &["b", "c"]).unwrap();
+        db.add_fact("S", &["b", "c"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let db = sample();
+        assert_eq!(db.len(), 3);
+        let r = db.schema().relation("R").unwrap();
+        assert_eq!(db.facts_of(r).len(), 2);
+        assert_eq!(db.display_fact(FactId(0)), "R(a,b)");
+    }
+
+    #[test]
+    fn duplicate_facts_are_merged() {
+        let mut db = sample();
+        let id = db.add_fact("R", &["a", "b"]).unwrap();
+        assert_eq!(id, FactId(0));
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn arity_and_relation_errors() {
+        let mut db = sample();
+        assert!(matches!(
+            db.add_fact("T", &["a"]),
+            Err(DbError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            db.add_fact("R", &["a"]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn per_relation_order_is_insertion_order() {
+        let db = sample();
+        let r = db.schema().relation("R").unwrap();
+        let ids = db.facts_of(r);
+        assert!(ids[0] < ids[1]);
+        assert_eq!(db.display_fact(ids[0]), "R(a,b)");
+        assert_eq!(db.display_fact(ids[1]), "R(b,c)");
+    }
+
+    #[test]
+    fn projection_drops_relations() {
+        let db = sample();
+        let r = db.schema().relation("R").unwrap();
+        let (proj, back) = db.project(|rel| rel == r);
+        assert_eq!(proj.len(), 2);
+        assert_eq!(back, vec![FactId(0), FactId(1)]);
+    }
+
+    #[test]
+    fn subinstance_by_mask() {
+        let db = sample();
+        let sub = db.subinstance(&[true, false, true]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.display_fact(FactId(1)), "S(b,c)");
+    }
+}

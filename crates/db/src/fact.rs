@@ -1,0 +1,39 @@
+//! Ground facts `R(c₁, …, c_k)`.
+
+use crate::{Const, RelId};
+
+/// A ground fact: a relation id applied to a tuple of interned constants.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fact {
+    /// Relation this fact belongs to.
+    pub rel: RelId,
+    /// Argument tuple (length = relation arity).
+    pub args: Vec<Const>,
+}
+
+impl Fact {
+    /// Creates a fact.
+    pub fn new(rel: RelId, args: Vec<Const>) -> Self {
+        Fact { rel, args }
+    }
+
+    /// The arity of this fact's tuple.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_equality_is_structural() {
+        let f1 = Fact::new(RelId(0), vec![Const(1), Const(2)]);
+        let f2 = Fact::new(RelId(0), vec![Const(1), Const(2)]);
+        let f3 = Fact::new(RelId(1), vec![Const(1), Const(2)]);
+        assert_eq!(f1, f2);
+        assert_ne!(f1, f3);
+        assert_eq!(f1.arity(), 2);
+    }
+}

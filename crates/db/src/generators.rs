@@ -1,0 +1,233 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates nothing empirically, so the experiment suite needs
+//! workloads that exercise the regimes the paper argues about: layered
+//! graphs for the `3Path` class (Corollary 1), star-shaped data for
+//! hierarchical (safe) queries, and generic random instances. All generators
+//! take an explicit RNG so every experiment is reproducible from a seed.
+
+use crate::{Database, FactId, ProbDatabase, Schema};
+use pqe_arith::Rational;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Builds a layered graph instance for a path query
+/// `Q = R₁(x₁,x₂), …, R_n(x_n,x_{n+1})`:
+/// layer `i` has `width` nodes `Li_j`, and each edge from layer `i` to layer
+/// `i+1` is included independently with probability `density`.
+///
+/// The lineage of `Q_n` over such an instance has one clause per source-to-
+/// sink path, so clause counts grow as `Θ(width^{n})` at full density — the
+/// blow-up of §1.1.
+pub fn layered_graph<R: Rng + ?Sized>(
+    layers: usize,
+    width: usize,
+    density: f64,
+    rng: &mut R,
+) -> Database {
+    assert!(layers >= 1, "need at least one edge relation");
+    let rels: Vec<String> = (1..=layers).map(|i| format!("R{i}")).collect();
+    let schema = Schema::new(rels.iter().map(|r| (r.as_str(), 2)));
+    let mut db = Database::new(schema);
+    for (i, rel) in rels.iter().enumerate() {
+        for a in 0..width {
+            for b in 0..width {
+                if rng.random_bool(density) {
+                    let src = format!("L{i}_{a}");
+                    let dst = format!("L{}_{b}", i + 1);
+                    db.add_fact(rel, &[&src, &dst]).unwrap();
+                }
+            }
+        }
+    }
+    db
+}
+
+/// Like [`layered_graph`] but guarantees at least one complete
+/// source-to-sink path (so `Pr(Q) > 0` and reliability experiments are
+/// non-degenerate).
+pub fn layered_graph_connected<R: Rng + ?Sized>(
+    layers: usize,
+    width: usize,
+    density: f64,
+    rng: &mut R,
+) -> Database {
+    let mut db = layered_graph(layers, width, density, rng);
+    let mut prev = rng.random_range(0..width);
+    for i in 0..layers {
+        let next = rng.random_range(0..width);
+        let src = format!("L{i}_{prev}");
+        let dst = format!("L{}_{next}", i + 1);
+        db.add_fact(&format!("R{}", i + 1), &[&src, &dst]).unwrap();
+        prev = next;
+    }
+    db
+}
+
+/// Builds star-shaped data for the hierarchical query
+/// `Q = R₁(x,y₁), …, R_k(x,y_k)`: `centers` hub constants, each with
+/// `fanout` satellites per relation, each edge present with probability
+/// `density`.
+pub fn star_data<R: Rng + ?Sized>(
+    arms: usize,
+    centers: usize,
+    fanout: usize,
+    density: f64,
+    rng: &mut R,
+) -> Database {
+    let rels: Vec<String> = (1..=arms).map(|i| format!("R{i}")).collect();
+    let schema = Schema::new(rels.iter().map(|r| (r.as_str(), 2)));
+    let mut db = Database::new(schema);
+    for c in 0..centers {
+        for (i, rel) in rels.iter().enumerate() {
+            for s in 0..fanout {
+                if rng.random_bool(density) {
+                    let hub = format!("h{c}");
+                    let sat = format!("s{c}_{i}_{s}");
+                    db.add_fact(rel, &[&hub, &sat]).unwrap();
+                }
+            }
+        }
+    }
+    db
+}
+
+/// Builds a generic random instance: for each `(name, arity)` relation,
+/// `facts_per_rel` random tuples over a domain of `domain` constants
+/// `c0..c{domain-1}` (duplicates collapse, so a relation may end up with
+/// slightly fewer facts).
+pub fn random_instance<R: Rng + ?Sized>(
+    relations: &[(&str, usize)],
+    domain: usize,
+    facts_per_rel: usize,
+    rng: &mut R,
+) -> Database {
+    let schema = Schema::new(relations.iter().copied());
+    let mut db = Database::new(schema);
+    for &(name, arity) in relations {
+        for _ in 0..facts_per_rel {
+            let args: Vec<String> = (0..arity)
+                .map(|_| format!("c{}", rng.random_range(0..domain)))
+                .collect();
+            let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            db.add_fact(name, &refs).unwrap();
+        }
+    }
+    db
+}
+
+/// Assigns every fact probability `p` (e.g. `1/2` for uniform reliability).
+pub fn with_uniform_probs(db: Database, p: Rational) -> ProbDatabase {
+    ProbDatabase::uniform(db, p)
+}
+
+/// Assigns each fact an independent random probability `w/d` with
+/// `1 ≤ w ≤ d` and `d` drawn from `2..=max_denominator`.
+///
+/// Probabilities are kept strictly positive so that generated instances do
+/// not silently lose facts; callers wanting 0/1 labels set them explicitly.
+pub fn with_random_probs<R: Rng + ?Sized>(
+    db: Database,
+    max_denominator: u64,
+    rng: &mut R,
+) -> ProbDatabase {
+    assert!(max_denominator >= 2);
+    let probs = (0..db.len())
+        .map(|_| {
+            let d = rng.random_range(2..=max_denominator);
+            let w = rng.random_range(1..=d);
+            Rational::from_ratio(w as i64, d)
+        })
+        .collect();
+    ProbDatabase::with_probs(db, probs).expect("generated probabilities are valid")
+}
+
+/// Downsamples `db` to at most `max_facts` facts, keeping a uniformly random
+/// subset (relative fact order preserved). Useful for shrinking a generated
+/// instance to brute-force-oracle size.
+pub fn cap_facts<R: Rng + ?Sized>(db: &Database, max_facts: usize, rng: &mut R) -> Database {
+    if db.len() <= max_facts {
+        return db.clone();
+    }
+    let mut ids: Vec<FactId> = db.fact_ids().collect();
+    ids.shuffle(rng);
+    ids.truncate(max_facts);
+    let mut mask = vec![false; db.len()];
+    for id in ids {
+        mask[id.index()] = true;
+    }
+    db.subinstance(&mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layered_graph_shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let db = layered_graph(3, 4, 1.0, &mut rng);
+        // Full density: 3 relations × 16 edges.
+        assert_eq!(db.len(), 48);
+        for i in 1..=3 {
+            let r = db.schema().relation(&format!("R{i}")).unwrap();
+            assert_eq!(db.facts_of(r).len(), 16);
+        }
+    }
+
+    #[test]
+    fn layered_graph_connected_has_a_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let db = layered_graph_connected(5, 3, 0.0, &mut rng);
+        // Density 0 ⇒ only the seeded path remains: one fact per relation.
+        assert_eq!(db.len(), 5);
+    }
+
+    #[test]
+    fn star_data_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let db = star_data(3, 2, 4, 1.0, &mut rng);
+        assert_eq!(db.len(), 3 * 2 * 4);
+    }
+
+    #[test]
+    fn random_instance_respects_domain() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let db = random_instance(&[("R", 2), ("S", 3)], 5, 20, &mut rng);
+        assert!(db.len() <= 40);
+        assert!(db.consts().len() <= 5);
+    }
+
+    #[test]
+    fn random_probs_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let db = random_instance(&[("R", 2)], 4, 10, &mut rng);
+        let h = with_random_probs(db, 10, &mut rng);
+        for f in h.database().fact_ids() {
+            assert!(h.prob(f).is_probability());
+            assert!(!h.prob(f).is_zero());
+        }
+    }
+
+    #[test]
+    fn cap_facts_truncates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let db = layered_graph(2, 5, 1.0, &mut rng);
+        let capped = cap_facts(&db, 10, &mut rng);
+        assert_eq!(capped.len(), 10);
+        let small = cap_facts(&capped, 100, &mut rng);
+        assert_eq!(small.len(), 10);
+    }
+
+    #[test]
+    fn generators_are_seed_deterministic() {
+        let a = layered_graph(3, 3, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = layered_graph(3, 3, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.len(), b.len());
+        for (fa, fb) in a.fact_ids().zip(b.fact_ids()) {
+            assert_eq!(a.display_fact(fa), b.display_fact(fb));
+        }
+    }
+}

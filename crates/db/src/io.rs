@@ -1,0 +1,219 @@
+//! A plain-text interchange format for probabilistic databases.
+//!
+//! One fact per line: an optional probability (rational `w/d`, decimal, or
+//! integer) followed by the fact. Comments (`#`) and blank lines ignored.
+//! Facts without an explicit probability default to `1` (certain), matching
+//! the convention that a probabilistic database generalizes an ordinary
+//! one.
+//!
+//! ```text
+//! # links of a sensor network
+//! 0.9   Link(gate, relay1)
+//! 3/4   Link(relay1, relay2)
+//!       Link(relay2, sink)     # deterministic edge
+//! ```
+//!
+//! Relations and arities are inferred from the facts; redeclaring a
+//! relation with a different arity is an error.
+
+use crate::{Database, DbError, ProbDatabase, Schema};
+use pqe_arith::Rational;
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+fn err(line: usize, message: impl Into<String>) -> LoadError {
+    LoadError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the text format into a probabilistic database.
+pub fn load_str(src: &str) -> Result<ProbDatabase, LoadError> {
+    // First pass: parse lines into (prob, relation, args).
+    let mut rows: Vec<(usize, Rational, String, Vec<String>)> = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.split_once('#') {
+            Some((body, _comment)) => body,
+            None => raw,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (prob, fact_src) = split_probability(line, lineno)?;
+        let (rel, args) = parse_fact(fact_src, lineno)?;
+        if !prob.is_probability() {
+            return Err(err(lineno, format!("probability {prob} outside [0, 1]")));
+        }
+        rows.push((lineno, prob, rel, args));
+    }
+
+    // Infer the schema.
+    let mut schema = Schema::default();
+    for (lineno, _, rel, args) in &rows {
+        if let Some(id) = schema.relation(rel) {
+            if schema.arity(id) != args.len() {
+                return Err(err(
+                    *lineno,
+                    format!(
+                        "relation {rel} used with arity {} after arity {}",
+                        args.len(),
+                        schema.arity(id)
+                    ),
+                ));
+            }
+        } else {
+            schema.add_relation(rel, args.len());
+        }
+    }
+
+    let mut db = Database::new(schema);
+    let mut probs: Vec<Rational> = Vec::new();
+    for (lineno, prob, rel, args) in rows {
+        let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+        let id = db
+            .add_fact(&rel, &arg_refs)
+            .map_err(|e: DbError| err(lineno, e.to_string()))?;
+        if id.index() < probs.len() {
+            return Err(err(
+                lineno,
+                format!("duplicate fact {rel}({})", args.join(",")),
+            ));
+        }
+        probs.push(prob);
+    }
+    ProbDatabase::with_probs(db, probs).map_err(|e| err(0, e.to_string()))
+}
+
+/// Splits an optional leading probability token from the fact text.
+fn split_probability(line: &str, lineno: usize) -> Result<(Rational, &str), LoadError> {
+    // A line starting with a digit carries a probability; otherwise the
+    // whole line is the fact and the probability is 1.
+    let first = line.chars().next().unwrap();
+    if !first.is_ascii_digit() {
+        return Ok((Rational::one(), line));
+    }
+    let split = line
+        .find(|c: char| c.is_whitespace())
+        .ok_or_else(|| err(lineno, "expected a fact after the probability"))?;
+    let (tok, rest) = line.split_at(split);
+    let prob: Rational = tok
+        .parse()
+        .map_err(|e| err(lineno, format!("bad probability {tok:?}: {e}")))?;
+    Ok((prob, rest.trim_start()))
+}
+
+/// Parses `Rel(arg, arg, ...)`.
+fn parse_fact(src: &str, lineno: usize) -> Result<(String, Vec<String>), LoadError> {
+    let open = src
+        .find('(')
+        .ok_or_else(|| err(lineno, format!("expected Rel(args...) in {src:?}")))?;
+    let rel = src[..open].trim();
+    if rel.is_empty() || !rel.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(err(lineno, format!("bad relation name {rel:?}")));
+    }
+    let close = src
+        .rfind(')')
+        .ok_or_else(|| err(lineno, "missing closing parenthesis"))?;
+    if !src[close + 1..].trim().is_empty() {
+        return Err(err(lineno, "trailing input after fact"));
+    }
+    let args: Vec<String> = src[open + 1..close]
+        .split(',')
+        .map(|a| a.trim().to_owned())
+        .collect();
+    if args.iter().any(String::is_empty) {
+        return Err(err(lineno, "empty argument"));
+    }
+    Ok((rel.to_owned(), args))
+}
+
+/// Serializes a probabilistic database in the same format (round-trips
+/// through [`load_str`]).
+pub fn save_string(h: &ProbDatabase) -> String {
+    let mut out = String::new();
+    let db = h.database();
+    for f in db.fact_ids() {
+        let p = h.prob(f);
+        if p.is_one() {
+            out.push_str(&format!("{}\n", db.display_fact(f)));
+        } else {
+            out.push_str(&format!("{} {}\n", p, db.display_fact(f)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_mixed_probability_syntax() {
+        let h = load_str(
+            "# comment\n0.5 R(a,b)\n3/4 R(b,c)\nS(c)  # certain\n\n1/3 S(d)\n",
+        )
+        .unwrap();
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.prob(crate::FactId(0)).to_string(), "1/2");
+        assert_eq!(h.prob(crate::FactId(1)).to_string(), "3/4");
+        assert!(h.prob(crate::FactId(2)).is_one());
+        assert_eq!(h.prob(crate::FactId(3)).to_string(), "1/3");
+    }
+
+    #[test]
+    fn roundtrips_through_save() {
+        let src = "1/2 R(a,b)\nS(c)\n99/100 T(a,b,c)\n";
+        let h = load_str(src).unwrap();
+        let saved = save_string(&h);
+        let h2 = load_str(&saved).unwrap();
+        assert_eq!(h.len(), h2.len());
+        for f in h.database().fact_ids() {
+            assert_eq!(h.prob(f), h2.prob(f));
+            assert_eq!(
+                h.database().display_fact(f),
+                h2.database().display_fact(f)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(load_str("0.5").unwrap_err().message.contains("expected a fact"));
+        assert!(load_str("R a,b").unwrap_err().message.contains("Rel(args"));
+        assert!(load_str("R(a,b) extra").unwrap_err().message.contains("trailing"));
+        assert!(load_str("R(a,,b)").unwrap_err().message.contains("empty argument"));
+        assert!(load_str("3/2 R(a)").unwrap_err().message.contains("outside"));
+        assert!(load_str("R(a,b)\nR(a)").unwrap_err().message.contains("arity"));
+        assert!(load_str("R(a,b)\nR(a,b)").unwrap_err().message.contains("duplicate"));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = load_str("R(a,b)\n\n# fine\nbroken line here").unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn empty_input_is_empty_database() {
+        let h = load_str("  \n# nothing\n").unwrap();
+        assert!(h.is_empty());
+    }
+}

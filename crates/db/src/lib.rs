@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # pqe-db — tuple-independent probabilistic databases
+//!
+//! Implements the data model of §2 of van Bremen & Meel (PODS 2023):
+//!
+//! * a [`Schema`] is a set of relation names with arities;
+//! * a [`Database`] is a finite set of [`Fact`]s `R(c₁,…,c_k)` over interned
+//!   constants, with a fixed insertion order per relation — this order *is*
+//!   the total order `≺_i` on `R_i`-facts that the automaton constructions
+//!   of §3–§5 require;
+//! * a [`ProbDatabase`] `H = (D, π)` attaches an independent rational
+//!   probability `π(f) ∈ [0,1] ∩ ℚ` to every fact, inducing the product
+//!   distribution over subinstances `D' ⊆ D`;
+//! * [`worlds`] enumerates or samples subinstances ("possible worlds");
+//! * [`generators`] builds the synthetic workloads used by the experiment
+//!   suite (layered graphs for path queries, stars, random instances, …).
+//!
+//! ```
+//! use pqe_db::{Database, ProbDatabase, Schema};
+//! use pqe_arith::Rational;
+//!
+//! let schema = Schema::new([("R", 2), ("S", 2)]);
+//! let mut db = Database::new(schema);
+//! let f0 = db.add_fact("R", &["a", "b"]).unwrap();
+//! let _f1 = db.add_fact("S", &["b", "c"]).unwrap();
+//! let mut pdb = ProbDatabase::uniform(db, Rational::from_ratio(1, 2));
+//! pdb.set_prob(f0, Rational::from_ratio(3, 4));
+//! assert_eq!(pdb.prob(f0).to_string(), "3/4");
+//! ```
+
+mod database;
+mod fact;
+pub mod generators;
+pub mod io;
+mod prob;
+mod schema;
+mod symbols;
+pub mod worlds;
+
+pub use database::{Database, FactId};
+pub use fact::Fact;
+pub use prob::ProbDatabase;
+pub use schema::{RelId, Schema};
+pub use symbols::{Const, ConstTable};
+
+/// Errors raised when constructing or mutating databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Referenced a relation name absent from the schema.
+    UnknownRelation(String),
+    /// A fact's argument count differs from the relation's declared arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A probability label was outside `[0, 1]`.
+    InvalidProbability(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            DbError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch for {relation}: expected {expected}, got {got}"
+            ),
+            DbError::InvalidProbability(p) => {
+                write!(f, "probability {p} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

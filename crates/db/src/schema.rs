@@ -1,0 +1,126 @@
+//! Relational schemas: relation names with fixed arities.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned relation name within a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The raw schema index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel{}", self.0)
+    }
+}
+
+/// A relational schema `σ`: a collection of relation names, each with an
+/// associated arity (paper §2).
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    names: Vec<String>,
+    arities: Vec<usize>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, arity)` pairs.
+    ///
+    /// ```
+    /// use pqe_db::Schema;
+    /// let s = Schema::new([("R", 2), ("S", 3)]);
+    /// assert_eq!(s.arity(s.relation("S").unwrap()), 3);
+    /// ```
+    pub fn new<'a>(relations: impl IntoIterator<Item = (&'a str, usize)>) -> Self {
+        let mut s = Schema::default();
+        for (name, arity) in relations {
+            s.add_relation(name, arity);
+        }
+        s
+    }
+
+    /// Adds a relation, returning its id. Re-adding an existing name with
+    /// the same arity is a no-op; with a different arity it panics.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> RelId {
+        if let Some(&id) = self.by_name.get(name) {
+            assert_eq!(
+                self.arities[id.index()],
+                arity,
+                "relation {name} re-declared with different arity"
+            );
+            return id;
+        }
+        let id = RelId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.arities.push(arity);
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of relation `r`.
+    pub fn name(&self, r: RelId) -> &str {
+        &self.names[r.index()]
+    }
+
+    /// The arity of relation `r`.
+    pub fn arity(&self, r: RelId) -> usize {
+        self.arities[r.index()]
+    }
+
+    /// Number of relations declared.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the schema declares no relations.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all relation ids in declaration order.
+    pub fn relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.names.len() as u32).map(RelId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new([("R", 2), ("S", 1)]);
+        let r = s.relation("R").unwrap();
+        assert_eq!(s.name(r), "R");
+        assert_eq!(s.arity(r), 2);
+        assert_eq!(s.relation("T"), None);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.relations().count(), 2);
+    }
+
+    #[test]
+    fn redeclare_same_arity_ok() {
+        let mut s = Schema::new([("R", 2)]);
+        let r = s.add_relation("R", 2);
+        assert_eq!(s.relation("R"), Some(r));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn redeclare_different_arity_panics() {
+        let mut s = Schema::new([("R", 2)]);
+        s.add_relation("R", 3);
+    }
+}

@@ -1,0 +1,91 @@
+//! Interned constants.
+//!
+//! The paper assumes a countably infinite universe `U` of constants; we
+//! intern the finitely many that actually appear, so facts compare and hash
+//! as small integers.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned constant (an element of the universe `U`).
+///
+/// `Const`s are only meaningful relative to the [`ConstTable`] that produced
+/// them; the engine never compares constants across databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Const(pub u32);
+
+impl Const {
+    /// The raw interner index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A string interner mapping constant names to [`Const`] handles.
+#[derive(Debug, Clone, Default)]
+pub struct ConstTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Const>,
+}
+
+impl ConstTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its handle (idempotent).
+    pub fn intern(&mut self, name: &str) -> Const {
+        if let Some(&c) = self.by_name.get(name) {
+            return c;
+        }
+        let c = Const(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), c);
+        c
+    }
+
+    /// Looks up an already-interned constant.
+    pub fn get(&self, name: &str) -> Option<Const> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of `c`.
+    pub fn name(&self, c: Const) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// Number of distinct constants interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no constants have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = ConstTable::new();
+        let a = t.intern("alice");
+        let b = t.intern("bob");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("alice"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "alice");
+        assert_eq!(t.get("bob"), Some(b));
+        assert_eq!(t.get("carol"), None);
+    }
+}

@@ -1,0 +1,82 @@
+//! A minimal commutative-semiring abstraction.
+//!
+//! The decomposition dynamic program in [`crate::bags`] is semiring-generic:
+//! instantiated at `BigUint` it counts witnesses exactly (lineage clause
+//! counts, experiment E5); at `Rational` it computes the weighted clause
+//! mass `Σ_w ∏_{f ∈ w} π(f)` that the Karp–Luby baseline samples from.
+
+use pqe_arith::{BigUint, Rational};
+
+/// A commutative semiring `(S, +, ·, 0, 1)`.
+pub trait Semiring: Clone {
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Commutative, associative addition.
+    fn add(&self, other: &Self) -> Self;
+    /// Commutative, associative multiplication distributing over `add`.
+    fn mul(&self, other: &Self) -> Self;
+    /// Whether this value is the additive identity.
+    fn is_zero(&self) -> bool;
+}
+
+impl Semiring for BigUint {
+    fn zero() -> Self {
+        BigUint::zero()
+    }
+    fn one() -> Self {
+        BigUint::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn is_zero(&self) -> bool {
+        BigUint::is_zero(self)
+    }
+}
+
+impl Semiring for Rational {
+    fn zero() -> Self {
+        Rational::zero()
+    }
+    fn one() -> Self {
+        Rational::one()
+    }
+    fn add(&self, other: &Self) -> Self {
+        self + other
+    }
+    fn mul(&self, other: &Self) -> Self {
+        self * other
+    }
+    fn is_zero(&self) -> bool {
+        Rational::is_zero(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biguint_semiring_laws() {
+        let a = BigUint::from(3u32);
+        let b = BigUint::from(4u32);
+        assert_eq!(a.add(&b).to_u64(), Some(7));
+        assert_eq!(a.mul(&b).to_u64(), Some(12));
+        assert!(<BigUint as Semiring>::zero().is_zero());
+        assert_eq!(a.mul(&Semiring::one()), a);
+    }
+
+    #[test]
+    fn rational_semiring_laws() {
+        let a = Rational::from_ratio(1, 2);
+        let b = Rational::from_ratio(1, 3);
+        assert_eq!(a.add(&b).to_string(), "5/6");
+        assert_eq!(a.mul(&b).to_string(), "1/6");
+        assert!(<Rational as Semiring>::zero().is_zero());
+    }
+}

@@ -1,0 +1,151 @@
+//! GYO (Graham–Yu–Özsoyoğlu) ear reduction: recognizes acyclic queries and
+//! builds a width-1 join tree for them.
+//!
+//! Path queries — the §3 warm-up class and the `3Path` class of
+//! Corollary 1 — are acyclic, so this fast path produces their hypertree
+//! decompositions of width 1 directly.
+
+use crate::{Hypergraph, Hypertree};
+use pqe_query::{ConjunctiveQuery, Var};
+use std::collections::BTreeSet;
+
+/// Whether `q` is α-acyclic (GYO reduction succeeds).
+pub fn is_acyclic(q: &ConjunctiveQuery) -> bool {
+    gyo_join_tree(q).is_some()
+}
+
+/// Runs GYO ear reduction. On success returns a width-1 hypertree whose
+/// vertices are exactly the atoms of `q` (`χ(p) = vars(A)`, `ξ(p) = {A}`);
+/// returns `None` iff `q` is cyclic.
+///
+/// An *ear* is an atom `A` such that some other atom `W` (the witness)
+/// contains every variable of `A` that is shared with any other atom. Ears
+/// are repeatedly removed and attached below their witnesses.
+pub fn gyo_join_tree(q: &ConjunctiveQuery) -> Option<Hypertree> {
+    let n = q.len();
+    if n == 0 {
+        return Some(Hypertree::singleton(BTreeSet::new(), BTreeSet::new()));
+    }
+    let h = Hypergraph::of_query(q);
+    let mut alive: BTreeSet<usize> = (0..n).collect();
+    // attach[a] = witness atom that ear `a` hangs below.
+    let mut attach: Vec<Option<usize>> = vec![None; n];
+    // Removal works even for disconnected queries: an atom sharing no
+    // variables with the rest is an ear with an arbitrary witness.
+    let mut order: Vec<usize> = Vec::new();
+
+    loop {
+        if alive.len() <= 1 {
+            break;
+        }
+        let mut removed_any = false;
+        let snapshot: Vec<usize> = alive.iter().copied().collect();
+        'ears: for &a in &snapshot {
+            if alive.len() <= 1 {
+                break;
+            }
+            // Variables of `a` shared with some other alive atom.
+            let shared: BTreeSet<Var> = h
+                .edge(a)
+                .iter()
+                .copied()
+                .filter(|v| {
+                    alive
+                        .iter()
+                        .any(|&b| b != a && h.edge(b).contains(v))
+                })
+                .collect();
+            if shared.is_empty() {
+                // Isolated component: attach below any other alive atom.
+                let w = alive.iter().copied().find(|&b| b != a).unwrap();
+                alive.remove(&a);
+                attach[a] = Some(w);
+                order.push(a);
+                removed_any = true;
+                continue 'ears;
+            }
+            for &w in &alive {
+                if w != a && shared.is_subset(h.edge(w)) {
+                    alive.remove(&a);
+                    attach[a] = Some(w);
+                    order.push(a);
+                    removed_any = true;
+                    continue 'ears;
+                }
+            }
+        }
+        if !removed_any {
+            return None; // cyclic
+        }
+    }
+
+    // Build the tree rooted at the last surviving atom.
+    let root_atom = *alive.iter().next().unwrap();
+    let mut tree = Hypertree::singleton(h.edge(root_atom).clone(), [root_atom].into());
+    let mut node_of = vec![None; n];
+    node_of[root_atom] = Some(tree.root());
+    // Ears were removed leaves-first; adding in reverse order guarantees
+    // each witness already has a tree vertex.
+    for &a in order.iter().rev() {
+        let w = attach[a].unwrap();
+        let parent = node_of[w].expect("witness added before its ears");
+        let id = tree.add_child(parent, h.edge(a).clone(), [a].into());
+        node_of[a] = Some(id);
+    }
+    Some(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqe_query::{parse, shapes};
+
+    #[test]
+    fn paths_and_stars_are_acyclic() {
+        assert!(is_acyclic(&shapes::path_query(6)));
+        assert!(is_acyclic(&shapes::star_query(4)));
+        assert!(is_acyclic(&shapes::h0_query()));
+    }
+
+    #[test]
+    fn cycles_and_cliques_are_cyclic() {
+        assert!(!is_acyclic(&shapes::cycle_query(3)));
+        assert!(!is_acyclic(&shapes::cycle_query(6)));
+        assert!(!is_acyclic(&shapes::clique_query(4)));
+        assert!(!is_acyclic(&shapes::triangle_chain(2)));
+    }
+
+    #[test]
+    fn join_tree_has_one_vertex_per_atom() {
+        let q = shapes::path_query(5);
+        let t = gyo_join_tree(&q).unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.width(), 1);
+        assert!(t.is_complete(&q));
+    }
+
+    #[test]
+    fn acyclic_but_not_path() {
+        // A "spider": three paths meeting at a shared variable.
+        let q = parse("A(x,a), B(x,b), C(x,c), D(a,d)").unwrap();
+        let t = gyo_join_tree(&q).unwrap();
+        assert_eq!(t.width(), 1);
+        assert!(t.is_complete(&q));
+    }
+
+    #[test]
+    fn disconnected_query_still_decomposes() {
+        let q = parse("R(x,y), S(u,v)").unwrap();
+        let t = gyo_join_tree(&q).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.is_complete(&q));
+    }
+
+    #[test]
+    fn ternary_acyclic_query() {
+        let q = parse("R(x,y,z), S(y,z), T(z,w)").unwrap();
+        let t = gyo_join_tree(&q).unwrap();
+        assert_eq!(t.width(), 1);
+        assert!(t.is_complete(&q));
+    }
+}

@@ -1,0 +1,120 @@
+//! The hypergraph of a conjunctive query: one vertex per variable, one
+//! hyperedge per atom.
+
+use pqe_query::{ConjunctiveQuery, Var};
+use std::collections::BTreeSet;
+
+/// The hypergraph `H(Q)` of a conjunctive query.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    /// One edge per atom, in atom order: the atom's variable set.
+    edges: Vec<BTreeSet<Var>>,
+}
+
+impl Hypergraph {
+    /// Builds the hypergraph of `q`.
+    pub fn of_query(q: &ConjunctiveQuery) -> Self {
+        Hypergraph {
+            edges: q.atoms().iter().map(|a| a.vars()).collect(),
+        }
+    }
+
+    /// Number of hyperedges (= atoms).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The variable set of edge `i`.
+    pub fn edge(&self, i: usize) -> &BTreeSet<Var> {
+        &self.edges[i]
+    }
+
+    /// All vertices (variables) appearing in any edge.
+    pub fn vertices(&self) -> BTreeSet<Var> {
+        self.edges.iter().flatten().copied().collect()
+    }
+
+    /// Union of the variable sets of the given edges.
+    pub fn vars_of(&self, edges: impl IntoIterator<Item = usize>) -> BTreeSet<Var> {
+        edges
+            .into_iter()
+            .flat_map(|i| self.edges[i].iter().copied())
+            .collect()
+    }
+
+    /// Splits `pool` into connected components, where two edges are
+    /// adjacent iff they share a variable **outside** `separator`.
+    ///
+    /// This is the component split used by the width-`k` decomposer: after
+    /// fixing a bag with variable set `separator`, each component can be
+    /// decomposed independently.
+    pub fn components(
+        &self,
+        pool: &BTreeSet<usize>,
+        separator: &BTreeSet<Var>,
+    ) -> Vec<BTreeSet<usize>> {
+        let mut remaining: BTreeSet<usize> = pool.clone();
+        let mut out = Vec::new();
+        while let Some(&seed) = remaining.iter().next() {
+            let mut comp = BTreeSet::new();
+            let mut stack = vec![seed];
+            remaining.remove(&seed);
+            comp.insert(seed);
+            while let Some(e) = stack.pop() {
+                let free: BTreeSet<Var> =
+                    self.edges[e].difference(separator).copied().collect();
+                let neighbours: Vec<usize> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|&f| self.edges[f].iter().any(|v| free.contains(v)))
+                    .collect();
+                for f in neighbours {
+                    remaining.remove(&f);
+                    comp.insert(f);
+                    stack.push(f);
+                }
+            }
+            out.push(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqe_query::parse;
+
+    #[test]
+    fn build_from_query() {
+        let q = parse("R(x,y), S(y,z), T(u)").unwrap();
+        let h = Hypergraph::of_query(&q);
+        assert_eq!(h.num_edges(), 3);
+        assert_eq!(h.vertices().len(), 4);
+        assert_eq!(h.edge(0).len(), 2);
+    }
+
+    #[test]
+    fn components_split_by_separator() {
+        let q = parse("R(x,y), S(y,z), T(z,w)").unwrap();
+        let h = Hypergraph::of_query(&q);
+        let pool: BTreeSet<usize> = [0, 1, 2].into();
+        // No separator: one chain component.
+        assert_eq!(h.components(&pool, &BTreeSet::new()).len(), 1);
+        // Separating on y and z disconnects all three edges.
+        let sep = h.edge(1).clone(); // {y, z}
+        let comps = h.components(&pool, &sep);
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn components_keep_shared_free_vars_together() {
+        let q = parse("R(x,y), S(y,z), T(a,b)").unwrap();
+        let h = Hypergraph::of_query(&q);
+        let pool: BTreeSet<usize> = [0, 1, 2].into();
+        let comps = h.components(&pool, &BTreeSet::new());
+        assert_eq!(comps.len(), 2);
+        assert!(comps.contains(&[0, 1].into()));
+        assert!(comps.contains(&[2].into()));
+    }
+}

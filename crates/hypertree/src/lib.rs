@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # pqe-hypertree — hypertree decompositions of conjunctive queries
+//!
+//! Implements the decomposition machinery of §2 of van Bremen & Meel
+//! (PODS 2023): hypergraphs of queries, join trees via GYO reduction
+//! (acyclic ⇒ width 1), an exact width-`k` decomposer in the style of
+//! `det-k-decomp`, decomposition validation, and the two transformations
+//! the automaton construction needs — **completion** (every atom gets a
+//! covering vertex) and **binarization** (fan-out ≤ 2, keeping the
+//! transition relation polynomial).
+//!
+//! Following the paper's remark that its results apply equally to
+//! *generalized* hypertree decompositions (`ghtw ≤ htw ≤ 3·ghtw + 1`), the
+//! decomposer targets conditions (1)–(3) of the definition plus
+//! completeness; condition (4) is checked and reported but not required,
+//! since the Proposition 1 construction never uses it.
+//!
+//! ```
+//! use pqe_query::shapes;
+//! use pqe_hypertree::decompose;
+//!
+//! let q = shapes::path_query(5);          // acyclic ⇒ width 1
+//! let d = decompose(&q).unwrap();
+//! assert_eq!(d.width(), 1);
+//!
+//! let q = shapes::cycle_query(5);         // cycles have width 2
+//! let d = decompose(&q).unwrap();
+//! assert_eq!(d.width(), 2);
+//! ```
+
+mod decomposition;
+mod detk;
+mod greedy;
+mod gyo;
+mod hypergraph;
+mod transform;
+mod validate;
+
+pub use decomposition::{Hypertree, Node, NodeId};
+pub use detk::{decompose, decompose_width, DecomposeError};
+pub use greedy::greedy_decompose;
+pub use gyo::{gyo_join_tree, is_acyclic};
+pub use hypergraph::Hypergraph;
+pub use transform::{binarize, complete};
+pub use validate::{satisfies_descent_condition, validate, Violation};

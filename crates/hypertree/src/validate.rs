@@ -1,0 +1,217 @@
+//! Validation of (generalized) hypertree decompositions against the four
+//! conditions of the paper's §2 definition.
+
+use crate::{Hypertree, NodeId};
+use pqe_query::{ConjunctiveQuery, Var};
+use std::collections::BTreeSet;
+
+/// A violated decomposition condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Condition (1): atom has no vertex with `vars(A) ⊆ χ(p)`.
+    AtomNotCovered {
+        /// Index of the offending atom.
+        atom: usize,
+    },
+    /// Condition (2): the vertices mentioning a variable do not induce a
+    /// connected subtree.
+    DisconnectedVariable {
+        /// The offending variable.
+        var: Var,
+    },
+    /// Condition (3): `χ(p) ⊄ vars(ξ(p))`.
+    ChiNotInXiVars {
+        /// The offending vertex.
+        node: NodeId,
+    },
+    /// An atom index in some `ξ(p)` is out of range for the query.
+    UnknownAtom {
+        /// The offending vertex.
+        node: NodeId,
+        /// The out-of-range index.
+        atom: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::AtomNotCovered { atom } => {
+                write!(f, "condition (1) violated: atom #{atom} has no vertex with vars(A) ⊆ χ(p)")
+            }
+            Violation::DisconnectedVariable { var } => {
+                write!(f, "condition (2) violated: occurrences of variable {var:?} are disconnected")
+            }
+            Violation::ChiNotInXiVars { node } => {
+                write!(f, "condition (3) violated at vertex p{}", node.0)
+            }
+            Violation::UnknownAtom { node, atom } => {
+                write!(f, "vertex p{} references unknown atom #{atom}", node.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks conditions (1)–(3) of the hypertree-decomposition definition —
+/// the conditions the automaton construction of Proposition 1 relies on.
+/// Condition (4), which distinguishes hypertree from *generalized* hypertree
+/// decompositions, is checked separately by [`satisfies_descent_condition`].
+pub fn validate(q: &ConjunctiveQuery, t: &Hypertree) -> Result<(), Violation> {
+    let order = t.bfs_order();
+
+    // Sanity: ξ references valid atoms.
+    for &id in &order {
+        for &a in &t.node(id).xi {
+            if a >= q.len() {
+                return Err(Violation::UnknownAtom { node: id, atom: a });
+            }
+        }
+    }
+
+    // Condition (1): every atom's variables fit inside some χ(p).
+    for (i, atom) in q.atoms().iter().enumerate() {
+        let vars = atom.vars();
+        if !order.iter().any(|&id| vars.is_subset(&t.node(id).chi)) {
+            return Err(Violation::AtomNotCovered { atom: i });
+        }
+    }
+
+    // Condition (2): for each variable, {p : x ∈ χ(p)} induces a connected
+    // subtree. Equivalently: among vertices containing x, all but one have
+    // their parent also containing x.
+    let all_vars: BTreeSet<Var> = order
+        .iter()
+        .flat_map(|&id| t.node(id).chi.iter().copied())
+        .collect();
+    for &x in &all_vars {
+        let holders: Vec<NodeId> = order
+            .iter()
+            .copied()
+            .filter(|&id| t.node(id).chi.contains(&x))
+            .collect();
+        let roots = holders
+            .iter()
+            .filter(|&&id| match t.node(id).parent {
+                None => true,
+                Some(p) => !t.node(p).chi.contains(&x),
+            })
+            .count();
+        if roots != 1 {
+            return Err(Violation::DisconnectedVariable { var: x });
+        }
+    }
+
+    // Condition (3): χ(p) ⊆ vars(ξ(p)).
+    for &id in &order {
+        let n = t.node(id);
+        let xi_vars: BTreeSet<Var> = n
+            .xi
+            .iter()
+            .flat_map(|&a| q.atoms()[a].vars())
+            .collect();
+        if !n.chi.is_subset(&xi_vars) {
+            return Err(Violation::ChiNotInXiVars { node: id });
+        }
+    }
+
+    Ok(())
+}
+
+/// Checks condition (4) of the definition — the *descent condition*
+/// `vars(ξ(p)) ∩ χ(T_p) ⊆ χ(p)` that distinguishes hypertree width from
+/// generalized hypertree width. The FPRAS construction does not need it;
+/// this is informational.
+pub fn satisfies_descent_condition(q: &ConjunctiveQuery, t: &Hypertree) -> bool {
+    // χ(T_p): union of χ over the subtree rooted at p, computed bottom-up.
+    let order = t.bfs_order();
+    let mut subtree_chi: Vec<BTreeSet<Var>> = vec![BTreeSet::new(); t.len()];
+    for &id in order.iter().rev() {
+        let mut acc = t.node(id).chi.clone();
+        for &c in &t.node(id).children {
+            acc.extend(subtree_chi[c.0].iter().copied());
+        }
+        subtree_chi[id.0] = acc;
+    }
+    for &id in &order {
+        let n = t.node(id);
+        let xi_vars: BTreeSet<Var> = n
+            .xi
+            .iter()
+            .flat_map(|&a| q.atoms()[a].vars())
+            .collect();
+        for v in xi_vars.intersection(&subtree_chi[id.0]) {
+            if !n.chi.contains(v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hypertree;
+    use pqe_query::parse;
+
+    #[test]
+    fn valid_join_tree_passes() {
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        let mut t = Hypertree::singleton(q.atoms()[0].vars(), [0].into());
+        t.add_child(t.root(), q.atoms()[1].vars(), [1].into());
+        assert!(validate(&q, &t).is_ok());
+        assert!(satisfies_descent_condition(&q, &t));
+    }
+
+    #[test]
+    fn detects_uncovered_atom() {
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        let t = Hypertree::singleton(q.atoms()[0].vars(), [0].into());
+        assert_eq!(validate(&q, &t), Err(Violation::AtomNotCovered { atom: 1 }));
+    }
+
+    #[test]
+    fn detects_disconnected_variable() {
+        let q = parse("R(x,y), S(y,z), T(x,w)").unwrap();
+        // Chain R - S - T: x appears at the R vertex and the T vertex but
+        // not at the S vertex between them.
+        let mut t = Hypertree::singleton(q.atoms()[0].vars(), [0].into());
+        let s = t.add_child(t.root(), q.atoms()[1].vars(), [1].into());
+        t.add_child(s, q.atoms()[2].vars(), [2].into());
+        assert!(matches!(
+            validate(&q, &t),
+            Err(Violation::DisconnectedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_chi_outside_xi() {
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        // Vertex claims z in χ but only holds atom R in ξ.
+        let mut t = Hypertree::singleton(q.vars().into_iter().collect(), [0].into());
+        t.add_child(t.root(), q.atoms()[1].vars(), [1].into());
+        assert!(matches!(validate(&q, &t), Err(Violation::ChiNotInXiVars { .. })));
+    }
+
+    #[test]
+    fn detects_unknown_atom() {
+        let q = parse("R(x,y)").unwrap();
+        let t = Hypertree::singleton(q.atoms()[0].vars(), [7].into());
+        assert!(matches!(validate(&q, &t), Err(Violation::UnknownAtom { .. })));
+    }
+
+    #[test]
+    fn descent_condition_can_fail_for_generalized() {
+        // Root: χ={y}, ξ={R(x,y)} — condition (3) holds (y ∈ vars(R));
+        // child: χ={x,y}, ξ={R} — now x ∈ vars(ξ(root)) ∩ χ(T_root) while
+        // x ∉ χ(root): conditions (1)-(3) hold but (4) fails.
+        let q = parse("R(x,y)").unwrap();
+        let y = q.atoms()[0].terms[1].as_var().unwrap();
+        let mut bad = Hypertree::singleton([y].into(), [0].into());
+        bad.add_child(bad.root(), q.atoms()[0].vars(), [0].into());
+        assert!(validate(&q, &bad).is_ok());
+        assert!(!satisfies_descent_condition(&q, &bad));
+    }
+}

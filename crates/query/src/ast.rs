@@ -1,0 +1,241 @@
+//! Abstract syntax of Boolean conjunctive queries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A query variable, interned within one [`ConjunctiveQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Raw interner index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term in an atom: a variable or a constant (by name).
+///
+/// The paper's queries are constant-free; constants arise internally when
+/// the safe-plan baseline substitutes domain values for root variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A query variable.
+    Var(Var),
+    /// A constant, referenced by its database name.
+    Const(String),
+}
+
+impl Term {
+    /// Returns the variable if this term is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// An atom `R(t₁, …, t_k)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation name (resolved against a database schema at evaluation
+    /// time).
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// `vars(A)`: the set of variables occurring in this atom.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.terms.iter().filter_map(Term::as_var).collect()
+    }
+}
+
+/// A Boolean conjunctive query `Q = R₁(x̄₁), …, R_n(x̄_n)` (paper §2):
+/// an existentially quantified conjunction of atoms.
+///
+/// `|Q|` is the number of atoms ([`ConjunctiveQuery::len`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    atoms: Vec<Atom>,
+    var_names: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query from atoms and the interned variable-name table
+    /// (index `i` names `Var(i)`).
+    pub fn new(atoms: Vec<Atom>, var_names: Vec<String>) -> Self {
+        let q = ConjunctiveQuery { atoms, var_names };
+        debug_assert!(q
+            .atoms
+            .iter()
+            .flat_map(|a| a.vars())
+            .all(|v| v.index() < q.var_names.len()));
+        q
+    }
+
+    /// `atoms(Q)` in query order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// `|Q|`: the number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the query has no atoms (the trivially true query).
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// `vars(Q)`: all variables, in interner order.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.atoms.iter().flat_map(|a| a.vars()).collect()
+    }
+
+    /// Number of interned variable names.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The display name of `v`.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// The interned variable-name table.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// `true` iff no relation name repeats (paper §2: self-join-free).
+    pub fn is_self_join_free(&self) -> bool {
+        let mut seen = BTreeSet::new();
+        self.atoms.iter().all(|a| seen.insert(&a.relation))
+    }
+
+    /// `true` iff every term of every atom is a variable (the paper's
+    /// constant-free setting).
+    pub fn is_constant_free(&self) -> bool {
+        self.atoms
+            .iter()
+            .all(|a| a.terms.iter().all(|t| matches!(t, Term::Var(_))))
+    }
+
+    /// A new query with `atom_idx` removed and `var` bound to the constant
+    /// `value` everywhere — used by the lifted-inference baseline.
+    pub fn substitute(&self, var: Var, value: &str) -> ConjunctiveQuery {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let terms = a
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Var(v) if *v == var => Term::Const(value.to_owned()),
+                        other => other.clone(),
+                    })
+                    .collect();
+                Atom::new(a.relation.clone(), terms)
+            })
+            .collect();
+        ConjunctiveQuery::new(atoms, self.var_names.clone())
+    }
+
+    /// The sub-query consisting of the selected atoms (variable table
+    /// shared).
+    pub fn restrict_atoms(&self, keep: &[usize]) -> ConjunctiveQuery {
+        let atoms = keep.iter().map(|&i| self.atoms[i].clone()).collect();
+        ConjunctiveQuery::new(atoms, self.var_names.clone())
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{}(", a.relation)?;
+            let mut first_t = true;
+            for t in &a.terms {
+                if !first_t {
+                    write!(f, ",")?;
+                }
+                first_t = false;
+                match t {
+                    Term::Var(v) => write!(f, "{}", self.var_name(*v))?,
+                    Term::Const(c) => write!(f, "'{c}'")?,
+                }
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q2() -> ConjunctiveQuery {
+        // R(x,y), S(y,z)
+        ConjunctiveQuery::new(
+            vec![
+                Atom::new("R", vec![Term::Var(Var(0)), Term::Var(Var(1))]),
+                Atom::new("S", vec![Term::Var(Var(1)), Term::Var(Var(2))]),
+            ],
+            vec!["x".into(), "y".into(), "z".into()],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let q = q2();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.vars().len(), 3);
+        assert!(q.is_self_join_free());
+        assert!(q.is_constant_free());
+        assert_eq!(q.to_string(), "R(x,y), S(y,z)");
+    }
+
+    #[test]
+    fn self_join_detected() {
+        let q = ConjunctiveQuery::new(
+            vec![
+                Atom::new("R", vec![Term::Var(Var(0)), Term::Var(Var(1))]),
+                Atom::new("R", vec![Term::Var(Var(1)), Term::Var(Var(0))]),
+            ],
+            vec!["x".into(), "y".into()],
+        );
+        assert!(!q.is_self_join_free());
+    }
+
+    #[test]
+    fn substitution_binds_everywhere() {
+        let q = q2().substitute(Var(1), "b");
+        assert_eq!(q.to_string(), "R(x,'b'), S('b',z)");
+        assert!(!q.is_constant_free());
+        assert_eq!(q.vars().len(), 2);
+    }
+
+    #[test]
+    fn restrict_atoms_keeps_selection() {
+        let q = q2().restrict_atoms(&[1]);
+        assert_eq!(q.to_string(), "S(y,z)");
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # pqe-query — conjunctive queries and their classification
+//!
+//! Implements the query model of §2 of van Bremen & Meel (PODS 2023):
+//! Boolean conjunctive queries `Q = R₁(x̄₁), …, R_n(x̄_n)`, together with the
+//! syntactic classification axes of the paper's Table 1:
+//!
+//! * **self-join-freeness** — no repeated relation symbols
+//!   ([`ConjunctiveQuery::is_self_join_free`]);
+//! * **hierarchy** — the Dalvi–Suciu condition equivalent to safety for
+//!   self-join-free CQs ([`analysis::is_hierarchical`]);
+//! * **path queries** — the warm-up class of §3 ([`analysis::as_path_query`]).
+//!
+//! Bounded hypertree width, the third axis, lives in `pqe-hypertree`.
+//!
+//! ```
+//! use pqe_query::{parse, analysis};
+//! let q = parse("R1(x1,x2), R2(x2,x3), R3(x3,x4)").unwrap();
+//! assert!(q.is_self_join_free());
+//! assert!(analysis::as_path_query(&q).is_some());
+//! assert!(!analysis::is_hierarchical(&q)); // non-hierarchical ⇒ #P-hard PQE
+//! ```
+
+pub mod analysis;
+mod ast;
+mod parser;
+pub mod shapes;
+
+pub use ast::{Atom, ConjunctiveQuery, Term, Var};
+pub use parser::{parse, ParseError};

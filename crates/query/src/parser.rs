@@ -1,0 +1,266 @@
+//! A small parser for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  := [ "Q" ":-" ] atom ( "," atom )*
+//! atom   := IDENT "(" term ( "," term )* ")"
+//! term   := IDENT            // a variable
+//!         | "'" chars "'"    // a constant
+//!         | NUMBER           // a constant
+//! ```
+//!
+//! Identifiers are `[A-Za-z_][A-Za-z0-9_]*`. Following the paper, plain
+//! identifiers in argument position are variables; constants must be quoted
+//! or numeric.
+
+use crate::{Atom, ConjunctiveQuery, Term, Var};
+use std::collections::HashMap;
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the error in the input.
+    pub position: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a str,
+    pos: usize,
+    vars: HashMap<String, Var>,
+    var_names: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            position: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if !c.is_whitespace() {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected {c:?}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+            _ => return self.err("expected identifier"),
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            self.pos += 1;
+        }
+        Ok(self.src[start..self.pos].to_owned())
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('\'') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '\'' {
+                        break;
+                    }
+                    self.pos += c.len_utf8();
+                }
+                if self.peek().is_none() {
+                    return self.err("unterminated constant literal");
+                }
+                let name = self.src[start..self.pos].to_owned();
+                self.pos += 1; // closing quote
+                Ok(Term::Const(name))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                Ok(Term::Const(self.src[start..self.pos].to_owned()))
+            }
+            _ => {
+                let name = self.ident()?;
+                let next = self.vars.len() as u32;
+                let v = *self.vars.entry(name.clone()).or_insert_with(|| {
+                    self.var_names.push(name);
+                    Var(next)
+                });
+                Ok(Term::Var(v))
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        self.skip_ws();
+        let rel = self.ident()?;
+        self.skip_ws();
+        self.expect('(')?;
+        let mut terms = vec![self.term()?];
+        loop {
+            self.skip_ws();
+            if self.eat(',') {
+                terms.push(self.term()?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        self.expect(')')?;
+        Ok(Atom::new(rel, terms))
+    }
+
+    fn query(&mut self) -> Result<ConjunctiveQuery, ParseError> {
+        self.skip_ws();
+        // Optional "Q :-" / "IDENT :-" head.
+        let save = self.pos;
+        if let Ok(_head) = self.ident() {
+            self.skip_ws();
+            if self.src[self.pos..].starts_with(":-") {
+                self.pos += 2;
+            } else {
+                self.pos = save;
+            }
+        }
+        let mut atoms = vec![self.atom()?];
+        loop {
+            self.skip_ws();
+            if self.eat(',') {
+                atoms.push(self.atom()?);
+            } else {
+                break;
+            }
+        }
+        self.skip_ws();
+        if self.eat('.') {
+            self.skip_ws();
+        }
+        if self.pos != self.src.len() {
+            return self.err("trailing input after query");
+        }
+        Ok(ConjunctiveQuery::new(
+            atoms,
+            std::mem::take(&mut self.var_names),
+        ))
+    }
+}
+
+/// Parses a Boolean conjunctive query.
+///
+/// ```
+/// let q = pqe_query::parse("Q :- R(x,y), S(y,'paris')").unwrap();
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.to_string(), "R(x,y), S(y,'paris')");
+/// ```
+pub fn parse(src: &str) -> Result<ConjunctiveQuery, ParseError> {
+    let mut p = Parser {
+        src,
+        pos: 0,
+        vars: HashMap::new(),
+        var_names: Vec::new(),
+    };
+    p.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_query() {
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.num_vars(), 3);
+        assert_eq!(q.to_string(), "R(x,y), S(y,z)");
+    }
+
+    #[test]
+    fn shared_variables_are_identified() {
+        let q = parse("R(x,y), S(y,x)").unwrap();
+        assert_eq!(q.num_vars(), 2);
+        assert_eq!(q.atoms()[0].terms[0], q.atoms()[1].terms[1]);
+    }
+
+    #[test]
+    fn optional_head_and_trailing_dot() {
+        let q = parse("Q :- R(x,y), S(y,z).").unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn constants_quoted_and_numeric() {
+        let q = parse("R(x,'alice'), S(x, 42)").unwrap();
+        assert_eq!(q.num_vars(), 1);
+        assert_eq!(q.to_string(), "R(x,'alice'), S(x,'42')");
+        assert!(!q.is_constant_free());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let q = parse("  R ( x , y ) ,\n S( y ,z )  ").unwrap();
+        assert_eq!(q.to_string(), "R(x,y), S(y,z)");
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse("").is_err());
+        assert!(parse("R(x").is_err());
+        assert!(parse("R(x,y) garbage").is_err());
+        assert!(parse("R(x,'unterminated)").is_err());
+        let e = parse("R()").unwrap_err();
+        assert!(e.message.contains("identifier"), "{e}");
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "R(x,y), S(y,z)",
+            "R1(x1,x2), R2(x2,x3), R3(x3,x4)",
+            "T(a,b,c), U(c)",
+        ] {
+            let q = parse(s).unwrap();
+            assert_eq!(parse(&q.to_string()).unwrap(), q);
+        }
+    }
+}

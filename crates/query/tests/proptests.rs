@@ -1,0 +1,109 @@
+//! Property tests for the query crate: the parser must never panic, must
+//! round-trip its own rendering, and the analyses must agree with their
+//! definitions on random queries.
+
+use proptest::prelude::*;
+use pqe_query::{analysis, parse, Atom, ConjunctiveQuery, Term, Var};
+
+fn random_query() -> impl Strategy<Value = ConjunctiveQuery> {
+    proptest::collection::vec(
+        (proptest::collection::vec(0u32..5, 1..=3), any::<bool>()),
+        1..=5,
+    )
+    .prop_map(|atoms_spec| {
+        let atoms: Vec<Atom> = atoms_spec
+            .into_iter()
+            .enumerate()
+            .map(|(i, (vars, self_join))| {
+                let rel = if self_join { "R0".to_owned() } else { format!("R{i}") };
+                Atom::new(rel, vars.into_iter().map(|v| Term::Var(Var(v))).collect())
+            })
+            .collect();
+        ConjunctiveQuery::new(atoms, (0..5).map(|i| format!("v{i}")).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(input in ".{0,60}") {
+        let _ = parse(&input); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn parser_handles_structured_garbage(
+        rel in "[A-Za-z_][A-Za-z0-9_]{0,6}",
+        args in proptest::collection::vec("[a-z0-9']{0,5}", 0..4),
+        tail in "[,()'. ]{0,6}",
+    ) {
+        let src = format!("{rel}({}){tail}", args.join(","));
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(q in random_query()) {
+        let rendered = q.to_string();
+        let reparsed = parse(&rendered).unwrap();
+        // Structural equality up to variable interning: re-render.
+        prop_assert_eq!(reparsed.to_string(), rendered);
+        prop_assert_eq!(reparsed.len(), q.len());
+        prop_assert_eq!(reparsed.is_self_join_free(), q.is_self_join_free());
+    }
+
+    #[test]
+    fn hierarchy_matches_definition(q in random_query()) {
+        // Re-check is_hierarchical against the quantified definition.
+        let sets = analysis::atom_sets(&q);
+        let vars: Vec<_> = sets.keys().copied().collect();
+        let mut expected = true;
+        for (i, x) in vars.iter().enumerate() {
+            for y in &vars[i + 1..] {
+                let (a, b) = (&sets[x], &sets[y]);
+                if !(a.is_disjoint(b) || a.is_subset(b) || b.is_subset(a)) {
+                    expected = false;
+                }
+            }
+        }
+        prop_assert_eq!(analysis::is_hierarchical(&q), expected);
+    }
+
+    #[test]
+    fn components_partition_atoms(q in random_query()) {
+        let comps = analysis::connected_components(&q);
+        let mut all: Vec<usize> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..q.len()).collect::<Vec<_>>());
+        // Atoms in different components share no variables.
+        for (i, c1) in comps.iter().enumerate() {
+            for c2 in comps.iter().skip(i + 1) {
+                for &a in c1 {
+                    for &b in c2 {
+                        let va = q.atoms()[a].vars();
+                        let vb = q.atoms()[b].vars();
+                        prop_assert!(va.is_disjoint(&vb));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_variables_occur_everywhere(q in random_query()) {
+        for v in analysis::root_variables(&q) {
+            for a in q.atoms() {
+                prop_assert!(a.vars().contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn substitution_eliminates_the_variable(q in random_query()) {
+        let vars = q.vars();
+        if let Some(&v) = vars.iter().next() {
+            let sub = q.substitute(v, "c0");
+            prop_assert!(!sub.vars().contains(&v));
+            prop_assert_eq!(sub.len(), q.len());
+        }
+    }
+}

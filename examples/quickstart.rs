@@ -1,0 +1,69 @@
+//! Quickstart: build a small probabilistic database, ask a #P-hard query,
+//! and compare the FPRAS estimate against exact baselines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pqe::automata::FprasConfig;
+use pqe::core::baselines::{brute_force_pqe, lifted_pqe};
+use pqe::core::{landscape, pqe_estimate};
+use pqe::db::{Database, ProbDatabase, Schema};
+use pqe::query::parse;
+
+fn main() {
+    // A tiny road network with uncertain edges: does a route
+    // a →(Road1)→ ? →(Road2)→ ? →(Road3)→ ? exist?
+    let mut db = Database::new(Schema::new([("Road1", 2), ("Road2", 2), ("Road3", 2)]));
+    let mut facts = Vec::new();
+    for (rel, src, dst) in [
+        ("Road1", "a", "b"),
+        ("Road1", "a", "c"),
+        ("Road2", "b", "d"),
+        ("Road2", "c", "d"),
+        ("Road2", "c", "e"),
+        ("Road3", "d", "f"),
+        ("Road3", "e", "f"),
+    ] {
+        facts.push(db.add_fact(rel, &[src, dst]).unwrap());
+    }
+    let mut h = ProbDatabase::uniform(db, "1/2".parse().unwrap());
+    // Some roads are more reliable than others.
+    h.set_prob(facts[0], "9/10".parse().unwrap());
+    h.set_prob(facts[5], "3/4".parse().unwrap());
+
+    let q = parse("Road1(x,y), Road2(y,z), Road3(z,w)").unwrap();
+    println!("query     : {q}");
+
+    // Where does this query sit in the paper's Table 1?
+    let class = landscape::classify(&q);
+    println!("landscape : {class}");
+    println!("            (3Path class: #P-hard exactly, FPRAS applies)");
+
+    // Exact lifted inference must refuse: the query is unsafe.
+    match lifted_pqe(&q, &h) {
+        Err(e) => println!("lifted    : refused as expected — {e}"),
+        Ok(p) => println!("lifted    : unexpectedly succeeded: {p}"),
+    }
+
+    // The paper's FPRAS (Theorem 1).
+    let cfg = FprasConfig::with_epsilon(0.1);
+    let report = pqe_estimate(&q, &h, &cfg).expect("SJF bounded-width query");
+    println!(
+        "PQEEstimate : {:.6}   (ε = {}, k = {}, {} states, {:?})",
+        report.probability.to_f64(),
+        cfg.epsilon,
+        report.target_size,
+        report.automaton_states,
+        report.elapsed
+    );
+
+    // Ground truth by brute force (2^7 worlds).
+    let exact = brute_force_pqe(&q, &h);
+    println!("exact       : {:.6}   ({exact})", exact.to_f64());
+
+    let rel = (report.probability.to_f64() / exact.to_f64() - 1.0).abs();
+    println!("rel. error  : {rel:.4}");
+    assert!(rel <= cfg.epsilon, "estimate outside the ε guarantee");
+    println!("within the (1±ε) guarantee ✓");
+}

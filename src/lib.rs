@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! # pqe — Probabilistic Query Evaluation: the combined FPRAS, as a library
+//!
+//! Umbrella crate re-exporting the full public API of the workspace. See the
+//! README for an architecture overview and `DESIGN.md` for the paper-to-code
+//! map.
+
+pub use pqe_arith as arith;
+pub use pqe_automata as automata;
+pub use pqe_core as core;
+pub use pqe_db as db;
+pub use pqe_engine as engine;
+pub use pqe_hypertree as hypertree;
+pub use pqe_query as query;

@@ -1,0 +1,360 @@
+//! `pqe` — command-line probabilistic query evaluation.
+//!
+//! ```text
+//! pqe estimate    --db FILE --query 'R(x,y), S(y,z)' [--epsilon ε] [--seed N] [--method M]
+//! pqe reliability --db FILE --query Q [--epsilon ε] [--seed N]
+//! pqe classify    --query Q
+//! pqe sample      --db FILE --query Q [--count N] [--seed N]
+//! pqe lineage     --db FILE --query Q [--materialize LIMIT]
+//! ```
+//!
+//! Databases use the text format of `pqe_db::io` (one `prob Fact(args…)`
+//! per line). Methods: `auto` (lifted when safe, else FPRAS), `fpras`,
+//! `lifted`, `brute`, `karp-luby`, `mc`.
+
+use pqe::automata::FprasConfig;
+use pqe::core::baselines::{
+    brute_force_pqe, karp_luby_pqe, lifted_pqe, naive_monte_carlo_pqe, Lineage,
+};
+use pqe::core::worlds::WeightedWorldSampler;
+use pqe::core::{landscape, pqe_estimate, ur_estimate};
+use pqe::db::{io as dbio, ProbDatabase};
+use pqe::query::{parse, ConjunctiveQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pqe — probabilistic query evaluation (van Bremen & Meel, PODS 2023)
+
+USAGE:
+  pqe estimate    --db FILE --query Q [--epsilon E] [--seed N] [--method M]
+  pqe reliability --db FILE --query Q [--epsilon E] [--seed N]
+  pqe classify    --query Q
+  pqe sample      --db FILE --query Q [--count N] [--seed N]
+  pqe marginals   --db FILE --query Q [--samples N] [--seed N]
+  pqe influence   --db FILE --query Q [--epsilon E] [--seed N]
+  pqe lineage     --db FILE --query Q [--materialize LIMIT]
+
+METHODS (estimate):
+  auto       lifted inference when the query is safe, FPRAS otherwise [default]
+  fpras      the paper's PQEEstimate (Theorem 1)
+  lifted     exact safe-plan evaluation (hierarchical queries only)
+  brute      exact enumeration of all 2^|D| worlds (tiny databases)
+  karp-luby  lineage-free Karp-Luby estimator (20k samples)
+  mc         naive Monte Carlo (100k worlds, additive error)
+
+DATABASE FORMAT: one fact per line, optional leading probability:
+  0.9  Link(a,b)
+  3/4  Link(b,c)
+       Link(c,d)        # no probability = certain
+";
+
+struct Args {
+    positional: Vec<String>,
+    options: std::collections::HashMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut options = std::collections::HashMap::new();
+    let mut it = argv.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{name} requires a value"))?;
+            if options.insert(name.to_owned(), value.clone()).is_some() {
+                return Err(format!("option --{name} given twice"));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Args {
+        positional,
+        options,
+    })
+}
+
+impl Args {
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.opt(name)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    fn epsilon(&self) -> Result<f64, String> {
+        match self.opt("epsilon") {
+            None => Ok(0.1),
+            Some(s) => {
+                let e: f64 = s.parse().map_err(|_| format!("bad --epsilon {s:?}"))?;
+                if e <= 0.0 || e >= 1.0 {
+                    return Err(format!("--epsilon must lie in (0,1), got {e}"));
+                }
+                Ok(e)
+            }
+        }
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        match self.opt("seed") {
+            None => Ok(0x5eed),
+            Some(s) => s.parse().map_err(|_| format!("bad --seed {s:?}")),
+        }
+    }
+
+    fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!("unknown option --{k} (see `pqe help`)"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn load_db(args: &Args) -> Result<ProbDatabase, String> {
+    let path = args.require("db")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    dbio::load_str(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_query(args: &Args) -> Result<ConjunctiveQuery, String> {
+    let q = args.require("query")?;
+    parse(q).map_err(|e| e.to_string())
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), String> {
+    args.check_known(&["db", "query", "epsilon", "seed", "method"])?;
+    let h = load_db(args)?;
+    let q = load_query(args)?;
+    let eps = args.epsilon()?;
+    let seed = args.seed()?;
+    let method = args.opt("method").unwrap_or("auto");
+    let class = landscape::classify(&q);
+
+    let chosen = match method {
+        "auto" => {
+            if class.safe {
+                "lifted"
+            } else {
+                "fpras"
+            }
+        }
+        m => m,
+    };
+    match chosen {
+        "lifted" => {
+            let p = lifted_pqe(&q, &h).map_err(|e| e.to_string())?;
+            println!("Pr(Q) = {} ≈ {:.6}   [lifted inference, exact]", p, p.to_f64());
+        }
+        "fpras" => {
+            let cfg = FprasConfig::with_epsilon(eps).with_seed(seed);
+            let r = pqe_estimate(&q, &h, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "Pr(Q) ≈ {:.6}   [FPRAS, ε = {eps}, {} states, {:.1?}]",
+                r.probability.to_f64(),
+                r.automaton_states,
+                r.elapsed
+            );
+        }
+        "brute" => {
+            if h.len() > pqe::db::worlds::MAX_ENUM_FACTS {
+                return Err(format!(
+                    "--method brute needs |D| ≤ {}, got {}",
+                    pqe::db::worlds::MAX_ENUM_FACTS,
+                    h.len()
+                ));
+            }
+            let p = brute_force_pqe(&q, &h);
+            println!("Pr(Q) = {} ≈ {:.6}   [brute force, exact]", p, p.to_f64());
+        }
+        "karp-luby" => {
+            let r = karp_luby_pqe(&q, &h, 20_000, seed);
+            println!(
+                "Pr(Q) ≈ {:.6}   [Karp-Luby, {} samples, E[#true clauses] = {:.1}]",
+                r.estimate.to_f64(),
+                r.samples,
+                r.mean_true_clauses
+            );
+        }
+        "mc" => {
+            let p = naive_monte_carlo_pqe(&q, &h, 100_000, seed);
+            println!("Pr(Q) ≈ {p:.6}   [naive Monte Carlo, 100k worlds, additive error]");
+        }
+        other => return Err(format!("unknown --method {other:?}")),
+    }
+    eprintln!("landscape: {class}");
+    Ok(())
+}
+
+fn cmd_reliability(args: &Args) -> Result<(), String> {
+    args.check_known(&["db", "query", "epsilon", "seed"])?;
+    let h = load_db(args)?;
+    let q = load_query(args)?;
+    let cfg = FprasConfig::with_epsilon(args.epsilon()?).with_seed(args.seed()?);
+    let r = ur_estimate(&q, h.database(), &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "UR(Q, D) ≈ {}   of 2^{} subinstances   [UREstimate, {:.1?}]",
+        r.reliability,
+        h.len(),
+        r.elapsed
+    );
+    Ok(())
+}
+
+fn cmd_classify(args: &Args) -> Result<(), String> {
+    args.check_known(&["query"])?;
+    let q = load_query(args)?;
+    let c = landscape::classify(&q);
+    println!("query    : {q}");
+    println!("landscape: {c}");
+    let advice = match c.verdict {
+        landscape::Verdict::ExactAndFpras => {
+            "safe: exact lifted inference applies (and so does the FPRAS)"
+        }
+        landscape::Verdict::FprasOnly => {
+            "#P-hard exactly; the combined FPRAS is the guaranteed option"
+        }
+        landscape::Verdict::ExactOnly => "exact lifted inference only (width unbounded)",
+        landscape::Verdict::Open => "outside all positive cells of Table 1",
+    };
+    println!("advice   : {advice}");
+    Ok(())
+}
+
+fn cmd_sample(args: &Args) -> Result<(), String> {
+    args.check_known(&["db", "query", "count", "seed", "epsilon"])?;
+    let h = load_db(args)?;
+    let q = load_query(args)?;
+    let count: usize = match args.opt("count") {
+        None => 5,
+        Some(s) => s.parse().map_err(|_| format!("bad --count {s:?}"))?,
+    };
+    let cfg = FprasConfig::with_epsilon(args.epsilon()?).with_seed(args.seed()?);
+    let sampler = WeightedWorldSampler::new(&q, &h, cfg).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(args.seed()?);
+    let worlds = sampler.sample_batch(count, &mut rng);
+    if worlds.is_empty() {
+        println!("no satisfying world exists (Pr(Q) = 0)");
+        return Ok(());
+    }
+    for (i, w) in worlds.iter().enumerate() {
+        let facts: Vec<String> = h
+            .database()
+            .fact_ids()
+            .filter(|f| w[f.index()])
+            .map(|f| h.database().display_fact(f))
+            .collect();
+        println!("world {}: {{{}}}", i + 1, facts.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_marginals(args: &Args) -> Result<(), String> {
+    args.check_known(&["db", "query", "samples", "seed", "epsilon"])?;
+    let h = load_db(args)?;
+    let q = load_query(args)?;
+    let samples: usize = match args.opt("samples") {
+        None => 2000,
+        Some(s) => s.parse().map_err(|_| format!("bad --samples {s:?}"))?,
+    };
+    let cfg = FprasConfig::with_epsilon(args.epsilon()?).with_seed(args.seed()?);
+    let sampler = WeightedWorldSampler::new(&q, &h, cfg).map_err(|e| e.to_string())?;
+    let mut rng = StdRng::seed_from_u64(args.seed()?);
+    let Some(marginals) = sampler.marginals(samples, &mut rng) else {
+        println!("Pr(Q) = 0: conditional marginals undefined");
+        return Ok(());
+    };
+    println!("P(fact ∈ world | Q holds), from {samples} conditioned samples:");
+    let mut rows: Vec<(f64, String)> = h
+        .database()
+        .fact_ids()
+        .map(|f| (marginals[f.index()], h.database().display_fact(f)))
+        .collect();
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (p, fact) in rows {
+        println!("  {p:.4}  {fact}");
+    }
+    Ok(())
+}
+
+fn cmd_influence(args: &Args) -> Result<(), String> {
+    args.check_known(&["db", "query", "epsilon", "seed"])?;
+    let h = load_db(args)?;
+    let q = load_query(args)?;
+    let cfg = FprasConfig::with_epsilon(args.epsilon()?).with_seed(args.seed()?);
+    println!("influence ∂Pr(Q)/∂π(f) = Pr(Q|f=1) − Pr(Q|f=0):");
+    let mut rows: Vec<(f64, String)> = Vec::new();
+    for f in h.database().fact_ids() {
+        let inf = pqe::core::fact_influence(&q, &h, f, &cfg).map_err(|e| e.to_string())?;
+        rows.push((inf, h.database().display_fact(f)));
+    }
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    for (inf, fact) in rows {
+        println!("  {inf:+.4}  {fact}");
+    }
+    Ok(())
+}
+
+fn cmd_lineage(args: &Args) -> Result<(), String> {
+    args.check_known(&["db", "query", "materialize"])?;
+    let h = load_db(args)?;
+    let q = load_query(args)?;
+    let count = Lineage::clause_count(&q, h.database());
+    println!("lineage clauses: {count}");
+    if let Some(limit) = args.opt("materialize") {
+        let limit: usize = limit.parse().map_err(|_| "bad --materialize".to_owned())?;
+        let lin = Lineage::build(&q, h.database(), limit);
+        for clause in lin.clauses() {
+            let facts: Vec<String> = clause
+                .iter()
+                .map(|&f| h.database().display_fact(f))
+                .collect();
+            println!("  {}", facts.join(" ∧ "));
+        }
+        if lin.truncated() {
+            println!("  … truncated at {limit}");
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err("no command given (see `pqe help`)".to_owned());
+    };
+    let args = parse_args(&argv[1..])?;
+    if !args.positional.is_empty() {
+        return Err(format!("unexpected argument {:?}", args.positional[0]));
+    }
+    match cmd.as_str() {
+        "estimate" => cmd_estimate(&args),
+        "reliability" => cmd_reliability(&args),
+        "classify" => cmd_classify(&args),
+        "sample" => cmd_sample(&args),
+        "marginals" => cmd_marginals(&args),
+        "influence" => cmd_influence(&args),
+        "lineage" => cmd_lineage(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (see `pqe help`)")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

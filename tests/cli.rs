@@ -1,0 +1,249 @@
+//! End-to-end tests of the `pqe` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn pqe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pqe"))
+}
+
+fn write_db(content: &str) -> tempfile_path::TempPath {
+    tempfile_path::write(content)
+}
+
+/// Minimal temp-file helper (no external crate).
+mod tempfile_path {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct TempPath(pub PathBuf);
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    pub fn write(content: &str) -> TempPath {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "pqe-cli-test-{}-{n}.pdb",
+            std::process::id()
+        ));
+        std::fs::write(&path, content).unwrap();
+        TempPath(path)
+    }
+}
+
+const TWO_PATH_DB: &str = "1/2 R(a,b)\n1/3 S(b,c)\n1/5 S(b,d)\n";
+
+#[test]
+fn estimate_brute_matches_hand_computation() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--method", "brute"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Pr = 1/2 · (1 − 2/3·4/5) = 1/2 · 7/15 = 7/30.
+    assert!(stdout.contains("7/30"), "stdout: {stdout}");
+}
+
+#[test]
+fn estimate_fpras_close_to_exact() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--method", "fpras", "--epsilon", "0.1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value: f64 = stdout
+        .split('≈')
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    let exact = 7.0 / 30.0;
+    assert!((value / exact - 1.0).abs() <= 0.1, "value {value}");
+}
+
+#[test]
+fn auto_routes_safe_queries_to_lifted() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lifted"));
+}
+
+#[test]
+fn classify_reports_landscape_cell() {
+    let out = pqe()
+        .args(["classify", "--query", "R1(x,y), R2(y,z), R3(z,w)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("safe=false"), "{stdout}");
+    assert!(stdout.contains("FprasOnly"), "{stdout}");
+}
+
+#[test]
+fn reliability_counts_subinstances() {
+    let db = write_db("R(a,b)\nS(b,c)\nS(b,d)\n");
+    let out = pqe()
+        .args(["reliability", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--epsilon", "0.1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2^3"), "{stdout}");
+}
+
+#[test]
+fn sample_prints_satisfying_worlds() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["sample", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--count", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Every sampled world must contain R(a,b) (the only R fact).
+    for line in stdout.lines() {
+        assert!(line.contains("R(a,b)"), "world without witness: {line}");
+    }
+}
+
+#[test]
+fn lineage_counts_and_materializes() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["lineage", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--materialize", "10"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lineage clauses: 2"), "{stdout}");
+    assert!(stdout.contains("R(a,b) ∧ S(b,c)"), "{stdout}");
+}
+
+#[test]
+fn errors_use_exit_code_2_and_name_the_problem() {
+    // Unknown command.
+    let out = pqe().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing --db.
+    let out = pqe().args(["estimate", "--query", "R(x)"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--db"));
+
+    // Bad epsilon.
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y)", "--epsilon", "2.0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("(0,1)"));
+
+    // Malformed database.
+    let bad = write_db("this is not a fact\n");
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&bad.0)
+        .args(["--query", "R(x)"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 1"));
+
+    // Self-join via fpras.
+    let db2 = write_db("R(a,b)\nR(b,c)\n");
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db2.0)
+        .args(["--query", "R(x,y), R(y,z)", "--method", "fpras"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("self-join"));
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = pqe().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn stdin_is_not_consumed() {
+    // The CLI must be usable in pipelines without hanging on stdin.
+    let mut child = pqe()
+        .args(["classify", "--query", "R(x,y)"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.take().unwrap().write_all(b"ignored").unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
+fn marginals_rank_the_witness_facts() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["marginals", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--samples", "500"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // R(a,b) is in every witness: conditional marginal 1.0, ranked first.
+    let first = stdout.lines().nth(1).unwrap();
+    assert!(first.contains("1.0000") && first.contains("R(a,b)"), "{stdout}");
+}
+
+#[test]
+fn influence_is_largest_for_the_bottleneck_fact() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["influence", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--epsilon", "0.1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The single R fact gates the whole query: top influence row.
+    let first = stdout.lines().nth(1).unwrap();
+    assert!(first.contains("R(a,b)"), "{stdout}");
+}

@@ -1,0 +1,108 @@
+//! Empirical validation of Theorem 1's `(1±ε)` w.h.p. guarantee:
+//! across independent seeds, the observed relative error of `PQEEstimate`
+//! must stay within ε for the vast majority of runs, on both safe and
+//! unsafe queries, at more than one ε.
+
+use pqe::arith::BigFloat;
+use pqe::automata::FprasConfig;
+use pqe::core::baselines::brute_force_pqe;
+use pqe::core::{pqe_estimate, ur_estimate};
+use pqe::db::generators;
+use pqe::query::shapes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `trials` independent estimates and returns how many landed within
+/// the requested relative error.
+fn hits_within_epsilon(
+    q: &pqe::query::ConjunctiveQuery,
+    h: &pqe::db::ProbDatabase,
+    epsilon: f64,
+    trials: u64,
+) -> u64 {
+    let exact = BigFloat::from_rational(&brute_force_pqe(q, h));
+    (0..trials)
+        .filter(|&t| {
+            let cfg = FprasConfig::with_epsilon(epsilon).with_seed(0xABCD + t);
+            let est = pqe_estimate(q, h, &cfg).unwrap().probability;
+            est.relative_error_to(&exact) <= epsilon
+        })
+        .count() as u64
+}
+
+#[test]
+fn unsafe_path_query_meets_epsilon_with_high_probability() {
+    let mut rng = StdRng::seed_from_u64(2001);
+    let db = generators::layered_graph_connected(3, 2, 0.6, &mut rng);
+    let h = generators::with_random_probs(db, 5, &mut rng);
+    let q = shapes::path_query(3);
+    let trials = 12;
+    let hits = hits_within_epsilon(&q, &h, 0.2, trials);
+    assert!(
+        hits >= trials - 1,
+        "only {hits}/{trials} runs within ε = 0.2"
+    );
+}
+
+#[test]
+fn tighter_epsilon_still_met() {
+    let mut rng = StdRng::seed_from_u64(2002);
+    let db = generators::layered_graph_connected(3, 2, 0.5, &mut rng);
+    let h = generators::with_random_probs(db, 4, &mut rng);
+    let q = shapes::path_query(3);
+    let trials = 8;
+    let hits = hits_within_epsilon(&q, &h, 0.1, trials);
+    assert!(hits >= trials - 1, "only {hits}/{trials} runs within ε = 0.1");
+}
+
+#[test]
+fn safe_star_query_meets_epsilon() {
+    let mut rng = StdRng::seed_from_u64(2003);
+    let db = generators::star_data(2, 2, 2, 0.8, &mut rng);
+    let h = generators::with_random_probs(db, 6, &mut rng);
+    let q = shapes::star_query(2);
+    let trials = 8;
+    let hits = hits_within_epsilon(&q, &h, 0.15, trials);
+    assert!(hits >= trials - 1, "only {hits}/{trials} runs within ε");
+}
+
+#[test]
+fn ur_estimate_respects_epsilon_across_seeds() {
+    let mut rng = StdRng::seed_from_u64(2004);
+    let db = generators::layered_graph_connected(3, 2, 0.6, &mut rng);
+    let q = shapes::path_query(3);
+    let exact = BigFloat::from_biguint(&pqe::core::baselines::brute_force_ur(&q, &db));
+    let trials = 10u64;
+    let hits = (0..trials)
+        .filter(|&t| {
+            let cfg = FprasConfig::with_epsilon(0.2).with_seed(0xBEEF + t);
+            let est = ur_estimate(&q, &db, &cfg).unwrap().reliability;
+            est.relative_error_to(&exact) <= 0.2
+        })
+        .count() as u64;
+    assert!(hits >= trials - 1, "only {hits}/{trials} UR runs within ε");
+}
+
+#[test]
+fn estimates_are_deterministic_given_config() {
+    let mut rng = StdRng::seed_from_u64(2005);
+    let db = generators::layered_graph_connected(3, 2, 0.6, &mut rng);
+    let h = generators::with_random_probs(db, 4, &mut rng);
+    let q = shapes::path_query(3);
+    let cfg = FprasConfig::with_epsilon(0.2).with_seed(777);
+    let a = pqe_estimate(&q, &h, &cfg).unwrap().probability;
+    let b = pqe_estimate(&q, &h, &cfg).unwrap().probability;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn guarantee_grade_config_is_at_least_as_accurate() {
+    let mut rng = StdRng::seed_from_u64(2006);
+    let db = generators::layered_graph_connected(3, 2, 0.5, &mut rng);
+    let h = generators::with_random_probs(db, 4, &mut rng);
+    let q = shapes::path_query(3);
+    let exact = BigFloat::from_rational(&brute_force_pqe(&q, &h));
+    let cfg = FprasConfig::guarantee_grade(0.15).with_seed(31337);
+    let est = pqe_estimate(&q, &h, &cfg).unwrap().probability;
+    assert!(est.relative_error_to(&exact) <= 0.15);
+}

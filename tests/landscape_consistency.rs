@@ -1,0 +1,85 @@
+//! The Table 1 classifier must agree with what the algorithms actually do:
+//! lifted inference succeeds exactly on queries classified safe; the FPRAS
+//! accepts exactly the self-join-free ones.
+
+use pqe::arith::Rational;
+use pqe::automata::FprasConfig;
+use pqe::core::baselines::lifted_pqe;
+use pqe::core::landscape::{classify, Verdict};
+use pqe::core::pqe_estimate;
+use pqe::db::{generators, ProbDatabase};
+use pqe::query::{parse, shapes, ConjunctiveQuery};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_h(q: &ConjunctiveQuery, seed: u64) -> ProbDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rels: Vec<(String, usize)> = q
+        .atoms()
+        .iter()
+        .map(|a| (a.relation.clone(), a.terms.len()))
+        .collect();
+    let rel_refs: Vec<(&str, usize)> = rels.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+    let db = generators::random_instance(&rel_refs, 3, 3, &mut rng);
+    generators::with_uniform_probs(db, Rational::from_ratio(1, 2))
+}
+
+#[test]
+fn lifted_succeeds_iff_classified_safe() {
+    let queries: Vec<ConjunctiveQuery> = vec![
+        shapes::star_query(3),
+        shapes::path_query(2),
+        shapes::path_query(3),
+        shapes::path_query(5),
+        shapes::h0_query(),
+        shapes::cycle_query(3),
+        parse("A(x), B(x,y)").unwrap(),
+        parse("A(x), B(x,y), C(x,y,z)").unwrap(),
+        parse("A(x,y), B(u,v)").unwrap(),
+    ];
+    for (i, q) in queries.iter().enumerate() {
+        let c = classify(q);
+        let h = sample_h(q, 3000 + i as u64);
+        let lifted_ok = lifted_pqe(q, &h).is_ok();
+        assert_eq!(
+            lifted_ok, c.safe,
+            "query {q}: classifier safe={} but lifted_ok={}",
+            c.safe, lifted_ok
+        );
+    }
+}
+
+#[test]
+fn fpras_accepts_iff_self_join_free() {
+    let cfg = FprasConfig::with_epsilon(0.3).with_seed(1);
+    let sjf = shapes::path_query(3);
+    let h = sample_h(&sjf, 42);
+    assert!(pqe_estimate(&sjf, &h, &cfg).is_ok());
+
+    let with_sj = shapes::self_join_path(3);
+    let h = sample_h(&with_sj, 43);
+    assert!(pqe_estimate(&with_sj, &h, &cfg).is_err());
+}
+
+#[test]
+fn verdicts_cover_all_table1_rows() {
+    assert_eq!(classify(&shapes::star_query(2)).verdict, Verdict::ExactAndFpras);
+    assert_eq!(classify(&shapes::path_query(4)).verdict, Verdict::FprasOnly);
+    assert_eq!(classify(&shapes::self_join_path(2)).verdict, Verdict::Open);
+    assert_eq!(classify(&shapes::clique_query(8)).verdict, Verdict::Open);
+}
+
+#[test]
+fn safe_queries_get_matching_exact_and_fpras_answers() {
+    let q = shapes::star_query(2);
+    let h = sample_h(&q, 99);
+    let exact = lifted_pqe(&q, &h).unwrap();
+    let cfg = FprasConfig::with_epsilon(0.15).with_seed(5);
+    let est = pqe_estimate(&q, &h, &cfg).unwrap().probability;
+    if exact.is_zero() {
+        assert!(est.is_zero());
+    } else {
+        let rel = (est.to_f64() / exact.to_f64() - 1.0).abs();
+        assert!(rel <= 0.15, "exact {exact}, est {est}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based integration tests: on randomly generated instances, the
+//! automaton reductions (evaluated with the *exact* tree/string counting
+//! oracles, so no sampling noise) must reproduce brute-force ground truth
+//! bit for bit.
+
+use proptest::prelude::*;
+use pqe::arith::{BigUint, Rational};
+use pqe::automata::count_trees_exact;
+use pqe::core::baselines::{brute_force_pqe, brute_force_ur};
+use pqe::core::reductions::{build_path_nfa, build_pqe_automaton, build_ur_automaton};
+use pqe::db::{Database, ProbDatabase, Schema};
+use pqe::query::shapes;
+
+/// A random tiny triangle instance for the width-2 cycle query: three
+/// binary relations over a 2-element domain, fact presence from a bitmask.
+fn tiny_triangle(edge_bits: u64) -> Database {
+    let schema = Schema::new([("R1", 2), ("R2", 2), ("R3", 2)]);
+    let mut db = Database::new(schema);
+    let mut bit = 0;
+    for rel in ["R1", "R2", "R3"] {
+        for a in 0..2 {
+            for b in 0..2 {
+                if (edge_bits >> (bit % 64)) & 1 == 1 {
+                    db.add_fact(rel, &[&format!("c{a}"), &format!("c{b}")]).unwrap();
+                }
+                bit += 1;
+            }
+        }
+    }
+    db
+}
+
+/// A random tiny layered instance for a path query of length `len`:
+/// edge presence decided by a bit vector, probabilities from small
+/// numerator/denominator pairs.
+fn tiny_instance(len: usize, edge_bits: u64, width: usize) -> Database {
+    let rels: Vec<String> = (1..=len).map(|i| format!("R{i}")).collect();
+    let schema = Schema::new(rels.iter().map(|r| (r.as_str(), 2)));
+    let mut db = Database::new(schema);
+    let mut bit = 0;
+    for (i, rel) in rels.iter().enumerate() {
+        for a in 0..width {
+            for b in 0..width {
+                if (edge_bits >> (bit % 64)) & 1 == 1 {
+                    let src = format!("n{i}_{a}");
+                    let dst = format!("n{}_{b}", i + 1);
+                    db.add_fact(rel, &[&src, &dst]).unwrap();
+                }
+                bit += 1;
+            }
+        }
+    }
+    db
+}
+
+fn probs_for(db: &Database, seed_probs: &[(u8, u8)]) -> ProbDatabase {
+    let probs: Vec<Rational> = (0..db.len())
+        .map(|i| {
+            let (w, d) = seed_probs[i % seed_probs.len()];
+            let d = (d % 7).max(1) as i64 + 1; // 2..=8
+            let w = (w as i64) % (d + 1); // 0..=d
+            Rational::from_ratio(w, d as u64)
+        })
+        .collect();
+    ProbDatabase::with_probs(db.clone(), probs).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ur_reduction_is_exact_on_random_paths(
+        len in 2usize..4,
+        edge_bits in any::<u64>(),
+    ) {
+        let db = tiny_instance(len, edge_bits, 2);
+        prop_assume!(db.len() <= 12);
+        let q = shapes::path_query(len);
+        let ur = build_ur_automaton(&q, &db).unwrap();
+        let (nfta, _) = ur.aug.translate();
+        let via_automaton =
+            &count_trees_exact(&nfta, ur.target_size) * &(&BigUint::one() << ur.dropped_facts as u64);
+        prop_assert_eq!(via_automaton, brute_force_ur(&q, &db));
+    }
+
+    #[test]
+    fn path_nfa_is_exact_on_random_paths(
+        len in 2usize..4,
+        edge_bits in any::<u64>(),
+    ) {
+        let db = tiny_instance(len, edge_bits, 2);
+        prop_assume!(db.len() <= 12);
+        let q = shapes::path_query(len);
+        let p = build_path_nfa(&q, &db).unwrap();
+        let via_nfa = &p.nfa.count_strings_exact(p.target_len)
+            * &(&BigUint::one() << p.dropped_facts as u64);
+        prop_assert_eq!(via_nfa, brute_force_ur(&q, &db));
+    }
+
+    #[test]
+    fn pqe_reduction_is_exact_on_random_weighted_paths(
+        len in 2usize..4,
+        edge_bits in any::<u64>(),
+        seed_probs in proptest::collection::vec((any::<u8>(), any::<u8>()), 4..8),
+    ) {
+        let db = tiny_instance(len, edge_bits, 2);
+        prop_assume!(db.len() <= 10);
+        let h = probs_for(&db, &seed_probs);
+        let q = shapes::path_query(len);
+        let pqe = build_pqe_automaton(&q, &h).unwrap();
+        let trees = count_trees_exact(&pqe.nfta, pqe.target_size);
+        let via_automaton = Rational::new(trees.into(), pqe.denominator.clone());
+        prop_assert_eq!(via_automaton, brute_force_pqe(&q, &h));
+    }
+
+    #[test]
+    fn ur_reduction_is_exact_on_random_triangles(edge_bits in any::<u64>()) {
+        // Width-2 (cyclic) queries: exercises multi-atom bags and the
+        // binary branches of the decomposition end to end.
+        let db = tiny_triangle(edge_bits);
+        prop_assume!(db.len() <= 12);
+        let q = shapes::cycle_query(3);
+        let ur = build_ur_automaton(&q, &db).unwrap();
+        let (nfta, _) = ur.aug.translate();
+        let via_automaton =
+            &count_trees_exact(&nfta, ur.target_size) * &(&BigUint::one() << ur.dropped_facts as u64);
+        prop_assert_eq!(via_automaton, brute_force_ur(&q, &db));
+    }
+
+    #[test]
+    fn pqe_reduction_is_exact_on_random_weighted_triangles(
+        edge_bits in any::<u64>(),
+        seed_probs in proptest::collection::vec((any::<u8>(), any::<u8>()), 4..8),
+    ) {
+        let db = tiny_triangle(edge_bits);
+        prop_assume!(db.len() <= 9);
+        let h = probs_for(&db, &seed_probs);
+        let q = shapes::cycle_query(3);
+        let pqe = build_pqe_automaton(&q, &h).unwrap();
+        let trees = count_trees_exact(&pqe.nfta, pqe.target_size);
+        let via_automaton = Rational::new(trees.into(), pqe.denominator.clone());
+        prop_assert_eq!(via_automaton, brute_force_pqe(&q, &h));
+    }
+
+    #[test]
+    fn reduction_tree_counts_are_size_concentrated(
+        len in 2usize..4,
+        edge_bits in any::<u64>(),
+    ) {
+        // No accepted trees at any size other than the target: the
+        // uniform-size property that makes counting at one length valid.
+        let db = tiny_instance(len, edge_bits, 2);
+        prop_assume!((3..=9).contains(&db.len()));
+        let q = shapes::path_query(len);
+        let ur = build_ur_automaton(&q, &db).unwrap();
+        let (nfta, _) = ur.aug.translate();
+        for delta in [-1i64, 1] {
+            let off = (ur.target_size as i64 + delta).max(0) as usize;
+            if off != ur.target_size && off > 0 {
+                prop_assert!(count_trees_exact(&nfta, off).is_zero(),
+                    "accepted trees at off-target size {off}");
+            }
+        }
+    }
+}
