@@ -1,119 +1,164 @@
 //! Property-based tests: algebraic laws of `BigUint`, `BigInt`, `Rational`,
 //! checked against `u128`/`i128` reference semantics and against each other.
 
-use proptest::prelude::*;
 use pqe_arith::{BigInt, BigUint, Rational};
+use pqe_testkit::prelude::*;
+use pqe_testkit::BoxedGen;
 
-fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+fn cfg() -> Config {
+    Config::cases(256).with_corpus("tests/corpus/proptests.corpus")
+}
+
+fn biguint_gen() -> BoxedGen<BigUint> {
     // Mix small values (edge cases) with multi-limb values.
-    prop_oneof![
-        (0u64..16).prop_map(BigUint::from),
-        any::<u64>().prop_map(BigUint::from),
-        any::<u128>().prop_map(BigUint::from),
+    one_of(vec![
+        (0u64..16).prop_map(BigUint::from).boxed(),
+        any::<u64>().prop_map(BigUint::from).boxed(),
+        any::<u128>().prop_map(BigUint::from).boxed(),
         (any::<u128>(), any::<u128>())
-            .prop_map(|(a, b)| &(&BigUint::from(a) << 128) + &BigUint::from(b)),
-    ]
+            .prop_map(|(a, b)| &(&BigUint::from(a) << 128) + &BigUint::from(b))
+            .boxed(),
+    ])
+    .boxed()
 }
 
-fn bigint_strategy() -> impl Strategy<Value = BigInt> {
-    (biguint_strategy(), any::<bool>()).prop_map(|(m, neg)| {
-        let v = BigInt::from(m);
-        if neg {
-            -v
-        } else {
-            v
-        }
-    })
+fn bigint_gen() -> BoxedGen<BigInt> {
+    (biguint_gen(), any::<bool>())
+        .prop_map(|(m, neg)| {
+            let v = BigInt::from(m);
+            if neg {
+                -v
+            } else {
+                v
+            }
+        })
+        .boxed()
 }
 
-fn rational_strategy() -> impl Strategy<Value = Rational> {
-    (bigint_strategy(), biguint_strategy()).prop_map(|(n, d)| {
-        let d = if d.is_zero() { BigUint::one() } else { d };
-        Rational::new(n, d)
-    })
+fn rational_gen() -> BoxedGen<Rational> {
+    (bigint_gen(), biguint_gen())
+        .prop_map(|(n, d)| {
+            let d = if d.is_zero() { BigUint::one() } else { d };
+            Rational::new(n, d)
+        })
+        .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn add_matches_u128() {
+    check("add_matches_u128", &cfg(), &(any::<u64>(), any::<u64>()), |&(a, b)| {
         let sum = &BigUint::from(a) + &BigUint::from(b);
         prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn mul_matches_u128() {
+    check("mul_matches_u128", &cfg(), &(any::<u64>(), any::<u64>()), |&(a, b)| {
         let prod = &BigUint::from(a) * &BigUint::from(b);
         prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn divrem_matches_u128(a in any::<u128>(), b in 1u128..) {
+#[test]
+fn divrem_matches_u128() {
+    check("divrem_matches_u128", &cfg(), &(any::<u128>(), 1u128..), |&(a, b)| {
         let (q, r) = BigUint::from(a).divrem(&BigUint::from(b));
         prop_assert_eq!(q.to_u128(), Some(a / b));
         prop_assert_eq!(r.to_u128(), Some(a % b));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn add_commutative_associative(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-    }
+#[test]
+fn add_commutative_associative() {
+    let gens = (biguint_gen(), biguint_gen(), biguint_gen());
+    check("add_commutative_associative", &cfg(), &gens, |(a, b, c)| {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(&(a + b) + c, a + &(b + c));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mul_distributes_over_add(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
+#[test]
+fn mul_distributes_over_add() {
+    let gens = (biguint_gen(), biguint_gen(), biguint_gen());
+    check("mul_distributes_over_add", &cfg(), &gens, |(a, b, c)| {
+        prop_assert_eq!(a * &(b + c), &(a * b) + &(a * c));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn divrem_reconstructs(a in biguint_strategy(), b in biguint_strategy()) {
+#[test]
+fn divrem_reconstructs() {
+    check("divrem_reconstructs", &cfg(), &(biguint_gen(), biguint_gen()), |(a, b)| {
         prop_assume!(!b.is_zero());
-        let (q, r) = a.divrem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(&(&q * &b) + &r, a);
-    }
+        let (q, r) = a.divrem(b);
+        prop_assert!(r < *b);
+        prop_assert_eq!(&(&q * b) + &r, *a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sub_inverts_add(a in biguint_strategy(), b in biguint_strategy()) {
-        prop_assert_eq!(&(&a + &b) - &b, a);
-    }
+#[test]
+fn sub_inverts_add() {
+    check("sub_inverts_add", &cfg(), &(biguint_gen(), biguint_gen()), |(a, b)| {
+        prop_assert_eq!(&(a + b) - b, *a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn shifts_are_pow2_muldiv(a in biguint_strategy(), s in 0u64..200) {
+#[test]
+fn shifts_are_pow2_muldiv() {
+    check("shifts_are_pow2_muldiv", &cfg(), &(biguint_gen(), 0u64..200), |(a, s)| {
+        let s = *s;
         let two_s = BigUint::from(2u32).pow(s as u32);
-        prop_assert_eq!(&a << s, &a * &two_s);
-        prop_assert_eq!(&a >> s, &a / &two_s);
-    }
+        prop_assert_eq!(a << s, a * &two_s);
+        prop_assert_eq!(a >> s, a / &two_s);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gcd_divides_both_and_is_maximal(a in biguint_strategy(), b in biguint_strategy()) {
+#[test]
+fn gcd_divides_both_and_is_maximal() {
+    check("gcd_divides", &cfg(), &(biguint_gen(), biguint_gen()), |(a, b)| {
         prop_assume!(!a.is_zero() && !b.is_zero());
-        let g = a.gcd(&b);
-        prop_assert!((&a % &g).is_zero());
-        prop_assert!((&b % &g).is_zero());
+        let g = a.gcd(b);
+        prop_assert!((a % &g).is_zero());
+        prop_assert!((b % &g).is_zero());
         // Co-factors must be coprime.
-        let ca = &a / &g;
-        let cb = &b / &g;
+        let ca = a / &g;
+        let cb = b / &g;
         prop_assert!(ca.gcd(&cb).is_one());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decimal_roundtrips(a in biguint_strategy()) {
+#[test]
+fn decimal_roundtrips() {
+    check("decimal_roundtrips", &cfg(), &biguint_gen(), |a| {
         let s = a.to_string();
-        prop_assert_eq!(BigUint::from_decimal(&s).unwrap(), a);
-    }
+        prop_assert_eq!(BigUint::from_decimal(&s).unwrap(), *a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bits_bounds_value(a in biguint_strategy()) {
+#[test]
+fn bits_bounds_value() {
+    check("bits_bounds_value", &cfg(), &biguint_gen(), |a| {
         prop_assume!(!a.is_zero());
         let b = a.bits();
-        prop_assert!(a >= BigUint::from(2u32).pow((b - 1) as u32));
-        prop_assert!(a < BigUint::from(2u32).pow(b as u32));
-    }
+        prop_assert!(*a >= BigUint::from(2u32).pow((b - 1) as u32));
+        prop_assert!(*a < BigUint::from(2u32).pow(b as u32));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigint_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+#[test]
+fn bigint_matches_i128() {
+    check("bigint_matches_i128", &cfg(), &(any::<i64>(), any::<i64>()), |&(a, b)| {
         let (x, y) = (BigInt::from(a), BigInt::from(b));
         prop_assert_eq!((&x + &y).to_string(), (a as i128 + b as i128).to_string());
         prop_assert_eq!((&x - &y).to_string(), (a as i128 - b as i128).to_string());
@@ -122,47 +167,64 @@ proptest! {
             prop_assert_eq!((&x / &y).to_string(), (a as i128 / b as i128).to_string());
             prop_assert_eq!((&x % &y).to_string(), (a as i128 % b as i128).to_string());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bigint_add_negate_is_zero(a in bigint_strategy()) {
-        prop_assert!((&a + &(-&a)).is_zero());
-    }
+#[test]
+fn bigint_add_negate_is_zero() {
+    check("bigint_add_negate_is_zero", &cfg(), &bigint_gen(), |a| {
+        prop_assert!((a + &(-a)).is_zero());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rational_field_laws(a in rational_strategy(), b in rational_strategy(), c in rational_strategy()) {
-        prop_assert_eq!(&a + &b, &b + &a);
-        prop_assert_eq!(&a * &b, &b * &a);
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-        prop_assert_eq!(&(&a - &b) + &b, a.clone());
+#[test]
+fn rational_field_laws() {
+    let gens = (rational_gen(), rational_gen(), rational_gen());
+    check("rational_field_laws", &cfg(), &gens, |(a, b, c)| {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(&(a + b) + c, a + &(b + c));
+        prop_assert_eq!(a * &(b + c), &(a * b) + &(a * c));
+        prop_assert_eq!(&(a - b) + b, a.clone());
         if !b.is_zero() {
-            prop_assert_eq!(&(&a / &b) * &b, a);
+            prop_assert_eq!(&(a / b) * b, *a);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rational_normalized_invariants(a in rational_strategy()) {
+#[test]
+fn rational_normalized_invariants() {
+    check("rational_normalized_invariants", &cfg(), &rational_gen(), |a| {
         prop_assert!(!a.denominator().is_zero());
         if a.is_zero() {
             prop_assert!(a.denominator().is_one());
         } else {
             prop_assert!(a.numerator().magnitude().gcd(a.denominator()).is_one());
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rational_display_roundtrips(a in rational_strategy()) {
+#[test]
+fn rational_display_roundtrips() {
+    check("rational_display_roundtrips", &cfg(), &rational_gen(), |a| {
         let s = a.to_string();
-        prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
-    }
+        prop_assert_eq!(s.parse::<Rational>().unwrap(), *a);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn complement_involution(n in 0u64..1000, d in 1u64..1000) {
+#[test]
+fn complement_involution() {
+    check("complement_involution", &cfg(), &(0u64..1000, 1u64..1000), |&(n, d)| {
         prop_assume!(n <= d);
         let p = Rational::from_ratio(n as i64, d);
         prop_assert!(p.is_probability());
         prop_assert!(p.complement().is_probability());
         prop_assert_eq!(p.complement().complement(), p);
-    }
+        Ok(())
+    });
 }

@@ -11,8 +11,8 @@
 
 use crate::{FprasConfig, Nfa, StateId, SymbolId};
 use pqe_arith::{BigFloat, BigUint};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pqe_rand::rngs::StdRng;
+use pqe_rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 

@@ -23,8 +23,8 @@
 
 use crate::{FprasConfig, Nfta, RunTables, StateId, SymbolId, Tree};
 use pqe_arith::BigFloat;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pqe_rand::rngs::StdRng;
+use pqe_rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};

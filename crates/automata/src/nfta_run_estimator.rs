@@ -21,8 +21,8 @@
 
 use crate::{Nfta, StateId, Tree};
 use pqe_arith::{BigFloat, BigUint};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pqe_rand::rngs::StdRng;
+use pqe_rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Exact run-count tables for an NFTA, reusable across samples.

@@ -2,21 +2,26 @@
 //! subset-determinization oracle on random automata, and exactness of the
 //! translation constructions.
 
-use proptest::prelude::*;
 use pqe_arith::{BigFloat, BigUint};
 use pqe_automata::{
     count_nfa, count_trees_exact, required_bits, Alphabet, AugSymbol, AugTransition,
     AugmentedNfta, FprasConfig, MulTransition, MultiplierNfta, Nfa,
 };
+use pqe_testkit::prelude::*;
+use pqe_testkit::{BoxedGen, Source};
+
+fn cfg() -> Config {
+    Config::cases(48).with_corpus("tests/corpus/proptests.corpus")
+}
 
 /// A random NFA over 2 symbols with up to 4 states; transition triples
-/// `(src, sym, dst)` drawn from a bitviewed seed.
-fn random_nfa() -> impl Strategy<Value = Nfa> {
+/// `(src, sym, dst)` drawn from the byte stream.
+fn random_nfa() -> BoxedGen<Nfa> {
     (
         2usize..=4,
-        proptest::collection::vec((0u32..4, 0u32..2, 0u32..4), 1..14),
-        proptest::collection::vec(any::<bool>(), 4),
-        proptest::collection::vec(any::<bool>(), 4),
+        vec((0u32..4, 0u32..2, 0u32..4), 1..14),
+        vec(any::<bool>(), 4),
+        vec(any::<bool>(), 4),
     )
         .prop_map(|(states, triples, init, acc)| {
             let mut alpha = Alphabet::new();
@@ -44,16 +49,36 @@ fn random_nfa() -> impl Strategy<Value = Nfa> {
             }
             m
         })
+        .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// The corpus entry above must decode to the NFA the old
+/// `proptest-regressions` file pinned: byte-stream encodings are a
+/// contract, and this test keeps the hand-written hex honest.
+#[test]
+fn corpus_entry_decodes_to_the_pinned_regression() {
+    let bytes: Vec<u8> = vec![
+        0x00, 0x01, 0x00, 0x01, 0x01, 0x00, 0x01, 0x01, 0x01, 0x00, 0x00, 0x00, 0x00, 0x01,
+        0x00, 0x00, 0x00,
+    ];
+    let gen = (random_nfa(), 1usize..7);
+    let (nfa, n) = gen.generate(&mut Source::replay(&bytes));
+    assert_eq!(n, 1);
+    // Two copies of 0 -b-> 1 in the stream; `add_transition` dedupes, so
+    // one accepted string ("b") via one accepting path.
+    assert_eq!(nfa.count_strings_exact(1).to_u64(), Some(1));
+    assert_eq!(nfa.count_accepting_paths(1).to_u64(), Some(1));
+    assert_eq!(nfa.count_strings_exact(0).to_u64(), Some(0));
+}
 
-    #[test]
-    fn fpras_tracks_exact_on_random_nfas(nfa in random_nfa(), n in 1usize..7) {
+#[test]
+fn fpras_tracks_exact_on_random_nfas() {
+    let gen = (random_nfa(), 1usize..7);
+    check("fpras_tracks_exact_on_random_nfas", &cfg(), &gen, |(nfa, n)| {
+        let n = *n;
         let exact = nfa.count_strings_exact(n);
         let cfg = FprasConfig::with_epsilon(0.15).with_seed(0xF00D);
-        let approx = count_nfa(&nfa, n, &cfg);
+        let approx = count_nfa(nfa, n, &cfg);
         if exact.is_zero() {
             prop_assert!(approx.is_zero());
         } else {
@@ -62,23 +87,35 @@ proptest! {
             // ambiguous; the median-of-5 estimate must still be close.
             prop_assert!(rel <= 0.35, "exact {exact}, approx {approx}, rel {rel}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn string_count_never_exceeds_path_count(nfa in random_nfa(), n in 0usize..7) {
+#[test]
+fn string_count_never_exceeds_path_count() {
+    let gen = (random_nfa(), 0usize..7);
+    check("string_count_never_exceeds_path_count", &cfg(), &gen, |(nfa, n)| {
         // Each distinct string has ≥ 1 accepting run.
-        prop_assert!(nfa.count_strings_exact(n) <= nfa.count_accepting_paths(n));
-    }
+        prop_assert!(nfa.count_strings_exact(*n) <= nfa.count_accepting_paths(*n));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn unambiguous_nfas_have_equal_counts(nfa in random_nfa(), n in 0usize..6) {
+#[test]
+fn unambiguous_nfas_have_equal_counts() {
+    let gen = (random_nfa(), 0usize..6);
+    check("unambiguous_nfas_have_equal_counts", &cfg(), &gen, |(nfa, n)| {
+        let n = *n;
         if !nfa.is_ambiguous_upto(n) {
             prop_assert_eq!(nfa.count_strings_exact(n), nfa.count_accepting_paths(n));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn multiplier_gadget_is_exact(n in 1u32..64, pad in 0u64..3) {
+#[test]
+fn multiplier_gadget_is_exact() {
+    check("multiplier_gadget_is_exact", &cfg(), &(1u32..64, 0u64..3), |&(n, pad)| {
         let mult = BigUint::from(n);
         let width = required_bits(&mult).max(1) + pad;
         let mut alpha = Alphabet::new();
@@ -97,10 +134,14 @@ proptest! {
             count_trees_exact(&nfta, 1 + width as usize).to_u64(),
             Some(n as u64)
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn optional_symbols_count_powers_of_two(flags in proptest::collection::vec(any::<bool>(), 1..7)) {
+#[test]
+fn optional_symbols_count_powers_of_two() {
+    let gen = vec(any::<bool>(), 1..7);
+    check("optional_symbols_count_powers_of_two", &cfg(), &gen, |flags| {
         // A single augmented transition with k symbols, `opt` of them
         // optional, accepts exactly 2^opt trees.
         let mut alpha = Alphabet::new();
@@ -130,5 +171,6 @@ proptest! {
             count_trees_exact(&nfta, flags.len()).to_u64(),
             Some(1u64 << opt)
         );
-    }
+        Ok(())
+    });
 }

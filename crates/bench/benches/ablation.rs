@@ -3,39 +3,30 @@
 //! makes disjoint parts add exactly, so only genuinely ambiguous
 //! transitions cost samples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_automata::{count_nfta, count_nfta_run_based, FprasConfig};
 use pqe_bench::path_workload;
 use pqe_core::reductions::build_pqe_automaton;
+use pqe_testkit::bench::{black_box, Runner};
 
-fn bench_grouped_vs_naive(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_union_grouping");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::new("ablation");
+    r.start();
     for width in [2usize, 3] {
         let w = path_workload(3, width, 0.8, 330 + width as u64);
         let pqe = build_pqe_automaton(&w.query, &w.h).unwrap();
         let grouped = FprasConfig::with_epsilon(0.25).with_seed(33);
         let naive = FprasConfig::with_epsilon(0.25).with_seed(33).with_naive_unions();
-        g.bench_with_input(
-            BenchmarkId::new("grouped", w.h.len()),
-            &pqe,
-            |b, pqe| b.iter(|| count_nfta(&pqe.nfta, pqe.target_size, &grouped)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("naive", w.h.len()),
-            &pqe,
-            |b, pqe| b.iter(|| count_nfta(&pqe.nfta, pqe.target_size, &naive)),
-        );
+        r.bench(format!("ablation_union_grouping/grouped/{}", w.h.len()), || {
+            black_box(count_nfta(&pqe.nfta, pqe.target_size, &grouped));
+        });
+        r.bench(format!("ablation_union_grouping/naive/{}", w.h.len()), || {
+            black_box(count_nfta(&pqe.nfta, pqe.target_size, &naive));
+        });
         // The simple unbiased run-based estimator: cheap per sample, but its
         // variance is the global witness-multiplicity ratio.
-        g.bench_with_input(
-            BenchmarkId::new("run_based_2k", w.h.len()),
-            &pqe,
-            |b, pqe| b.iter(|| count_nfta_run_based(&pqe.nfta, pqe.target_size, 2000, 7)),
-        );
+        r.bench(format!("ablation_union_grouping/run_based_2k/{}", w.h.len()), || {
+            black_box(count_nfta_run_based(&pqe.nfta, pqe.target_size, 2000, 7));
+        });
     }
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_grouped_vs_naive);
-criterion_main!(benches);

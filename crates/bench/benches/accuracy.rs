@@ -3,31 +3,28 @@
 //! `--bin accuracy`. Also benches the exact oracles that E6 validates
 //! against, so the accuracy/runtime trade-off is visible in one report.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_automata::FprasConfig;
 use pqe_bench::path_workload;
 use pqe_core::baselines::{brute_force_pqe, karp_luby_pqe, naive_monte_carlo_pqe};
 use pqe_core::pqe_estimate;
+use pqe_testkit::bench::{black_box, Runner};
 
-fn bench_estimators_at_fixed_epsilon(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_estimator_cost");
-    g.sample_size(10);
+fn main() {
+    let mut r = Runner::new("accuracy");
+    r.start();
     let w = path_workload(3, 2, 0.6, 606);
     let cfg = FprasConfig::with_epsilon(0.15).with_seed(66);
-    g.bench_with_input(BenchmarkId::new("fpras", &w.label), &w, |b, w| {
-        b.iter(|| pqe_estimate(&w.query, &w.h, &cfg).unwrap())
+    r.bench(format!("e6_estimator_cost/fpras/{}", w.label), || {
+        black_box(pqe_estimate(&w.query, &w.h, &cfg).unwrap());
     });
-    g.bench_with_input(BenchmarkId::new("karp_luby_2k", &w.label), &w, |b, w| {
-        b.iter(|| karp_luby_pqe(&w.query, &w.h, 2000, 9))
+    r.bench(format!("e6_estimator_cost/karp_luby_2k/{}", w.label), || {
+        black_box(karp_luby_pqe(&w.query, &w.h, 2000, 9));
     });
-    g.bench_with_input(BenchmarkId::new("naive_mc_20k", &w.label), &w, |b, w| {
-        b.iter(|| naive_monte_carlo_pqe(&w.query, &w.h, 20_000, 9))
+    r.bench(format!("e6_estimator_cost/naive_mc_20k/{}", w.label), || {
+        black_box(naive_monte_carlo_pqe(&w.query, &w.h, 20_000, 9));
     });
-    g.bench_with_input(BenchmarkId::new("brute_force", &w.label), &w, |b, w| {
-        b.iter(|| brute_force_pqe(&w.query, &w.h))
+    r.bench(format!("e6_estimator_cost/brute_force/{}", w.label), || {
+        black_box(brute_force_pqe(&w.query, &w.h));
     });
-    g.finish();
+    r.finish();
 }
-
-criterion_group!(benches, bench_estimators_at_fixed_epsilon);
-criterion_main!(benches);

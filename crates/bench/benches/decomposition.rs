@@ -2,50 +2,50 @@
 //! shapes the experiment suite relies on (GYO fast path vs the width-k
 //! search), plus the deterministic evaluation substrate (hom counting).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_db::generators;
 use pqe_engine::count_homomorphisms;
 use pqe_hypertree::decompose;
 use pqe_query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
+use pqe_testkit::bench::{black_box, Runner};
 
-fn bench_decompose(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate_decompose");
+fn bench_decompose(r: &mut Runner) {
     for n in [4usize, 8, 16] {
         let q = shapes::path_query(n);
-        g.bench_with_input(BenchmarkId::new("path_gyo", n), &q, |b, q| {
-            b.iter(|| decompose(q).unwrap())
+        r.bench(format!("substrate_decompose/path_gyo/{n}"), || {
+            black_box(decompose(&q).unwrap());
         });
     }
     for n in [4usize, 6, 8] {
         let q = shapes::cycle_query(n);
-        g.bench_with_input(BenchmarkId::new("cycle_detk", n), &q, |b, q| {
-            b.iter(|| decompose(q).unwrap())
+        r.bench(format!("substrate_decompose/cycle_detk/{n}"), || {
+            black_box(decompose(&q).unwrap());
         });
     }
     for n in [1usize, 2, 3] {
         let q = shapes::triangle_chain(n);
-        g.bench_with_input(BenchmarkId::new("triangle_chain_detk", n), &q, |b, q| {
-            b.iter(|| decompose(q).unwrap())
+        r.bench(format!("substrate_decompose/triangle_chain_detk/{n}"), || {
+            black_box(decompose(&q).unwrap());
         });
     }
-    g.finish();
 }
 
-fn bench_hom_counting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("substrate_hom_count");
-    g.sample_size(20);
+fn bench_hom_counting(r: &mut Runner) {
     for width in [4usize, 8, 16] {
         let mut rng = StdRng::seed_from_u64(990 + width as u64);
         let db = generators::layered_graph(5, width, 1.0, &mut rng);
         let q = shapes::path_query(5);
-        g.bench_with_input(BenchmarkId::from_parameter(db.len()), &db, |b, db| {
-            b.iter(|| count_homomorphisms(&q, db))
+        r.bench(format!("substrate_hom_count/{}", db.len()), || {
+            black_box(count_homomorphisms(&q, &db));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_decompose, bench_hom_counting);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("decomposition");
+    r.start();
+    bench_decompose(&mut r);
+    bench_hom_counting(&mut r);
+    r.finish();
+}

@@ -2,45 +2,44 @@
 //! (the Corollary 1 series: the lineage-based competitors blow up
 //! exponentially in `i`, see `--bin path_scaling` for the side-by-side).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_automata::FprasConfig;
 use pqe_core::pqe_estimate;
 use pqe_db::generators;
 use pqe_query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
+use pqe_testkit::bench::{black_box, Runner};
 
-fn bench_fpras_vs_query_length(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_fpras_vs_query_length");
-    g.sample_size(10);
+fn bench_fpras_vs_query_length(r: &mut Runner) {
     let cfg = FprasConfig::with_epsilon(0.25).with_seed(44);
     for i in [2usize, 4, 6] {
         let mut rng = StdRng::seed_from_u64(440 + i as u64);
         let db = generators::layered_graph(i, 2, 1.0, &mut rng);
         let h = generators::with_uniform_probs(db, "1/2".parse().unwrap());
         let q = shapes::path_query(i);
-        g.bench_with_input(BenchmarkId::from_parameter(i), &(q, h), |b, (q, h)| {
-            b.iter(|| pqe_estimate(q, h, &cfg).unwrap())
+        r.bench(format!("e4_fpras_vs_query_length/{i}"), || {
+            black_box(pqe_estimate(&q, &h, &cfg).unwrap());
         });
     }
-    g.finish();
 }
 
-fn bench_lineage_count_vs_query_length(c: &mut Criterion) {
+fn bench_lineage_count_vs_query_length(r: &mut Runner) {
     // The poly-time clause-count alone (the exponential VALUE computed in
     // polynomial time — the E5 mechanism).
-    let mut g = c.benchmark_group("e4_lineage_count_vs_query_length");
-    g.sample_size(20);
     for i in [4usize, 8, 16] {
         let mut rng = StdRng::seed_from_u64(450 + i as u64);
         let db = generators::layered_graph(i, 4, 1.0, &mut rng);
         let q = shapes::path_query(i);
-        g.bench_with_input(BenchmarkId::from_parameter(i), &(q, db), |b, (q, db)| {
-            b.iter(|| pqe_core::baselines::Lineage::clause_count(q, db))
+        r.bench(format!("e4_lineage_count_vs_query_length/{i}"), || {
+            black_box(pqe_core::baselines::Lineage::clause_count(&q, &db));
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_fpras_vs_query_length, bench_lineage_count_vs_query_length);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("path_scaling");
+    r.start();
+    bench_fpras_vs_query_length(&mut r);
+    bench_lineage_count_vs_query_length(&mut r);
+    r.finish();
+}

@@ -2,38 +2,35 @@
 //! `path_scaling.rs`; together they cover all three arguments of the
 //! `poly(|Q|, |H|, ε⁻¹)` bound).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_automata::FprasConfig;
 use pqe_bench::path_workload;
 use pqe_core::pqe_estimate;
+use pqe_testkit::bench::{black_box, Runner};
 
-fn bench_vs_database_size(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_fpras_vs_db_size");
-    g.sample_size(10);
+fn bench_vs_database_size(r: &mut Runner) {
     let cfg = FprasConfig::with_epsilon(0.25).with_seed(70);
     for width in [2usize, 3, 4] {
         let w = path_workload(3, width, 0.8, 700 + width as u64);
-        g.bench_with_input(BenchmarkId::from_parameter(w.h.len()), &w, |b, w| {
-            b.iter(|| pqe_estimate(&w.query, &w.h, &cfg).unwrap())
+        r.bench(format!("e7_fpras_vs_db_size/{}", w.h.len()), || {
+            black_box(pqe_estimate(&w.query, &w.h, &cfg).unwrap());
         });
     }
-    g.finish();
 }
 
-fn bench_vs_epsilon(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7_fpras_vs_inverse_epsilon");
-    g.sample_size(10);
+fn bench_vs_epsilon(r: &mut Runner) {
     let w = path_workload(3, 3, 0.8, 710);
     for eps in [0.4f64, 0.2, 0.1] {
         let cfg = FprasConfig::with_epsilon(eps).with_seed(71);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{:.0}", 1.0 / eps)),
-            &w,
-            |b, w| b.iter(|| pqe_estimate(&w.query, &w.h, &cfg).unwrap()),
-        );
+        r.bench(format!("e7_fpras_vs_inverse_epsilon/{:.0}", 1.0 / eps), || {
+            black_box(pqe_estimate(&w.query, &w.h, &cfg).unwrap());
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_vs_database_size, bench_vs_epsilon);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("runtime_scaling");
+    r.start();
+    bench_vs_database_size(&mut r);
+    bench_vs_epsilon(&mut r);
+    r.finish();
+}

@@ -5,52 +5,43 @@
 //! Row 2 (unsafe): the FPRAS vs the exact intensional route
 //! (lineage + WMC) — the latter blows up with instance size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_automata::FprasConfig;
 use pqe_bench::{path_workload, star_workload};
 use pqe_core::baselines::{dnf_probability, lifted_pqe, Lineage};
 use pqe_core::pqe_estimate;
+use pqe_testkit::bench::{black_box, Runner};
 
-fn bench_row1_safe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("t1_row1_safe_star");
-    g.sample_size(10);
+fn bench_row1_safe(r: &mut Runner) {
     let cfg = FprasConfig::with_epsilon(0.2).with_seed(11);
     for arms in [2usize, 3] {
         let w = star_workload(arms, 2, 3, 110 + arms as u64);
-        g.bench_with_input(
-            BenchmarkId::new("lifted_exact", &w.label),
-            &w,
-            |b, w| b.iter(|| lifted_pqe(&w.query, &w.h).unwrap()),
-        );
-        g.bench_with_input(BenchmarkId::new("fpras", &w.label), &w, |b, w| {
-            b.iter(|| pqe_estimate(&w.query, &w.h, &cfg).unwrap())
+        r.bench(format!("t1_row1_safe_star/lifted_exact/{}", w.label), || {
+            black_box(lifted_pqe(&w.query, &w.h).unwrap());
+        });
+        r.bench(format!("t1_row1_safe_star/fpras/{}", w.label), || {
+            black_box(pqe_estimate(&w.query, &w.h, &cfg).unwrap());
         });
     }
-    g.finish();
 }
 
-fn bench_row2_unsafe(c: &mut Criterion) {
-    let mut g = c.benchmark_group("t1_row2_unsafe_path");
-    g.sample_size(10);
+fn bench_row2_unsafe(r: &mut Runner) {
     let cfg = FprasConfig::with_epsilon(0.2).with_seed(12);
     for width in [2usize, 3] {
         let w = path_workload(3, width, 0.7, 120 + width as u64);
-        g.bench_with_input(BenchmarkId::new("fpras", &w.label), &w, |b, w| {
-            b.iter(|| pqe_estimate(&w.query, &w.h, &cfg).unwrap())
+        r.bench(format!("t1_row2_unsafe_path/fpras/{}", w.label), || {
+            black_box(pqe_estimate(&w.query, &w.h, &cfg).unwrap());
         });
-        g.bench_with_input(
-            BenchmarkId::new("lineage_wmc_exact", &w.label),
-            &w,
-            |b, w| {
-                b.iter(|| {
-                    let lin = Lineage::build(&w.query, w.h.database(), 1_000_000);
-                    dnf_probability(lin.clauses(), &w.h)
-                })
-            },
-        );
+        r.bench(format!("t1_row2_unsafe_path/lineage_wmc_exact/{}", w.label), || {
+            let lin = Lineage::build(&w.query, w.h.database(), 1_000_000);
+            black_box(dnf_probability(lin.clauses(), &w.h));
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_row1_safe, bench_row2_unsafe);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("table1");
+    r.start();
+    bench_row1_safe(&mut r);
+    bench_row2_unsafe(&mut r);
+    r.finish();
+}

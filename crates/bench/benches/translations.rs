@@ -2,12 +2,12 @@
 //! augmented-NFTA → ordinary NFTA is linear in the annotation size;
 //! the multiplier gadget adds `Θ(log n)` states per transition.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_arith::BigUint;
 use pqe_automata::{
     required_bits, Alphabet, AugSymbol, AugTransition, AugmentedNfta, MulTransition,
     MultiplierNfta,
 };
+use pqe_testkit::bench::{black_box, Runner};
 
 fn augmented_chain(symbols: usize) -> AugmentedNfta {
     let mut alpha = Alphabet::new();
@@ -22,15 +22,13 @@ fn augmented_chain(symbols: usize) -> AugmentedNfta {
     aug
 }
 
-fn bench_augmented_translation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e9_augmented_translate");
+fn bench_augmented_translation(r: &mut Runner) {
     for symbols in [16usize, 64, 256, 1024] {
         let aug = augmented_chain(symbols);
-        g.bench_with_input(BenchmarkId::from_parameter(symbols), &aug, |b, aug| {
-            b.iter(|| aug.translate())
+        r.bench(format!("e9_augmented_translate/{symbols}"), || {
+            black_box(aug.translate());
         });
     }
-    g.finish();
 }
 
 fn multiplier_single(n: u64) -> MultiplierNfta {
@@ -50,40 +48,38 @@ fn multiplier_single(n: u64) -> MultiplierNfta {
     m
 }
 
-fn bench_multiplier_translation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e9_multiplier_translate");
+fn bench_multiplier_translation(r: &mut Runner) {
     for n in [10u64, 1_000, 1_000_000, 1_000_000_000] {
         let m = multiplier_single(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
-            b.iter(|| m.translate())
+        r.bench(format!("e9_multiplier_translate/{n}"), || {
+            black_box(m.translate());
         });
     }
-    g.finish();
 }
 
-fn bench_gadget_state_counts(c: &mut Criterion) {
+fn bench_gadget_state_counts(r: &mut Runner) {
     // Not a timing benchmark so much as a recorded series: state counts
-    // must grow logarithmically (asserted here, reported via criterion's
-    // parameter labels).
-    let mut g = c.benchmark_group("e9_gadget_states_log_n");
+    // must grow logarithmically (asserted here, reported via the bench
+    // labels).
     for n in [10u64, 10_000, 10_000_000] {
         let m = multiplier_single(n);
         let t = m.translate();
         let k = required_bits(&BigUint::from(n));
         assert_eq!(t.num_states() as u64, 1 + 2 * k);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("n={n},states={}", t.num_states())),
-            &m,
-            |b, m| b.iter(|| m.translate().num_states()),
+        r.bench(
+            format!("e9_gadget_states_log_n/n={n},states={}", t.num_states()),
+            || {
+                black_box(m.translate().num_states());
+            },
         );
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_augmented_translation,
-    bench_multiplier_translation,
-    bench_gadget_state_counts
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("translations");
+    r.start();
+    bench_augmented_translation(&mut r);
+    bench_multiplier_translation(&mut r);
+    bench_gadget_state_counts(&mut r);
+    r.finish();
+}

@@ -2,40 +2,35 @@
 //! Measures construction and CountNFA counting separately, across instance
 //! sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_automata::{count_nfa, FprasConfig};
 use pqe_bench::path_ur_workload;
 use pqe_core::reductions::build_path_nfa;
+use pqe_testkit::bench::{black_box, Runner};
 
-fn bench_construction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_path_nfa_construction");
-    g.sample_size(20);
+fn bench_construction(r: &mut Runner) {
     for width in [2usize, 4, 6] {
         let (q, db) = path_ur_workload(3, width, 0.8, 880 + width as u64);
-        g.bench_with_input(BenchmarkId::from_parameter(db.len()), &db, |b, db| {
-            b.iter(|| build_path_nfa(&q, db).unwrap());
+        r.bench(format!("e8_path_nfa_construction/{}", db.len()), || {
+            black_box(build_path_nfa(&q, &db).unwrap());
         });
     }
-    g.finish();
 }
 
-fn bench_counting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_path_nfa_countnfa");
-    g.sample_size(10);
+fn bench_counting(r: &mut Runner) {
     let cfg = FprasConfig::with_epsilon(0.25).with_seed(7);
     for width in [2usize, 3, 4] {
         let (q, db) = path_ur_workload(3, width, 0.8, 890 + width as u64);
         let p = build_path_nfa(&q, &db).unwrap();
-        g.bench_with_input(
-            BenchmarkId::from_parameter(db.len()),
-            &p,
-            |b, p| {
-                b.iter(|| count_nfa(&p.nfa, p.target_len, &cfg));
-            },
-        );
+        r.bench(format!("e8_path_nfa_countnfa/{}", db.len()), || {
+            black_box(count_nfa(&p.nfa, p.target_len, &cfg));
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_construction, bench_counting);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("warmup_path");
+    r.start();
+    bench_construction(&mut r);
+    bench_counting(&mut r);
+    r.finish();
+}

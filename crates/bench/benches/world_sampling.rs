@@ -2,64 +2,61 @@
 //! estimate tables) vs the per-sample cost, and the rejection-sampling
 //! alternative it replaces at low query probability.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pqe_automata::FprasConfig;
 use pqe_core::worlds::WeightedWorldSampler;
 use pqe_db::{generators, worlds};
 use pqe_engine::eval_boolean;
 use pqe_query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
+use pqe_testkit::bench::{black_box, Runner};
 
-fn bench_sampler_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("worlds_sampler_build");
-    g.sample_size(10);
+fn bench_sampler_build(r: &mut Runner) {
     for width in [2usize, 3] {
         let mut rng = StdRng::seed_from_u64(900 + width as u64);
         let db = generators::layered_graph_connected(3, width, 0.7, &mut rng);
         let h = generators::with_random_probs(db, 6, &mut rng);
         let q = shapes::path_query(3);
-        g.bench_with_input(BenchmarkId::from_parameter(h.len()), &(q, h), |b, (q, h)| {
-            b.iter(|| {
-                WeightedWorldSampler::new(q, h, FprasConfig::with_epsilon(0.25).with_seed(1))
-                    .unwrap()
-            })
+        r.bench(format!("worlds_sampler_build/{}", h.len()), || {
+            black_box(
+                WeightedWorldSampler::new(&q, &h, FprasConfig::with_epsilon(0.25).with_seed(1))
+                    .unwrap(),
+            );
         });
     }
-    g.finish();
 }
 
-fn bench_sample_batch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("worlds_sample_batch_100");
-    g.sample_size(10);
+fn bench_sample_batch(r: &mut Runner) {
     let mut rng = StdRng::seed_from_u64(910);
     let db = generators::layered_graph_connected(3, 3, 0.7, &mut rng);
     let h = generators::with_random_probs(db, 6, &mut rng);
     let q = shapes::path_query(3);
     let sampler =
         WeightedWorldSampler::new(&q, &h, FprasConfig::with_epsilon(0.25).with_seed(2)).unwrap();
-    g.bench_function("conditioned_sampler", |b| {
-        let mut rng = StdRng::seed_from_u64(911);
-        b.iter(|| sampler.sample_batch(100, &mut rng))
+    let mut rng = StdRng::seed_from_u64(911);
+    r.bench("worlds_sample_batch_100/conditioned_sampler", || {
+        black_box(sampler.sample_batch(100, &mut rng));
     });
     // Rejection sampling for comparison: draw worlds until 100 satisfy Q.
-    g.bench_function("rejection_sampling", |b| {
-        let mut rng = StdRng::seed_from_u64(912);
-        b.iter(|| {
-            let mut hits = 0;
-            let mut draws = 0usize;
-            while hits < 100 && draws < 1_000_000 {
-                draws += 1;
-                let w = worlds::sample_world(&h, &mut rng);
-                if eval_boolean(&q, &h.database().subinstance(&w)) {
-                    hits += 1;
-                }
+    let mut rng = StdRng::seed_from_u64(912);
+    r.bench("worlds_sample_batch_100/rejection_sampling", || {
+        let mut hits = 0;
+        let mut draws = 0usize;
+        while hits < 100 && draws < 1_000_000 {
+            draws += 1;
+            let w = worlds::sample_world(&h, &mut rng);
+            if eval_boolean(&q, &h.database().subinstance(&w)) {
+                hits += 1;
             }
-            draws
-        })
+        }
+        black_box(draws);
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_sampler_build, bench_sample_batch);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::new("world_sampling");
+    r.start();
+    bench_sampler_build(&mut r);
+    bench_sample_batch(&mut r);
+    r.finish();
+}

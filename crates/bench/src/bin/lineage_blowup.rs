@@ -18,8 +18,8 @@ use pqe_core::baselines::Lineage;
 use pqe_core::pqe_estimate;
 use pqe_db::generators;
 use pqe_query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 fn main() {
     println!("E5: the one-trillion-clause lineage (paper §1)\n");

@@ -17,8 +17,8 @@ use pqe_core::baselines::{dnf_probability, karp_luby_pqe, Lineage};
 use pqe_core::pqe_estimate;
 use pqe_db::generators;
 use pqe_query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 use std::time::Duration;
 
 fn main() {

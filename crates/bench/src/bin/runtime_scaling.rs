@@ -11,8 +11,8 @@ use pqe_bench::{ms, timed};
 use pqe_core::pqe_estimate;
 use pqe_db::generators;
 use pqe_query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 fn slope(points: &[(f64, f64)]) -> f64 {
     // Least-squares slope in log–log space.

@@ -5,8 +5,8 @@
 use pqe_arith::{BigFloat, Rational};
 use pqe_db::{generators, Database, ProbDatabase};
 use pqe_query::{shapes, ConjunctiveQuery};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 /// A deterministic workload: query + probabilistic database.

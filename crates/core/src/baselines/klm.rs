@@ -20,8 +20,8 @@ use pqe_db::{worlds, ProbDatabase};
 use pqe_engine::sample::WitnessSampler;
 use pqe_engine::count_homomorphisms;
 use pqe_query::ConjunctiveQuery;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 /// Result of a Karp–Luby run.
 #[derive(Debug, Clone)]
@@ -166,8 +166,8 @@ mod tests {
     use crate::baselines::brute_force_pqe;
     use pqe_db::generators;
     use pqe_query::shapes;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     #[test]
     fn converges_to_brute_force() {

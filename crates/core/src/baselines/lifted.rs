@@ -177,8 +177,8 @@ mod tests {
     use crate::baselines::brute_force_pqe;
     use pqe_db::{generators, Database, Schema};
     use pqe_query::{parse, shapes};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     #[test]
     fn single_atom_matches_brute_force() {

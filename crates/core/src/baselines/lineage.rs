@@ -76,8 +76,8 @@ mod tests {
     use super::*;
     use pqe_db::{generators, Schema};
     use pqe_query::{parse, shapes};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     #[test]
     fn clause_count_matches_materialization() {

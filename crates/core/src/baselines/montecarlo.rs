@@ -10,8 +10,8 @@
 use pqe_db::{worlds, ProbDatabase};
 use pqe_engine::eval_boolean;
 use pqe_query::ConjunctiveQuery;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 /// Estimates `Pr_H(Q)` as the fraction of `samples` sampled worlds
 /// satisfying `Q`. Deterministic given `seed`.
@@ -41,8 +41,8 @@ mod tests {
     use pqe_arith::Rational;
     use pqe_db::generators;
     use pqe_query::shapes;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     #[test]
     fn additive_accuracy_on_moderate_probability() {

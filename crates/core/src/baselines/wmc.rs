@@ -146,8 +146,8 @@ mod tests {
     use crate::baselines::{brute_force_pqe, Lineage};
     use pqe_db::{generators, Database, Schema};
     use pqe_query::shapes;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     fn h2() -> ProbDatabase {
         let mut db = Database::new(Schema::new([("R", 1)]));

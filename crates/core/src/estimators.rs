@@ -226,8 +226,8 @@ mod tests {
     use pqe_arith::Rational;
     use pqe_db::generators;
     use pqe_query::shapes;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     fn cfg() -> FprasConfig {
         FprasConfig::with_epsilon(0.15).with_seed(1234)

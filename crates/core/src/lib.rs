@@ -29,7 +29,7 @@
 //! use pqe_db::{generators, ProbDatabase};
 //! use pqe_arith::Rational;
 //! use pqe_automata::FprasConfig;
-//! use rand::{rngs::StdRng, SeedableRng};
+//! use pqe_rand::{rngs::StdRng, SeedableRng};
 //!
 //! // A #P-hard query (3Path class) on a small layered graph.
 //! let q = shapes::path_query(3);

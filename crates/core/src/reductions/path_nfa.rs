@@ -163,8 +163,8 @@ mod tests {
     use pqe_arith::BigUint;
     use pqe_db::{generators, Schema};
     use pqe_query::shapes;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     fn exact_via_nfa(p: &PathNfa) -> BigUint {
         let strings = p.nfa.count_strings_exact(p.target_len);

@@ -87,8 +87,8 @@ mod tests {
     use pqe_arith::Rational;
     use pqe_db::{generators, Database, Schema};
     use pqe_query::shapes;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     fn exact_via_nfa(q: &ConjunctiveQuery, h: &ProbDatabase) -> Rational {
         let p = build_path_pqe_nfa(q, h).unwrap();

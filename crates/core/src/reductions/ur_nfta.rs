@@ -289,8 +289,8 @@ mod tests {
     use pqe_automata::count_trees_exact;
     use pqe_db::{generators, Schema};
     use pqe_query::{parse, shapes};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     /// Exact UR through the automaton: translate and count trees exactly.
     fn exact_via_automaton(ur: &UrAutomaton) -> BigUint {

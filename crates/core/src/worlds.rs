@@ -98,7 +98,7 @@ impl<'a> UniformWorldSampler<'a> {
 
     /// Draws one satisfying subinstance (inclusion vector indexed by
     /// [`FactId`]); `None` iff no subinstance satisfies `Q`.
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<bool>> {
+    pub fn sample<R: pqe_rand::Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<bool>> {
         // A fresh counter seeded from the caller's RNG keeps the sampler's
         // randomness under the caller's control while reusing estimates is
         // the counter's job; for repeated sampling use `sampler_batch`.
@@ -108,7 +108,7 @@ impl<'a> UniformWorldSampler<'a> {
 
     /// Draws `count` worlds reusing one estimate table (much faster than
     /// repeated [`UniformWorldSampler::sample`] calls).
-    pub fn sample_batch<R: rand::Rng + ?Sized>(
+    pub fn sample_batch<R: pqe_rand::Rng + ?Sized>(
         &self,
         count: usize,
         rng: &mut R,
@@ -119,7 +119,7 @@ impl<'a> UniformWorldSampler<'a> {
             .collect()
     }
 
-    fn sample_with<R: rand::Rng + ?Sized>(
+    fn sample_with<R: pqe_rand::Rng + ?Sized>(
         &self,
         counter: &NftaCounter<'_>,
         rng: &mut R,
@@ -177,7 +177,7 @@ impl<'a> WeightedWorldSampler<'a> {
     }
 
     /// Draws `count` worlds with one shared estimate table.
-    pub fn sample_batch<R: rand::Rng + ?Sized>(
+    pub fn sample_batch<R: pqe_rand::Rng + ?Sized>(
         &self,
         count: usize,
         rng: &mut R,
@@ -201,7 +201,7 @@ impl<'a> WeightedWorldSampler<'a> {
     /// fact, from `count` conditioned samples — the per-fact "output
     /// probability attribution" a probabilistic-database UI would display.
     /// Returns `None` if `Pr_H(Q) = 0` (nothing to condition on).
-    pub fn marginals<R: rand::Rng + ?Sized>(
+    pub fn marginals<R: pqe_rand::Rng + ?Sized>(
         &self,
         count: usize,
         rng: &mut R,
@@ -231,8 +231,8 @@ mod tests {
     use pqe_db::{worlds, Schema};
     use pqe_engine::eval_boolean;
     use pqe_query::shapes;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
     use std::collections::HashMap as StdMap;
 
     fn two_path_db() -> Database {

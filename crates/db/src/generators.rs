@@ -8,8 +8,8 @@
 
 use crate::{Database, FactId, ProbDatabase, Schema};
 use pqe_arith::Rational;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use pqe_rand::seq::SliceRandom;
+use pqe_rand::Rng;
 
 /// Builds a layered graph instance for a path query
 /// `Q = R₁(x₁,x₂), …, R_n(x_n,x_{n+1})`:
@@ -162,8 +162,8 @@ pub fn cap_facts<R: Rng + ?Sized>(db: &Database, max_facts: usize, rng: &mut R) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     #[test]
     fn layered_graph_shape() {

@@ -8,7 +8,7 @@
 
 use crate::ProbDatabase;
 use pqe_arith::BigUint;
-use rand::Rng;
+use pqe_rand::Rng;
 
 /// Hard cap on `|D|` for exhaustive world enumeration (2^24 worlds).
 pub const MAX_ENUM_FACTS: usize = 24;
@@ -61,8 +61,8 @@ mod tests {
     use super::*;
     use crate::{Database, Schema};
     use pqe_arith::Rational;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     #[test]
     fn enumerate_counts() {

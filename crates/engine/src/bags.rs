@@ -253,8 +253,8 @@ mod tests {
     use pqe_db::generators;
     use pqe_db::Schema;
     use pqe_query::{parse, shapes};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     #[test]
     fn count_matches_enumeration_on_paths() {

@@ -146,8 +146,8 @@ mod tests {
     #[test]
     fn containment_implies_probability_order() {
         use pqe_db::generators;
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use pqe_rand::rngs::StdRng;
+        use pqe_rand::SeedableRng;
         // Spot-check monotonicity on a concrete instance via brute force
         // semantics: count satisfying subinstances of each.
         let long = parse("R1(x,y), R2(y,z)").unwrap();

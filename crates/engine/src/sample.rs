@@ -11,7 +11,7 @@ use crate::bags::{BagPlan, BagTuple};
 use pqe_arith::{BigUint, Rational};
 use pqe_db::{Const, Database, FactId};
 use pqe_query::ConjunctiveQuery;
-use rand::Rng;
+use pqe_rand::Rng;
 use std::collections::HashMap;
 
 /// Draws an index `i` with probability `weights[i] / Σ weights`, exactly
@@ -198,8 +198,8 @@ mod tests {
     use super::*;
     use pqe_db::Schema;
     use pqe_query::parse;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     #[test]
     fn pick_weighted_distribution() {

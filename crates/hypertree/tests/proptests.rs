@@ -2,78 +2,91 @@
 //! conjunctive query must satisfy the paper's conditions (1)–(3), stay
 //! complete after completion, and keep fan-out ≤ 2 after binarization.
 
-use proptest::prelude::*;
 use pqe_hypertree::{binarize, complete, decompose, greedy_decompose, gyo_join_tree, validate};
 use pqe_query::{Atom, ConjunctiveQuery, Term, Var};
+use pqe_testkit::prelude::*;
+use pqe_testkit::BoxedGen;
+
+fn cfg() -> Config {
+    Config::cases(64).with_corpus("tests/corpus/proptests.corpus")
+}
 
 /// A random CQ: up to 6 atoms with distinct relation names, arities 1–3,
 /// variables drawn from a pool of 6.
-fn random_query() -> impl Strategy<Value = ConjunctiveQuery> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..6, 1..=3),
-        1..=6,
-    )
-    .prop_map(|atom_vars| {
-        let atoms: Vec<Atom> = atom_vars
-            .into_iter()
-            .enumerate()
-            .map(|(i, vars)| {
-                Atom::new(
-                    format!("R{i}"),
-                    vars.into_iter().map(|v| Term::Var(Var(v))).collect(),
-                )
-            })
-            .collect();
-        let names = (0..6).map(|i| format!("v{i}")).collect();
-        ConjunctiveQuery::new(atoms, names)
-    })
+fn random_query() -> BoxedGen<ConjunctiveQuery> {
+    vec(vec(0u32..6, 1..=3), 1..=6)
+        .prop_map(|atom_vars| {
+            let atoms: Vec<Atom> = atom_vars
+                .into_iter()
+                .enumerate()
+                .map(|(i, vars)| {
+                    Atom::new(
+                        format!("R{i}"),
+                        vars.into_iter().map(|v| Term::Var(Var(v))).collect(),
+                    )
+                })
+                .collect();
+            let names = (0..6).map(|i| format!("v{i}")).collect();
+            ConjunctiveQuery::new(atoms, names)
+        })
+        .boxed()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn decompositions_satisfy_conditions() {
+    check("decompositions_satisfy_conditions", &cfg(), &random_query(), |q| {
+        let t = decompose(q).expect("every CQ decomposes");
+        prop_assert!(validate(q, &t).is_ok(), "invalid decomposition for {q}:\n{}", t.display(q));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decompositions_satisfy_conditions(q in random_query()) {
-        let t = decompose(&q).expect("every CQ decomposes");
-        prop_assert!(validate(&q, &t).is_ok(), "invalid decomposition for {q}:\n{}", t.display(&q));
-    }
+#[test]
+fn completion_covers_every_atom() {
+    check("completion_covers_every_atom", &cfg(), &random_query(), |q| {
+        let mut t = decompose(q).unwrap();
+        complete(q, &mut t);
+        prop_assert!(t.is_complete(q));
+        prop_assert!(validate(q, &t).is_ok());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn completion_covers_every_atom(q in random_query()) {
-        let mut t = decompose(&q).unwrap();
-        complete(&q, &mut t);
-        prop_assert!(t.is_complete(&q));
-        prop_assert!(validate(&q, &t).is_ok());
-    }
-
-    #[test]
-    fn binarization_preserves_validity_and_width(q in random_query()) {
-        let mut t = decompose(&q).unwrap();
-        complete(&q, &mut t);
+#[test]
+fn binarization_preserves_validity_and_width() {
+    check("binarization_preserves_validity_and_width", &cfg(), &random_query(), |q| {
+        let mut t = decompose(q).unwrap();
+        complete(q, &mut t);
         let width = t.width();
         binarize(&mut t);
         prop_assert!(t.max_fanout() <= 2);
         prop_assert_eq!(t.width(), width);
-        prop_assert!(t.is_complete(&q));
-        prop_assert!(validate(&q, &t).is_ok());
-    }
+        prop_assert!(t.is_complete(q));
+        prop_assert!(validate(q, &t).is_ok());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn gyo_agrees_with_width_one(q in random_query()) {
+#[test]
+fn gyo_agrees_with_width_one() {
+    check("gyo_agrees_with_width_one", &cfg(), &random_query(), |q| {
         // GYO succeeds exactly when the query is acyclic, and acyclic
         // queries decompose at width 1.
-        let t = decompose(&q).unwrap();
-        if gyo_join_tree(&q).is_some() {
+        let t = decompose(q).unwrap();
+        if gyo_join_tree(q).is_some() {
             prop_assert_eq!(t.width(), 1);
         } else {
             prop_assert!(t.width() >= 2, "cyclic query got width 1: {q}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bfs_order_is_depth_monotone(q in random_query()) {
-        let mut t = decompose(&q).unwrap();
-        complete(&q, &mut t);
+#[test]
+fn bfs_order_is_depth_monotone() {
+    check("bfs_order_is_depth_monotone", &cfg(), &random_query(), |q| {
+        let mut t = decompose(q).unwrap();
+        complete(q, &mut t);
         binarize(&mut t);
         let depths = t.depths();
         let order = t.bfs_order();
@@ -81,31 +94,38 @@ proptest! {
         for w in order.windows(2) {
             prop_assert!(depths[w[0].0] <= depths[w[1].0]);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn greedy_decomposer_is_valid_and_upper_bounds(q in random_query()) {
-        let mut g = greedy_decompose(&q).expect("non-empty query");
-        complete(&q, &mut g);
-        prop_assert!(validate(&q, &g).is_ok(), "greedy invalid for {q}:\n{}", g.display(&q));
-        prop_assert!(g.is_complete(&q));
-        let exact = decompose(&q).unwrap().width();
+#[test]
+fn greedy_decomposer_is_valid_and_upper_bounds() {
+    check("greedy_decomposer_is_valid_and_upper_bounds", &cfg(), &random_query(), |q| {
+        let mut g = greedy_decompose(q).expect("non-empty query");
+        complete(q, &mut g);
+        prop_assert!(validate(q, &g).is_ok(), "greedy invalid for {q}:\n{}", g.display(q));
+        prop_assert!(g.is_complete(q));
+        let exact = decompose(q).unwrap().width();
         prop_assert!(g.width() >= exact, "greedy below exact width for {q}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn min_covering_vertices_are_minimal(q in random_query()) {
-        let mut t = decompose(&q).unwrap();
-        complete(&q, &mut t);
+#[test]
+fn min_covering_vertices_are_minimal() {
+    check("min_covering_vertices_are_minimal", &cfg(), &random_query(), |q| {
+        let mut t = decompose(q).unwrap();
+        complete(q, &mut t);
         let order = t.bfs_order();
         let pos: std::collections::HashMap<_, _> =
             order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-        for (atom, cov) in t.min_covering_vertices(&q).iter().enumerate() {
+        for (atom, cov) in t.min_covering_vertices(q).iter().enumerate() {
             let cov = cov.expect("complete");
             // No earlier vertex in BFS order also covers the atom.
             for &id in &order[..pos[&cov]] {
-                prop_assert!(!t.is_covering(&q, id, atom));
+                prop_assert!(!t.is_covering(q, id, atom));
             }
         }
-    }
+        Ok(())
+    });
 }

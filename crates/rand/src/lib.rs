@@ -1,0 +1,60 @@
+//! From-scratch deterministic pseudo-randomness for the PQE workspace.
+//!
+//! The FPRAS estimators, the possible-world samplers, and every synthetic
+//! workload generator need a stream of uniform bits. The workspace is built
+//! hermetically (no crates.io access, see `DESIGN.md` §"Dependencies"), so
+//! this crate replaces the external `rand` crate with exactly the surface
+//! the repository uses:
+//!
+//! * [`Xoshiro256PlusPlus`] — the core generator (Blackman & Vigna's
+//!   xoshiro256++ 1.0): 256 bits of state, period `2^256 − 1`, passes
+//!   BigCrush, and `next_u64` is a handful of ALU ops.
+//! * [`rngs::StdRng`] — the workspace-wide alias every caller names, so the
+//!   concrete generator can be swapped in one place.
+//! * [`SplitMix64`] — the stateless-ish seeder used by
+//!   [`SeedableRng::seed_from_u64`] (as recommended by the xoshiro authors:
+//!   it decorrelates consecutive integer seeds).
+//! * [`Rng`] — the extension trait with the call surface used across the
+//!   repo: `random::<T>()`, `random_range(lo..hi)` (bounded sampling with
+//!   **no modulo bias**, via Lemire rejection), `random_bool(p)`.
+//! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
+//! * Stream splitting — [`Xoshiro256PlusPlus::split_off`] hands out
+//!   non-overlapping subsequences (via the xoshiro jump polynomial) so
+//!   future parallel estimators can draw independently.
+//!
+//! Every generator is deterministic given its seed; nothing in this crate
+//! reads the OS entropy pool, the clock, or an address. Two runs with the
+//! same seeds produce bit-identical streams on every platform (all
+//! arithmetic is explicit-width and wrapping).
+//!
+//! ```
+//! use pqe_rand::rngs::StdRng;
+//! use pqe_rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.random();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.random_range(0..10usize);
+//! assert!(k < 10);
+//! ```
+
+mod splitmix;
+mod traits;
+mod uniform;
+mod xoshiro;
+
+pub mod seq;
+
+pub use splitmix::SplitMix64;
+pub use traits::{FromRng, Rng, RngCore, SeedableRng};
+pub use uniform::SampleRange;
+pub use xoshiro::Xoshiro256PlusPlus;
+
+/// Named generators, mirroring the `rand::rngs` module path the workspace
+/// imports from.
+pub mod rngs {
+    /// The workspace's standard generator: deterministic, seedable,
+    /// fast. Currently xoshiro256++; callers must not rely on the concrete
+    /// algorithm, only on determinism-given-seed within one build.
+    pub type StdRng = crate::Xoshiro256PlusPlus;
+}

@@ -1,0 +1,78 @@
+//! Sequence-related sampling: shuffles and element choice.
+
+use crate::traits::Rng;
+use crate::uniform::below_u64;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates, unbiased: each of the
+    /// `n!` permutations is equally likely).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if the slice is empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = below_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[below_u64(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.as_mut_slice().shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements staying sorted is ~impossible");
+    }
+
+    #[test]
+    fn choose_respects_emptiness() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let one = [7u8];
+        assert_eq!(one.choose(&mut rng), Some(&7));
+    }
+
+    #[test]
+    fn shuffle_visits_all_positions() {
+        // Every element must be able to land in every slot.
+        let mut seen = [[false; 4]; 4];
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let mut v = [0usize, 1, 2, 3];
+            v.shuffle(&mut rng);
+            for (slot, &e) in v.iter().enumerate() {
+                seen[slot][e] = true;
+            }
+        }
+        assert!(seen.iter().flatten().all(|&b| b));
+    }
+}

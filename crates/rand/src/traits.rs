@@ -1,0 +1,218 @@
+//! The generator traits: a minimal, `rand`-shaped API.
+//!
+//! [`RngCore`] is the one required method (`next_u64`); [`Rng`] is the
+//! blanket extension trait carrying the ergonomic surface (`random`,
+//! `random_range`, `random_bool`); [`SeedableRng`] covers construction.
+//! All consumer code takes `R: Rng + ?Sized`, so generators compose with
+//! `&mut` borrows exactly like the external crate they replace.
+
+use crate::uniform::SampleRange;
+
+/// A source of uniform 64-bit words. Everything else derives from this.
+pub trait RngCore {
+    /// The next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniform bits (upper half of a word: xoshiro's low bits
+    /// are the weakest, so prefer the high ones).
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// The next 128 uniform bits.
+    #[inline]
+    fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Full-entropy seed type (state-sized byte array).
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a single `u64`, expanded through
+    /// [`SplitMix64`](crate::SplitMix64) so that nearby integer seeds give
+    /// unrelated streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types drawable uniformly from an RNG via [`Rng::random`].
+pub trait FromRng {
+    /// Draws one uniform value.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_from_rng_uint {
+    ($($t:ty => $method:ident),* $(,)?) => {$(
+        impl FromRng for $t {
+            #[inline]
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$method() as $t
+            }
+        }
+    )*};
+}
+
+impl_from_rng_uint! {
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    u128 => next_u128,
+}
+
+macro_rules! impl_from_rng_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl FromRng for $t {
+            #[inline]
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                <$u as FromRng>::from_rng(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_from_rng_int! {
+    i8 => u8,
+    i16 => u16,
+    i32 => u32,
+    i64 => u64,
+    isize => usize,
+    i128 => u128,
+}
+
+impl FromRng for bool {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Take a high bit; xoshiro++'s lowest bit is its weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform on `[0, 1)` with the standard 53-bit construction: the
+    /// spacing is exactly `2^-53`, every value is representable, and 1.0
+    /// is unreachable.
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    /// Uniform on `[0, 1)` with 24 explicit bits.
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// The ergonomic sampling surface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of type `T` (`u64`, `u128`, `f64` in `[0,1)`, …).
+    #[inline]
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniform value in `range` (`lo..hi` or `lo..=hi`), with no modulo
+    /// bias. Panics on an empty range.
+    #[inline]
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    ///
+    /// The comparison happens on a 64-bit integer scale (`p·2^64`), so the
+    /// Bernoulli bias of the implementation is at most `2^-64`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "random_bool probability {p} outside [0, 1]"
+        );
+        if p >= 1.0 {
+            return true;
+        }
+        // p < 1 ⇒ p·2^64 < 2^64, so the cast cannot saturate.
+        let threshold = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < threshold
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn f64_is_half_open_unit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn random_bool_rejects_invalid() {
+        let mut rng = StdRng::seed_from_u64(3);
+        rng.random_bool(1.5);
+    }
+
+    #[test]
+    fn works_through_unsized_borrows() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

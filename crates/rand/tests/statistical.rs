@@ -1,0 +1,125 @@
+//! Statistical sanity checks on the PRNG subsystem itself.
+//!
+//! These are not distinguishers (xoshiro256++ passes BigCrush; nothing at
+//! test-suite scale would detect a flaw a battery misses) — they are
+//! wiring checks: each one fails loudly if a refactor accidentally
+//! truncates bits, introduces modulo bias, or correlates streams. All
+//! tolerances are ≥ 6 standard deviations of the corresponding estimator,
+//! so the tests are deterministic in practice for any healthy generator.
+
+use pqe_rand::rngs::StdRng;
+use pqe_rand::{Rng, RngCore, SeedableRng};
+
+const N: usize = 200_000;
+
+#[test]
+fn f64_mean_and_variance_match_uniform_law() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..N {
+        let x: f64 = rng.random();
+        sum += x;
+        sum_sq += x * x;
+    }
+    let mean = sum / N as f64;
+    let var = sum_sq / N as f64 - mean * mean;
+    // U[0,1): E = 1/2 (σ_mean ≈ 6.5e-4), Var = 1/12 (σ ≈ 1.7e-4 here).
+    assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    assert!((var - 1.0 / 12.0).abs() < 0.002, "variance {var}");
+}
+
+#[test]
+fn bounded_sampling_has_no_modulo_bias() {
+    // n = 3 · 2^62 does not divide 2^64: the naive `x % n` would hit the
+    // first 2^62 residues twice as often as the rest — a 2:1 skew that
+    // this histogram over coarse thirds would catch instantly.
+    let n: u64 = 3 << 62;
+    let third = n / 3;
+    let mut counts = [0usize; 3];
+    let mut rng = StdRng::seed_from_u64(0xB1A5);
+    for _ in 0..N {
+        let x = rng.random_range(0..n);
+        counts[(x / third).min(2) as usize] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let freq = c as f64 / N as f64;
+        // Biased modulo reduction would give freq ≈ 1/2 for bucket 0.
+        assert!(
+            (freq - 1.0 / 3.0).abs() < 0.01,
+            "bucket {i} frequency {freq}"
+        );
+    }
+}
+
+#[test]
+fn small_range_is_uniform() {
+    let mut counts = [0usize; 7];
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..N {
+        counts[rng.random_range(0..7usize)] += 1;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        let freq = c as f64 / N as f64;
+        assert!(
+            (freq - 1.0 / 7.0).abs() < 0.008,
+            "value {i} frequency {freq}"
+        );
+    }
+}
+
+#[test]
+fn random_bool_tracks_probability() {
+    let mut rng = StdRng::seed_from_u64(0xDECADE);
+    for p in [0.1, 0.5, 0.9] {
+        let hits = (0..N).filter(|_| rng.random_bool(p)).count();
+        let freq = hits as f64 / N as f64;
+        assert!((freq - p).abs() < 0.01, "p {p}, freq {freq}");
+    }
+}
+
+#[test]
+fn split_streams_are_uncorrelated() {
+    // Smoke test for stream independence: the XOR of paired draws from two
+    // split streams should itself look uniform (balanced bits), which
+    // fails spectacularly if split_off returns an overlapping block.
+    let mut parent = StdRng::seed_from_u64(0x5EED);
+    let a = parent.split_off();
+    let b = parent.split_off();
+    let (mut a, mut b) = (a, b);
+    let mut bit_counts = [0usize; 64];
+    let pairs = 20_000;
+    for _ in 0..pairs {
+        let x = a.next_u64() ^ b.next_u64();
+        for (bit, slot) in bit_counts.iter_mut().enumerate() {
+            *slot += ((x >> bit) & 1) as usize;
+        }
+    }
+    for (bit, &c) in bit_counts.iter().enumerate() {
+        let freq = c as f64 / pairs as f64;
+        assert!((freq - 0.5).abs() < 0.03, "bit {bit} frequency {freq}");
+    }
+    // And the streams must not be identical outright.
+    let mut a2 = StdRng::seed_from_u64(0x5EED).split_off();
+    let mut b2 = {
+        let mut p = StdRng::seed_from_u64(0x5EED);
+        p.split_off();
+        p.split_off()
+    };
+    assert_ne!(a2.random::<u128>(), b2.random::<u128>());
+}
+
+#[test]
+fn u128_draws_fill_both_halves() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut hi_or = 0u64;
+    let mut lo_or = 0u64;
+    for _ in 0..64 {
+        let x: u128 = rng.random();
+        hi_or |= (x >> 64) as u64;
+        lo_or |= x as u64;
+    }
+    // After 64 draws every bit position has appeared w.h.p. (P(miss) ≈ 2^-64 per bit… practically 64·2^-64).
+    assert_eq!(hi_or, u64::MAX);
+    assert_eq!(lo_or, u64::MAX);
+}

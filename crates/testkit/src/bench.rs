@@ -1,0 +1,182 @@
+//! A tiny wall-clock benchmark runner.
+//!
+//! Replaces the `criterion` harness for the workspace benches: every bench
+//! target is a plain `fn main()` (the `[[bench]]` entries set
+//! `harness = false`) that builds a [`Runner`] and registers closures. The
+//! runner warms each closure up, auto-calibrates an iteration count so a
+//! sample takes a measurable slice of time, then reports min / median /
+//! mean over a fixed number of samples.
+//!
+//! Honoring `PQE_BENCH_SAMPLES` / `PQE_BENCH_MIN_SAMPLE_MS` lets CI dial
+//! cost down without touching the bench sources.
+
+use std::time::{Duration, Instant};
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    pub name: String,
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub iters_per_sample: u64,
+    pub samples: usize,
+}
+
+/// Renders a duration in ns with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defeats dead-code elimination of a benchmarked expression's result.
+///
+/// A portable stand-in for `std::hint::black_box` semantics: the value is
+/// passed through a volatile read of its address.
+pub fn black_box<T>(value: T) -> T {
+    // SAFETY: reading a valid, initialized stack slot.
+    unsafe {
+        let slot = std::mem::MaybeUninit::new(value);
+        std::ptr::read_volatile(slot.as_ptr())
+    }
+}
+
+/// Collects and prints benchmark results.
+pub struct Runner {
+    suite: String,
+    samples: usize,
+    min_sample: Duration,
+    results: Vec<Stats>,
+}
+
+impl Runner {
+    /// A runner titled `suite`, with defaults (or env overrides) for the
+    /// sample count and per-sample time floor.
+    pub fn new(suite: impl Into<String>) -> Self {
+        let samples = std::env::var("PQE_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        let min_sample_ms = std::env::var("PQE_BENCH_MIN_SAMPLE_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20u64);
+        Runner {
+            suite: suite.into(),
+            samples: samples.max(3),
+            min_sample: Duration::from_millis(min_sample_ms.max(1)),
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `f`, which runs one iteration of the workload per call.
+    pub fn bench(&mut self, name: impl Into<String>, mut f: impl FnMut()) {
+        let name = name.into();
+
+        // Warmup + calibration: double the batch until one batch crosses
+        // the per-sample floor.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.min_sample || iters >= 1 << 30 {
+                break;
+            }
+            // Jump straight toward the target once we have a signal.
+            let scale = if elapsed.as_nanos() == 0 {
+                8
+            } else {
+                (self.min_sample.as_nanos() / elapsed.as_nanos()).clamp(2, 8) as u64
+            };
+            iters = iters.saturating_mul(scale);
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+        let stats = Stats {
+            name,
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            iters_per_sample: iters,
+            samples: per_iter_ns.len(),
+        };
+        println!(
+            "  {:<44} min {:>12}  median {:>12}  mean {:>12}   ({} it/sample × {})",
+            stats.name,
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            stats.iters_per_sample,
+            stats.samples,
+        );
+        self.results.push(stats);
+    }
+
+    /// Prints the suite header; call before the first [`bench`](Self::bench).
+    pub fn start(&self) {
+        println!("== bench suite: {} ==", self.suite);
+    }
+
+    /// All collected stats, in registration order.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// Prints a closing summary line. Convention: every bench `main` ends
+    /// with this so the harness output is recognizably complete.
+    pub fn finish(&self) {
+        println!(
+            "== {}: {} benchmark(s) done ==",
+            self.suite,
+            self.results.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_measures_and_reports() {
+        std::env::set_var("PQE_BENCH_SAMPLES", "3");
+        std::env::set_var("PQE_BENCH_MIN_SAMPLE_MS", "1");
+        let mut r = Runner::new("unit");
+        r.start();
+        let mut acc = 0u64;
+        r.bench("wrapping_sum", || {
+            acc = black_box(acc.wrapping_add(black_box(17)));
+        });
+        r.finish();
+        assert_eq!(r.results().len(), 1);
+        let s = &r.results()[0];
+        assert!(s.min_ns > 0.0 && s.min_ns <= s.mean_ns * 1.5);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+        assert_eq!(black_box(String::from("x")), "x");
+    }
+}

@@ -1,0 +1,457 @@
+//! The property runner: corpus replay, random exploration, shrinking,
+//! and failure persistence.
+
+use crate::gen::Gen;
+use crate::source::Source;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
+use std::fmt::Debug;
+use std::fs;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum CaseFail {
+    /// Precondition unmet — the case is skipped, not failed
+    /// (see [`prop_assume!`](crate::prop_assume)).
+    Discard,
+    /// The property is violated, with a message.
+    Fail(String),
+}
+
+impl CaseFail {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        CaseFail::Fail(msg.into())
+    }
+}
+
+/// What a property closure returns per case.
+pub type CaseResult = Result<(), CaseFail>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted (non-discarded) random cases to run.
+    pub cases: u32,
+    /// Base seed for the random phase. Fixed by default so CI is
+    /// deterministic; override with `PQE_TESTKIT_SEED=<u64>` to explore.
+    pub seed: u64,
+    /// Cap on shrink candidate evaluations after a failure.
+    pub max_shrink_attempts: u32,
+    /// Regression corpus file (entries replayed before random cases; new
+    /// shrunk failures are appended).
+    pub corpus: Option<PathBuf>,
+}
+
+impl Config {
+    /// A config running `cases` random cases with defaults otherwise.
+    pub fn cases(cases: u32) -> Self {
+        let seed = std::env::var("PQE_TESTKIT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5eed_7e57_0001);
+        Config {
+            cases,
+            seed,
+            max_shrink_attempts: 4096,
+            corpus: None,
+        }
+    }
+
+    /// Attaches a regression corpus file (path relative to the crate root,
+    /// which is the working directory of `cargo test`).
+    pub fn with_corpus(mut self, path: impl Into<PathBuf>) -> Self {
+        self.corpus = Some(path.into());
+        self
+    }
+}
+
+enum Outcome {
+    Pass,
+    Discard,
+    Fail(String),
+}
+
+fn run_once<G, F>(gen: &G, prop: &F, bytes: &[u8]) -> Outcome
+where
+    G: Gen,
+    F: Fn(&G::Value) -> CaseResult,
+{
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let value = gen.generate(&mut Source::replay(bytes));
+        prop(&value)
+    }));
+    match result {
+        Ok(Ok(())) => Outcome::Pass,
+        Ok(Err(CaseFail::Discard)) => Outcome::Discard,
+        Ok(Err(CaseFail::Fail(msg))) => Outcome::Fail(msg),
+        Err(panic) => Outcome::Fail(format!("panicked: {}", panic_message(&panic))),
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Checks a property: replays `name`'s corpus entries, then runs
+/// `cfg.cases` random cases, shrinking and reporting the first failure.
+///
+/// Panics (failing the enclosing `#[test]`) on the first violated case,
+/// with the minimal value, its byte transcript, and the corpus line that
+/// pins it.
+pub fn check<G, F>(name: &str, cfg: &Config, gen: &G, prop: F)
+where
+    G: Gen,
+    G::Value: Debug,
+    F: Fn(&G::Value) -> CaseResult,
+{
+    // Phase 1: pinned regressions.
+    for (idx, bytes) in corpus_entries(cfg, name) {
+        if let Outcome::Fail(msg) = run_once(gen, &prop, &bytes) {
+            let value = gen.generate(&mut Source::replay(&bytes));
+            panic!(
+                "[{name}] pinned corpus case #{idx} fails: {msg}\n\
+                 value: {value:?}\n\
+                 bytes: {}",
+                hex_encode(&bytes)
+            );
+        }
+    }
+
+    // Phase 2: random exploration.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ fnv1a(name.as_bytes()));
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = cfg.cases as u64 * 20 + 100;
+    while accepted < cfg.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "[{name}] discarded too many cases ({accepted}/{} accepted after {attempts} attempts) — \
+             weaken the prop_assume! preconditions",
+            cfg.cases
+        );
+        let mut src = Source::record(&mut rng);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let value = gen.generate(&mut src);
+            prop(&value)
+        }));
+        // The mutable borrow of `src` ends with the closure, panic or not,
+        // so the transcript survives and the case can shrink.
+        let bytes = src.transcript().to_vec();
+        let outcome = match result {
+            Ok(Ok(())) => Outcome::Pass,
+            Ok(Err(CaseFail::Discard)) => Outcome::Discard,
+            Ok(Err(CaseFail::Fail(msg))) => Outcome::Fail(msg),
+            Err(panic) => Outcome::Fail(format!("panicked: {}", panic_message(&panic))),
+        };
+        match outcome {
+            Outcome::Pass => accepted += 1,
+            Outcome::Discard => {}
+            Outcome::Fail(first_msg) => {
+                fail_and_report(name, cfg, gen, &prop, bytes, first_msg);
+            }
+        }
+    }
+}
+
+/// Shrinks, persists, and panics with the final report.
+fn fail_and_report<G, F>(
+    name: &str,
+    cfg: &Config,
+    gen: &G,
+    prop: &F,
+    bytes: Vec<u8>,
+    first_msg: String,
+) -> !
+where
+    G: Gen,
+    G::Value: Debug,
+    F: Fn(&G::Value) -> CaseResult,
+{
+    let shrunk = shrink(gen, prop, bytes, cfg.max_shrink_attempts);
+    let value = gen.generate(&mut Source::replay(&shrunk));
+    let final_msg = match run_once(gen, prop, &shrunk) {
+        Outcome::Fail(msg) => msg,
+        // Shrinking only keeps failing candidates, so this stays the
+        // original message only if re-running goes green (flaky property).
+        _ => format!("(unstable failure; original: {first_msg})"),
+    };
+    let hex = hex_encode(&shrunk);
+    let corpus_note = match &cfg.corpus {
+        Some(path) => {
+            let line = format!("{name}: {hex}\n");
+            match fs::OpenOptions::new().create(true).append(true).open(path) {
+                Ok(mut f) => {
+                    let _ = f.write_all(line.as_bytes());
+                    format!("pinned to {}", path.display())
+                }
+                Err(e) => format!("could not persist to {}: {e}", path.display()),
+            }
+        }
+        None => "add a corpus via Config::with_corpus to pin this case".to_string(),
+    };
+    panic!(
+        "[{name}] property failed after shrinking: {final_msg}\n\
+         minimal value: {value:?}\n\
+         bytes: {hex}\n\
+         {corpus_note}"
+    );
+}
+
+/// Byte-level minimization: chunk deletion, zeroing, and per-byte descent,
+/// looping to a fixpoint under an attempt budget. Every kept candidate
+/// still fails the property.
+fn shrink<G, F>(gen: &G, prop: &F, start: Vec<u8>, budget: u32) -> Vec<u8>
+where
+    G: Gen,
+    F: Fn(&G::Value) -> CaseResult,
+{
+    let mut best = start;
+    let mut spent = 0u32;
+    let still_fails = |candidate: &[u8], spent: &mut u32| -> bool {
+        *spent += 1;
+        matches!(run_once(gen, prop, candidate), Outcome::Fail(_))
+    };
+
+    // Trailing zeros are equivalent to absence (replay pads with zeros).
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+
+    let mut improved = true;
+    while improved && spent < budget {
+        improved = false;
+
+        // 1. Cut the tail: big bites first.
+        let mut keep = best.len() / 2;
+        while keep < best.len() && spent < budget {
+            let candidate = best[..keep].to_vec();
+            if still_fails(&candidate, &mut spent) {
+                best = candidate;
+                improved = true;
+                keep = best.len() / 2;
+            } else {
+                keep += (best.len() - keep).div_ceil(2).max(1);
+            }
+        }
+
+        // 2. Delete interior chunks.
+        for size in [16usize, 8, 4, 2, 1] {
+            let mut i = 0;
+            while i + size <= best.len() && spent < budget {
+                let mut candidate = best.clone();
+                candidate.drain(i..i + size);
+                if still_fails(&candidate, &mut spent) {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    i += size;
+                }
+            }
+        }
+
+        // 3. Zero chunks (simplest values without changing structure).
+        for size in [8usize, 4, 1] {
+            let mut i = 0;
+            while i + size <= best.len() && spent < budget {
+                if best[i..i + size].iter().all(|&b| b == 0) {
+                    i += size;
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate[i..i + size].fill(0);
+                if still_fails(&candidate, &mut spent) {
+                    best = candidate;
+                    improved = true;
+                }
+                i += size;
+            }
+        }
+
+        // 4. Minimize individual bytes: binary descent toward 0, then
+        // single decrements to land exactly on the failure boundary.
+        for i in 0..best.len() {
+            while best[i] > 0 && spent < budget {
+                let smaller = best[i] / 2;
+                let mut candidate = best.clone();
+                candidate[i] = smaller;
+                if still_fails(&candidate, &mut spent) {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+            while best[i] > 0 && spent < budget {
+                let mut candidate = best.clone();
+                candidate[i] -= 1;
+                if still_fails(&candidate, &mut spent) {
+                    best = candidate;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        while best.last() == Some(&0) {
+            best.pop();
+        }
+    }
+    best
+}
+
+fn corpus_entries(cfg: &Config, name: &str) -> Vec<(usize, Vec<u8>)> {
+    let Some(path) = &cfg.corpus else {
+        return Vec::new();
+    };
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((entry_name, hex)) = line.split_once(':') else {
+            panic!(
+                "{}:{}: corpus line is not `name: hexbytes`",
+                path.display(),
+                lineno + 1
+            );
+        };
+        if entry_name.trim() != name {
+            continue;
+        }
+        match hex_decode(hex.trim()) {
+            Some(bytes) => out.push((lineno + 1, bytes)),
+            None => panic!(
+                "{}:{}: invalid hex in corpus entry",
+                path.display(),
+                lineno + 1
+            ),
+        }
+    }
+    out
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    if bytes.is_empty() {
+        return "(empty)".to_string();
+    }
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s == "(empty)" {
+        return Some(Vec::new());
+    }
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{any, vec};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        check("always_true", &Config::cases(50), &any::<u64>(), |_| Ok(()));
+    }
+
+    #[test]
+    fn assume_discards_without_failing() {
+        check("assume", &Config::cases(20), &any::<u64>(), |&x| {
+            crate::prop_assume!(x % 2 == 0);
+            crate::prop_assert!(x % 2 == 0);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_report() {
+        check("fails", &Config::cases(50), &(0u32..1000), |&x| {
+            crate::prop_assert!(x < 5, "x = {x}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn shrinking_finds_the_boundary() {
+        // The minimal counterexample to `sum < 100` over vec lengths 0..10
+        // of 0..=50 values: shrinking should land at (or very near) a
+        // small vector summing just over 99.
+        let gen = vec(0u64..=50, 0..10usize);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check("sum_bound", &Config::cases(200), &gen, |v| {
+                let sum: u64 = v.iter().sum();
+                crate::prop_assert!(sum < 100, "sum = {sum}");
+                Ok(())
+            });
+        }));
+        let msg = panic_message(&caught.expect_err("property must fail"));
+        // The shrunk sum must sit in [100, 150): one 0..=50 element above
+        // the smallest failing configuration.
+        let sum: u64 = msg
+            .split("sum = ")
+            .nth(1)
+            .and_then(|s| s.split('\n').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((100..150).contains(&sum), "shrunk sum {sum}");
+    }
+
+    #[test]
+    fn property_panics_are_caught_and_shrunk() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            check("panics", &Config::cases(50), &(0u32..100), |&x| {
+                assert!(x < 90, "boom {x}");
+                Ok(())
+            });
+        }));
+        let msg = panic_message(&caught.expect_err("must fail"));
+        assert!(msg.contains("panicked"), "{msg}");
+        assert!(msg.contains("boom 90"), "shrunk to boundary: {msg}");
+    }
+
+    #[test]
+    fn corpus_roundtrip() {
+        assert_eq!(hex_decode("00ff10"), Some(vec![0, 255, 16]));
+        assert_eq!(hex_encode(&[0, 255, 16]), "00ff10");
+        assert_eq!(hex_decode("(empty)"), Some(Vec::new()));
+        assert_eq!(hex_decode("0g"), None);
+    }
+
+    #[test]
+    fn seeds_differ_across_test_names() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

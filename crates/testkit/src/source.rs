@@ -1,0 +1,168 @@
+//! The byte stream generators draw from.
+//!
+//! Two modes share one draw API:
+//!
+//! * **Record** — bytes come from a seeded RNG and are appended to a
+//!   transcript, so a failing case can be replayed and shrunk.
+//! * **Replay** — bytes come from a fixed buffer (a shrink candidate or a
+//!   corpus entry); when the buffer runs out the stream pads with zeros,
+//!   which by convention decodes to the *simplest* value of every
+//!   generator.
+//!
+//! # Byte-level encoding (stable; corpus files depend on it)
+//!
+//! * [`Source::byte`] — 1 byte, as-is.
+//! * [`Source::below`]`(n)` — a value in `[0, n)`: consumes **0 bytes** if
+//!   `n ≤ 1`, else 1 byte if `n ≤ 2^8`, 2 bytes (LE) if `n ≤ 2^16`,
+//!   4 bytes if `n ≤ 2^32`, 8 bytes otherwise; the raw word reduces by
+//!   `% n`. (Modulo bias is fine *here*: this drives test-case diversity,
+//!   not statistical estimates — the production path in `pqe-rand` uses
+//!   unbiased rejection.)
+//! * Fixed-width draws ([`Source::u64_raw`], …) — LE bytes, full width.
+//!
+//! Keeping the encoding documented and boring makes corpus entries
+//! hand-writable: the two `proptest-regressions` files of the old harness
+//! were converted by writing the bytes out by hand.
+
+use pqe_rand::rngs::StdRng;
+use pqe_rand::RngCore;
+
+enum Mode<'a> {
+    Record { rng: &'a mut StdRng, transcript: Vec<u8> },
+    Replay { data: &'a [u8], pos: usize },
+}
+
+/// A finite byte stream driving one generated test case.
+pub struct Source<'a> {
+    mode: Mode<'a>,
+}
+
+impl<'a> Source<'a> {
+    /// A recording stream backed by `rng`.
+    pub fn record(rng: &'a mut StdRng) -> Self {
+        Source {
+            mode: Mode::Record {
+                rng,
+                transcript: Vec::with_capacity(64),
+            },
+        }
+    }
+
+    /// A replay stream over `data` (zero-padded past the end).
+    pub fn replay(data: &'a [u8]) -> Self {
+        Source {
+            mode: Mode::Replay { data, pos: 0 },
+        }
+    }
+
+    /// The bytes drawn so far (recording mode), or the replay buffer.
+    pub fn transcript(&self) -> &[u8] {
+        match &self.mode {
+            Mode::Record { transcript, .. } => transcript,
+            Mode::Replay { data, .. } => data,
+        }
+    }
+
+    /// Draws one byte.
+    pub fn byte(&mut self) -> u8 {
+        match &mut self.mode {
+            Mode::Record { rng, transcript } => {
+                let b = (rng.next_u64() >> 56) as u8;
+                transcript.push(b);
+                b
+            }
+            Mode::Replay { data, pos } => {
+                let b = data.get(*pos).copied().unwrap_or(0);
+                *pos += 1;
+                b
+            }
+        }
+    }
+
+    fn le_bytes<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        for slot in &mut out {
+            *slot = self.byte();
+        }
+        out
+    }
+
+    /// 2 raw bytes, little-endian.
+    pub fn u16_raw(&mut self) -> u16 {
+        u16::from_le_bytes(self.le_bytes())
+    }
+
+    /// 4 raw bytes, little-endian.
+    pub fn u32_raw(&mut self) -> u32 {
+        u32::from_le_bytes(self.le_bytes())
+    }
+
+    /// 8 raw bytes, little-endian.
+    pub fn u64_raw(&mut self) -> u64 {
+        u64::from_le_bytes(self.le_bytes())
+    }
+
+    /// 16 raw bytes, little-endian.
+    pub fn u128_raw(&mut self) -> u128 {
+        u128::from_le_bytes(self.le_bytes())
+    }
+
+    /// A value in `[0, n)` using the width-adaptive encoding above.
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let raw = if n <= 1 << 8 {
+            self.byte() as u64
+        } else if n <= 1 << 16 {
+            self.u16_raw() as u64
+        } else if n <= 1 << 32 {
+            self.u32_raw() as u64
+        } else {
+            self.u64_raw()
+        };
+        raw % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqe_rand::SeedableRng;
+
+    #[test]
+    fn replay_pads_with_zeros() {
+        let mut src = Source::replay(&[7]);
+        assert_eq!(src.byte(), 7);
+        assert_eq!(src.byte(), 0);
+        assert_eq!(src.u64_raw(), 0);
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_draws() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rec = Source::record(&mut rng);
+        let a = (rec.byte(), rec.below(300), rec.u64_raw(), rec.below(7));
+        let transcript = rec.transcript().to_vec();
+
+        let mut rep = Source::replay(&transcript);
+        let b = (rep.byte(), rep.below(300), rep.u64_raw(), rep.below(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn below_consumes_documented_widths() {
+        let mut src = Source::replay(&[5, 1, 2, 0xFF]);
+        assert_eq!(src.below(1), 0); // 0 bytes
+        assert_eq!(src.below(256), 5); // 1 byte
+        assert_eq!(src.below(1 << 16), 0x0201); // 2 bytes LE
+        assert_eq!(src.below(10), 0xFF % 10); // 1 byte
+    }
+
+    #[test]
+    fn zero_stream_is_all_minimums() {
+        let mut src = Source::replay(&[]);
+        assert_eq!(src.below(100), 0);
+        assert_eq!(src.u32_raw(), 0);
+    }
+}

@@ -11,8 +11,8 @@ use pqe::core::{landscape, pqe_estimate};
 use pqe::db::{generators, ProbDatabase};
 use pqe::query::{shapes, ConjunctiveQuery};
 use pqe_arith::Rational;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 fn show(name: &str, q: &ConjunctiveQuery, h: &ProbDatabase, cfg: &FprasConfig) {
     println!("── {name}");

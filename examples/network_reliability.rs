@@ -19,8 +19,8 @@ use pqe::core::baselines::brute_force_ur;
 use pqe::core::{path_ur_estimate, ur_estimate};
 use pqe::db::generators;
 use pqe::query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(77);

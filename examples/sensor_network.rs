@@ -18,8 +18,8 @@ use pqe::core::baselines::{brute_force_pqe, naive_monte_carlo_pqe};
 use pqe::core::pqe_estimate;
 use pqe::db::{generators, ProbDatabase};
 use pqe::query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 fn main() {
     let hops = 4;

@@ -16,8 +16,8 @@ use pqe::db::{generators, worlds};
 use pqe::engine::eval_boolean;
 use pqe::query::shapes;
 use pqe_arith::Rational;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(314);

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetic by construction: --offline proves the
+# workspace needs nothing from crates.io (all deps are in-tree path
+# crates; see DESIGN.md "Dependency policy").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline --workspace

@@ -20,8 +20,8 @@ use pqe::core::worlds::WeightedWorldSampler;
 use pqe::core::{landscape, pqe_estimate, ur_estimate};
 use pqe::db::{io as dbio, ProbDatabase};
 use pqe::query::{parse, ConjunctiveQuery};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 use std::process::ExitCode;
 
 const USAGE: &str = "\

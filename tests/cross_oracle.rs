@@ -15,8 +15,8 @@ use pqe::core::baselines::{brute_force_pqe, dnf_probability, lifted_pqe, Lineage
 use pqe::core::reductions::build_pqe_automaton;
 use pqe::db::{generators, ProbDatabase};
 use pqe::query::{analysis, shapes, ConjunctiveQuery};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 fn exact_via_reduction(q: &ConjunctiveQuery, h: &ProbDatabase) -> Rational {
     let pqe = build_pqe_automaton(q, h).unwrap();

@@ -1,0 +1,83 @@
+//! Determinism: with a fixed seed, the estimators must be pure functions
+//! of their inputs — two runs produce bit-identical outputs. This is the
+//! contract that makes `FprasConfig::with_seed` + the in-tree `pqe-rand`
+//! PRNG a reproducibility story rather than a convenience.
+
+use pqe::automata::FprasConfig;
+use pqe::core::{path_ur_estimate, pqe_estimate, ur_estimate};
+use pqe::db::generators;
+use pqe::query::shapes;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
+
+fn fixture() -> (pqe::query::ConjunctiveQuery, pqe::db::ProbDatabase) {
+    let mut rng = StdRng::seed_from_u64(0xDE7E_4141);
+    let db = generators::layered_graph_connected(3, 3, 0.7, &mut rng);
+    let h = generators::with_random_probs(db, 6, &mut rng);
+    (shapes::path_query(3), h)
+}
+
+#[test]
+fn instance_generation_is_deterministic() {
+    let (q1, h1) = fixture();
+    let (q2, h2) = fixture();
+    assert_eq!(q1.to_string(), q2.to_string());
+    assert_eq!(h1.len(), h2.len());
+    for i in 0..h1.len() {
+        let f = pqe::db::FactId(i as u32);
+        assert_eq!(h1.prob(f), h2.prob(f), "prob of fact {i} differs");
+    }
+}
+
+#[test]
+fn pqe_estimate_is_bit_identical_across_runs() {
+    let (q, h) = fixture();
+    let cfg = FprasConfig::with_epsilon(0.3).with_seed(0x5EED);
+    let a = pqe_estimate(&q, &h, &cfg).unwrap();
+    let b = pqe_estimate(&q, &h, &cfg).unwrap();
+    assert_eq!(a.probability.to_string(), b.probability.to_string());
+    assert_eq!(a.target_size, b.target_size);
+    assert_eq!(a.denominator, b.denominator);
+    assert_eq!(a.automaton_states, b.automaton_states);
+    assert_eq!(a.automaton_size, b.automaton_size);
+}
+
+#[test]
+fn ur_estimate_is_bit_identical_across_runs() {
+    let (q, h) = fixture();
+    let db = h.database().clone();
+    let cfg = FprasConfig::with_epsilon(0.3).with_seed(0xBEEF);
+    let a = ur_estimate(&q, &db, &cfg).unwrap();
+    let b = ur_estimate(&q, &db, &cfg).unwrap();
+    assert_eq!(a.reliability.to_string(), b.reliability.to_string());
+    assert_eq!(a.target_size, b.target_size);
+    assert_eq!(a.dropped_facts, b.dropped_facts);
+}
+
+#[test]
+fn path_ur_estimate_is_bit_identical_across_runs() {
+    let (q, h) = fixture();
+    let db = h.database().clone();
+    let cfg = FprasConfig::with_epsilon(0.3).with_seed(0xF00D);
+    let a = path_ur_estimate(&q, &db, &cfg).unwrap();
+    let b = path_ur_estimate(&q, &db, &cfg).unwrap();
+    assert_eq!(a.reliability.to_string(), b.reliability.to_string());
+    assert_eq!(a.target_len, b.target_len);
+}
+
+#[test]
+fn different_seeds_are_actually_different_streams() {
+    // Guard against a seed that is accepted but ignored.
+    let (q, h) = fixture();
+    let a = pqe_estimate(&q, &h, &FprasConfig::with_epsilon(0.3).with_seed(1)).unwrap();
+    let b = pqe_estimate(&q, &h, &FprasConfig::with_epsilon(0.3).with_seed(2)).unwrap();
+    // Estimates at different seeds agree to within the FPRAS tolerance but
+    // are produced by different sample paths; identical digit strings for
+    // every field would mean the seed is dead. Tolerate the (unlikely)
+    // coincidence on the headline number only.
+    assert!(
+        a.probability.to_string() != b.probability.to_string()
+            || a.elapsed != b.elapsed,
+        "seeds 1 and 2 produced identical outputs"
+    );
+}

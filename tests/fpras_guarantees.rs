@@ -9,8 +9,8 @@ use pqe::core::baselines::brute_force_pqe;
 use pqe::core::{pqe_estimate, ur_estimate};
 use pqe::db::generators;
 use pqe::query::shapes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 /// Runs `trials` independent estimates and returns how many landed within
 /// the requested relative error.

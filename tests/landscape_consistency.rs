@@ -9,8 +9,8 @@ use pqe::core::landscape::{classify, Verdict};
 use pqe::core::pqe_estimate;
 use pqe::db::{generators, ProbDatabase};
 use pqe::query::{parse, shapes, ConjunctiveQuery};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
 
 fn sample_h(q: &ConjunctiveQuery, seed: u64) -> ProbDatabase {
     let mut rng = StdRng::seed_from_u64(seed);

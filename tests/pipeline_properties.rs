@@ -3,13 +3,17 @@
 //! oracles, so no sampling noise) must reproduce brute-force ground truth
 //! bit for bit.
 
-use proptest::prelude::*;
 use pqe::arith::{BigUint, Rational};
 use pqe::automata::count_trees_exact;
 use pqe::core::baselines::{brute_force_pqe, brute_force_ur};
 use pqe::core::reductions::{build_path_nfa, build_pqe_automaton, build_ur_automaton};
 use pqe::db::{Database, ProbDatabase, Schema};
 use pqe::query::shapes;
+use pqe_testkit::prelude::*;
+
+fn cfg() -> Config {
+    Config::cases(24).with_corpus("tests/corpus/pipeline_properties.corpus")
+}
 
 /// A random tiny triangle instance for the width-2 cycle query: three
 /// binary relations over a 2-element domain, fact presence from a bitmask.
@@ -65,101 +69,133 @@ fn probs_for(db: &Database, seed_probs: &[(u8, u8)]) -> ProbDatabase {
     ProbDatabase::with_probs(db.clone(), probs).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn ur_reduction_is_exact_on_random_paths() {
+    check(
+        "ur_reduction_is_exact_on_random_paths",
+        &cfg(),
+        &(2usize..4, any::<u64>()),
+        |&(len, edge_bits)| {
+            let db = tiny_instance(len, edge_bits, 2);
+            prop_assume!(db.len() <= 12);
+            let q = shapes::path_query(len);
+            let ur = build_ur_automaton(&q, &db).unwrap();
+            let (nfta, _) = ur.aug.translate();
+            let via_automaton = &count_trees_exact(&nfta, ur.target_size)
+                * &(&BigUint::one() << ur.dropped_facts as u64);
+            prop_assert_eq!(via_automaton, brute_force_ur(&q, &db));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ur_reduction_is_exact_on_random_paths(
-        len in 2usize..4,
-        edge_bits in any::<u64>(),
-    ) {
-        let db = tiny_instance(len, edge_bits, 2);
-        prop_assume!(db.len() <= 12);
-        let q = shapes::path_query(len);
-        let ur = build_ur_automaton(&q, &db).unwrap();
-        let (nfta, _) = ur.aug.translate();
-        let via_automaton =
-            &count_trees_exact(&nfta, ur.target_size) * &(&BigUint::one() << ur.dropped_facts as u64);
-        prop_assert_eq!(via_automaton, brute_force_ur(&q, &db));
-    }
+#[test]
+fn path_nfa_is_exact_on_random_paths() {
+    check(
+        "path_nfa_is_exact_on_random_paths",
+        &cfg(),
+        &(2usize..4, any::<u64>()),
+        |&(len, edge_bits)| {
+            let db = tiny_instance(len, edge_bits, 2);
+            prop_assume!(db.len() <= 12);
+            let q = shapes::path_query(len);
+            let p = build_path_nfa(&q, &db).unwrap();
+            let via_nfa = &p.nfa.count_strings_exact(p.target_len)
+                * &(&BigUint::one() << p.dropped_facts as u64);
+            prop_assert_eq!(via_nfa, brute_force_ur(&q, &db));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn path_nfa_is_exact_on_random_paths(
-        len in 2usize..4,
-        edge_bits in any::<u64>(),
-    ) {
-        let db = tiny_instance(len, edge_bits, 2);
-        prop_assume!(db.len() <= 12);
-        let q = shapes::path_query(len);
-        let p = build_path_nfa(&q, &db).unwrap();
-        let via_nfa = &p.nfa.count_strings_exact(p.target_len)
-            * &(&BigUint::one() << p.dropped_facts as u64);
-        prop_assert_eq!(via_nfa, brute_force_ur(&q, &db));
-    }
+#[test]
+fn pqe_reduction_is_exact_on_random_weighted_paths() {
+    let gens = (2usize..4, any::<u64>(), vec((any::<u8>(), any::<u8>()), 4..8));
+    check(
+        "pqe_reduction_is_exact_on_random_weighted_paths",
+        &cfg(),
+        &gens,
+        |(len, edge_bits, seed_probs)| {
+            let db = tiny_instance(*len, *edge_bits, 2);
+            prop_assume!(db.len() <= 10);
+            let h = probs_for(&db, seed_probs);
+            let q = shapes::path_query(*len);
+            let pqe = build_pqe_automaton(&q, &h).unwrap();
+            let trees = count_trees_exact(&pqe.nfta, pqe.target_size);
+            let via_automaton = Rational::new(trees.into(), pqe.denominator.clone());
+            prop_assert_eq!(via_automaton, brute_force_pqe(&q, &h));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pqe_reduction_is_exact_on_random_weighted_paths(
-        len in 2usize..4,
-        edge_bits in any::<u64>(),
-        seed_probs in proptest::collection::vec((any::<u8>(), any::<u8>()), 4..8),
-    ) {
-        let db = tiny_instance(len, edge_bits, 2);
-        prop_assume!(db.len() <= 10);
-        let h = probs_for(&db, &seed_probs);
-        let q = shapes::path_query(len);
-        let pqe = build_pqe_automaton(&q, &h).unwrap();
-        let trees = count_trees_exact(&pqe.nfta, pqe.target_size);
-        let via_automaton = Rational::new(trees.into(), pqe.denominator.clone());
-        prop_assert_eq!(via_automaton, brute_force_pqe(&q, &h));
-    }
+#[test]
+fn ur_reduction_is_exact_on_random_triangles() {
+    check(
+        "ur_reduction_is_exact_on_random_triangles",
+        &cfg(),
+        &any::<u64>(),
+        |&edge_bits| {
+            // Width-2 (cyclic) queries: exercises multi-atom bags and the
+            // binary branches of the decomposition end to end.
+            let db = tiny_triangle(edge_bits);
+            prop_assume!(db.len() <= 12);
+            let q = shapes::cycle_query(3);
+            let ur = build_ur_automaton(&q, &db).unwrap();
+            let (nfta, _) = ur.aug.translate();
+            let via_automaton = &count_trees_exact(&nfta, ur.target_size)
+                * &(&BigUint::one() << ur.dropped_facts as u64);
+            prop_assert_eq!(via_automaton, brute_force_ur(&q, &db));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ur_reduction_is_exact_on_random_triangles(edge_bits in any::<u64>()) {
-        // Width-2 (cyclic) queries: exercises multi-atom bags and the
-        // binary branches of the decomposition end to end.
-        let db = tiny_triangle(edge_bits);
-        prop_assume!(db.len() <= 12);
-        let q = shapes::cycle_query(3);
-        let ur = build_ur_automaton(&q, &db).unwrap();
-        let (nfta, _) = ur.aug.translate();
-        let via_automaton =
-            &count_trees_exact(&nfta, ur.target_size) * &(&BigUint::one() << ur.dropped_facts as u64);
-        prop_assert_eq!(via_automaton, brute_force_ur(&q, &db));
-    }
+#[test]
+fn pqe_reduction_is_exact_on_random_weighted_triangles() {
+    let gens = (any::<u64>(), vec((any::<u8>(), any::<u8>()), 4..8));
+    check(
+        "pqe_reduction_is_exact_on_random_weighted_triangles",
+        &cfg(),
+        &gens,
+        |(edge_bits, seed_probs)| {
+            let db = tiny_triangle(*edge_bits);
+            prop_assume!(db.len() <= 9);
+            let h = probs_for(&db, seed_probs);
+            let q = shapes::cycle_query(3);
+            let pqe = build_pqe_automaton(&q, &h).unwrap();
+            let trees = count_trees_exact(&pqe.nfta, pqe.target_size);
+            let via_automaton = Rational::new(trees.into(), pqe.denominator.clone());
+            prop_assert_eq!(via_automaton, brute_force_pqe(&q, &h));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pqe_reduction_is_exact_on_random_weighted_triangles(
-        edge_bits in any::<u64>(),
-        seed_probs in proptest::collection::vec((any::<u8>(), any::<u8>()), 4..8),
-    ) {
-        let db = tiny_triangle(edge_bits);
-        prop_assume!(db.len() <= 9);
-        let h = probs_for(&db, &seed_probs);
-        let q = shapes::cycle_query(3);
-        let pqe = build_pqe_automaton(&q, &h).unwrap();
-        let trees = count_trees_exact(&pqe.nfta, pqe.target_size);
-        let via_automaton = Rational::new(trees.into(), pqe.denominator.clone());
-        prop_assert_eq!(via_automaton, brute_force_pqe(&q, &h));
-    }
-
-    #[test]
-    fn reduction_tree_counts_are_size_concentrated(
-        len in 2usize..4,
-        edge_bits in any::<u64>(),
-    ) {
-        // No accepted trees at any size other than the target: the
-        // uniform-size property that makes counting at one length valid.
-        let db = tiny_instance(len, edge_bits, 2);
-        prop_assume!((3..=9).contains(&db.len()));
-        let q = shapes::path_query(len);
-        let ur = build_ur_automaton(&q, &db).unwrap();
-        let (nfta, _) = ur.aug.translate();
-        for delta in [-1i64, 1] {
-            let off = (ur.target_size as i64 + delta).max(0) as usize;
-            if off != ur.target_size && off > 0 {
-                prop_assert!(count_trees_exact(&nfta, off).is_zero(),
-                    "accepted trees at off-target size {off}");
+#[test]
+fn reduction_tree_counts_are_size_concentrated() {
+    check(
+        "reduction_tree_counts_are_size_concentrated",
+        &cfg(),
+        &(2usize..4, any::<u64>()),
+        |&(len, edge_bits)| {
+            // No accepted trees at any size other than the target: the
+            // uniform-size property that makes counting at one length valid.
+            let db = tiny_instance(len, edge_bits, 2);
+            prop_assume!((3..=9).contains(&db.len()));
+            let q = shapes::path_query(len);
+            let ur = build_ur_automaton(&q, &db).unwrap();
+            let (nfta, _) = ur.aug.translate();
+            for delta in [-1i64, 1] {
+                let off = (ur.target_size as i64 + delta).max(0) as usize;
+                if off != ur.target_size && off > 0 {
+                    prop_assert!(
+                        count_trees_exact(&nfta, off).is_zero(),
+                        "accepted trees at off-target size {off}"
+                    );
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
