@@ -199,6 +199,11 @@ impl BigUint {
             let (q, r) = self.divrem_small(divisor.limbs[0]);
             return (q, BigUint::from(r));
         }
+        // Both operands fit u64 (≤ 2 limbs): hardware division beats Knuth's
+        // normalize/shift machinery.
+        if let (Some(a), Some(b)) = (self.to_u64(), divisor.to_u64()) {
+            return (BigUint::from(a / b), BigUint::from(a % b));
+        }
         self.divrem_knuth(divisor)
     }
 
@@ -405,9 +410,35 @@ fn sub_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
     out
 }
 
+/// Multiplication by a single limb: one carry pass, no `a.len() + 1`-sized
+/// zero-then-accumulate buffer. The multiplier gadget and run-DP hot paths
+/// multiply by small constants constantly, so this path dominates.
+fn mul_small(a: &[u32], m: u32) -> Vec<u32> {
+    if m == 0 || a.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry: u64 = 0;
+    for &ai in a {
+        let cur = ai as u64 * m as u64 + carry;
+        out.push(cur as u32);
+        carry = cur >> 32;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
 fn mul_limbs(a: &[u32], b: &[u32]) -> Vec<u32> {
     if a.is_empty() || b.is_empty() {
         return Vec::new();
+    }
+    if a.len() == 1 {
+        return mul_small(b, a[0]);
+    }
+    if b.len() == 1 {
+        return mul_small(a, b[0]);
     }
     let mut out = vec![0u32; a.len() + b.len()];
     for (i, &ai) in a.iter().enumerate() {

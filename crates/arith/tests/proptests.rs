@@ -73,6 +73,36 @@ fn divrem_matches_u128() {
 }
 
 #[test]
+fn mul_single_limb_fast_path_matches_general() {
+    // `a * m` with a one-limb `m` takes the single-carry-pass fast path;
+    // `a * (m << 32) >> 32` forces the two-limb schoolbook loop for the
+    // same product. The two must agree limb-for-limb.
+    check("mul_fast_path", &cfg(), &(biguint_gen(), any::<u32>()), |(a, m)| {
+        let fast = a * &BigUint::from(*m);
+        let general = &(a * &(&BigUint::from(*m) << 32)) >> 32;
+        prop_assert_eq!(fast, general);
+        Ok(())
+    });
+}
+
+#[test]
+fn divrem_u64_fast_path_matches_knuth() {
+    // Two-limb ÷ two-limb hits the hardware-u64 fast path; shifting both
+    // operands left 32 bits forces the Knuth Algorithm D path with the
+    // same quotient and a shifted remainder.
+    let gens = (any::<u64>(), (u32::MAX as u64 + 1)..);
+    check("divrem_u64_fast_path", &cfg(), &gens, |&(a, b)| {
+        let (q, r) = BigUint::from(a).divrem(&BigUint::from(b));
+        let (qk, rk) = (&BigUint::from(a) << 32).divrem(&(&BigUint::from(b) << 32));
+        prop_assert_eq!(&q, &qk);
+        prop_assert_eq!(&r << 32, rk);
+        prop_assert_eq!(q.to_u64(), Some(a / b));
+        prop_assert_eq!(r.to_u64(), Some(a % b));
+        Ok(())
+    });
+}
+
+#[test]
 fn add_commutative_associative() {
     let gens = (biguint_gen(), biguint_gen(), biguint_gen());
     check("add_commutative_associative", &cfg(), &gens, |(a, b, c)| {

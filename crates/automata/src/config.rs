@@ -27,6 +27,13 @@ pub struct FprasConfig {
     /// Number of independent repetitions; the median is returned
     /// (amplifies the constant success probability to "w.h.p.").
     pub repetitions: usize,
+    /// Worker threads for the parallel sample loops (repetitions and
+    /// ambiguous-union sampling). `0` means auto: the `PQE_THREADS`
+    /// environment variable if set, else the machine's available
+    /// parallelism. Randomness is keyed per sample index (see
+    /// `union_mc`), so for a fixed seed the estimates are **bit-identical
+    /// regardless of this value** — it only changes wall-clock time.
+    pub threads: usize,
     /// Ablation switch: when `true`, the NFTA counter estimates each
     /// state's full transition union with one Karp–Luby pass instead of
     /// splitting by root symbol first (symbol groups are disjoint and add
@@ -44,6 +51,7 @@ impl Default for FprasConfig {
             union_sample_scale: 8.0,
             sir_candidates: 12,
             repetitions: 5,
+            threads: 0,
             naive_unions: false,
         }
     }
@@ -69,6 +77,19 @@ impl FprasConfig {
     pub fn with_naive_unions(mut self) -> Self {
         self.naive_unions = true;
         self
+    }
+
+    /// Overrides the worker thread count (`0` = auto). Does not change any
+    /// estimate — only how the sample loops are scheduled.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The resolved worker count: `threads` if nonzero, else `PQE_THREADS`,
+    /// else available parallelism (always ≥ 1).
+    pub fn effective_threads(&self) -> usize {
+        pqe_par::resolve_threads(self.threads)
     }
 
     /// Conservative sample counts scaling with `1/ε²`, closer to the
@@ -124,6 +145,13 @@ mod tests {
     #[should_panic(expected = "(0,1)")]
     fn rejects_bad_epsilon() {
         FprasConfig::with_epsilon(1.5);
+    }
+
+    #[test]
+    fn thread_override_resolves() {
+        let c = FprasConfig::default().with_threads(3);
+        assert_eq!(c.effective_threads(), 3);
+        assert!(FprasConfig::default().effective_threads() >= 1);
     }
 
     #[test]

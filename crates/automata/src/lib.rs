@@ -44,6 +44,7 @@ mod nfta;
 mod nfta_exact;
 mod nfta_fpras;
 mod nfta_run_estimator;
+mod union_mc;
 
 pub use alphabet::{Alphabet, SymbolId};
 pub use augmented::{AugSymbol, AugTransition, AugmentedNfta};

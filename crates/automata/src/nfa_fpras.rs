@@ -8,21 +8,28 @@
 //! reciprocal of the number of parts containing it — membership is a
 //! polynomial subset-simulation). Per-part uniform-ish samples come from
 //! rejection sampling through the same recursion.
+//!
+//! Like the NFTA counter, the repetition loop and the union sample loops
+//! fan out over the `pqe-par` pool with per-sample-index randomness, so a
+//! fixed seed gives bit-identical estimates at any thread count.
 
+use crate::union_mc::{adaptive_mean, TAG_NFA_GROUP, TAG_NFA_TOP};
 use crate::{FprasConfig, Nfa, StateId, SymbolId};
 use pqe_arith::{BigFloat, BigUint};
+use pqe_par::ShardedMap;
 use pqe_rand::rngs::StdRng;
-use pqe_rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use pqe_rand::{mix_seed, Rng};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Approximates `|L_n(M)|`, the number of distinct length-`n` strings
-/// accepted by `nfa`, running `cfg.repetitions` independent estimates and
-/// returning their median.
+/// accepted by `nfa`, running `cfg.repetitions` independent estimates in
+/// parallel and returning their median.
 pub fn count_nfa(nfa: &Nfa, n: usize, cfg: &FprasConfig) -> BigFloat {
-    let mut results: Vec<BigFloat> = (0..cfg.repetitions.max(1))
-        .map(|r| NfaCounter::new(nfa, cfg.clone(), cfg.seed.wrapping_add(r as u64)).count(n))
-        .collect();
+    let reps = cfg.repetitions.max(1);
+    let mut results: Vec<BigFloat> = pqe_par::map_chunks(cfg.effective_threads(), reps, 1, |r| {
+        r.map(|rep| NfaCounter::new(nfa, cfg.clone(), cfg.seed.wrapping_add(rep as u64)).count(n))
+            .collect()
+    });
     results.sort_by(|a, b| a.partial_cmp(b).unwrap());
     results[results.len() / 2]
 }
@@ -30,18 +37,21 @@ pub fn count_nfa(nfa: &Nfa, n: usize, cfg: &FprasConfig) -> BigFloat {
 struct NfaCounter<'a> {
     nfa: &'a Nfa,
     cfg: FprasConfig,
-    rng: RefCell<StdRng>,
-    est: RefCell<HashMap<(StateId, usize), BigFloat>>,
+    /// This repetition's seed (the root of every union's sample streams).
+    seed: u64,
+    /// Resolved worker count, captured once.
+    threads: usize,
+    est: ShardedMap<(StateId, usize), BigFloat>,
     /// Memoized per-symbol-group union estimates, keyed by
     /// `(state, symbol, suffix length)`. Without this, sampling re-runs
     /// the union estimator recursively — exponential work.
-    group_memo: RefCell<HashMap<(StateId, SymbolId, usize), BigFloat>>,
+    group_memo: ShardedMap<(StateId, SymbolId, usize), BigFloat>,
     /// Per-state transitions grouped by symbol with deduplicated targets,
     /// precomputed once — hot in both estimation and sampling.
     groups_cache: Vec<Vec<(SymbolId, Vec<StateId>)>>,
     /// Exact accepting-path counts per `(state, length)`, powering the SIR
     /// string sampler (mirrors the NFTA counter's `RunTables`).
-    path_counts: RefCell<HashMap<(StateId, usize), BigUint>>,
+    path_counts: ShardedMap<(StateId, usize), BigUint>,
 }
 
 impl<'a> NfaCounter<'a> {
@@ -57,21 +67,23 @@ impl<'a> NfaCounter<'a> {
                     .collect()
             })
             .collect();
+        let threads = cfg.effective_threads();
         NfaCounter {
             nfa,
             cfg,
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
-            est: RefCell::new(HashMap::new()),
-            group_memo: RefCell::new(HashMap::new()),
+            seed,
+            threads,
+            est: ShardedMap::new(),
+            group_memo: ShardedMap::new(),
             groups_cache,
-            path_counts: RefCell::new(HashMap::new()),
+            path_counts: ShardedMap::new(),
         }
     }
 
     /// Exact number of accepting paths of length `i` from `q` (memoized).
     fn path_count(&self, q: StateId, i: usize) -> BigUint {
-        if let Some(v) = self.path_counts.borrow().get(&(q, i)) {
-            return v.clone();
+        if let Some(v) = self.path_counts.get(&(q, i)) {
+            return v;
         }
         let v = if i == 0 {
             if self.nfa.accepting_states().contains(&q) {
@@ -86,13 +98,12 @@ impl<'a> NfaCounter<'a> {
             }
             acc
         };
-        self.path_counts.borrow_mut().insert((q, i), v.clone());
-        v
+        self.path_counts.insert((q, i), v)
     }
 
     /// Samples an accepting path (run) of length `i` from `q`, uniformly
     /// among paths, returning its string. `None` iff no path exists.
-    fn sample_path(&self, q: StateId, i: usize) -> Option<Vec<SymbolId>> {
+    fn sample_path<R: Rng + ?Sized>(&self, q: StateId, i: usize, rng: &mut R) -> Option<Vec<SymbolId>> {
         if self.path_count(q, i).is_zero() {
             return None;
         }
@@ -112,7 +123,7 @@ impl<'a> NfaCounter<'a> {
                 .iter()
                 .map(|(_, c)| BigFloat::from_biguint(c))
                 .sum();
-            let u: f64 = self.rng.borrow_mut().random();
+            let u: f64 = rng.random();
             let threshold = total * u;
             let mut acc = BigFloat::zero();
             let mut picked = choices.len() - 1;
@@ -133,9 +144,9 @@ impl<'a> NfaCounter<'a> {
     /// `M(x)`: the number of accepting runs of `x` from `q` (exact
     /// count-weighted subset simulation).
     fn runs_of_string(&self, q: StateId, x: &[SymbolId]) -> BigUint {
-        let mut cur: HashMap<StateId, BigUint> = HashMap::from([(q, BigUint::one())]);
+        let mut cur: BTreeMap<StateId, BigUint> = BTreeMap::from([(q, BigUint::one())]);
         for &sym in x {
-            let mut next: HashMap<StateId, BigUint> = HashMap::new();
+            let mut next: BTreeMap<StateId, BigUint> = BTreeMap::new();
             for (s, count) in &cur {
                 for &(a, t) in self.nfa.transitions_from(*s) {
                     if a == sym {
@@ -156,15 +167,16 @@ impl<'a> NfaCounter<'a> {
 
     fn count(&self, n: usize) -> BigFloat {
         let parts: Vec<StateId> = self.nfa.initial_states().iter().copied().collect();
-        self.union_estimate(&parts, n, |x, q| {
+        let useed = mix_seed(&[self.seed, TAG_NFA_TOP, n as u64]);
+        self.union_estimate(&parts, n, useed, |x, q| {
             self.nfa.accepts_from(BTreeSet::from([q]), x)
         })
     }
 
     /// Size estimate of `L(q, i)`, memoized.
     fn state_est(&self, q: StateId, i: usize) -> BigFloat {
-        if let Some(v) = self.est.borrow().get(&(q, i)) {
-            return *v;
+        if let Some(v) = self.est.get(&(q, i)) {
+            return v;
         }
         let v = if i == 0 {
             if self.nfa.accepting_states().contains(&q) {
@@ -179,8 +191,7 @@ impl<'a> NfaCounter<'a> {
             }
             total
         };
-        self.est.borrow_mut().insert((q, i), v);
-        v
+        self.est.insert((q, i), v)
     }
 
     /// Outgoing transitions of `q` grouped by symbol, targets deduplicated
@@ -193,23 +204,24 @@ impl<'a> NfaCounter<'a> {
     /// is a bijection, so this equals `|⋃_t L(t, i−1)|`), memoized on
     /// `(q, a, i)`.
     fn group_est(&self, q: StateId, a: SymbolId, targets: &[StateId], i: usize) -> BigFloat {
-        if let Some(v) = self.group_memo.borrow().get(&(q, a, i)) {
-            return *v;
+        if let Some(v) = self.group_memo.get(&(q, a, i)) {
+            return v;
         }
-        let v = self.union_estimate(targets, i - 1, |x, t| {
+        let useed = mix_seed(&[self.seed, TAG_NFA_GROUP, q.0 as u64, a.0 as u64, i as u64]);
+        let v = self.union_estimate(targets, i - 1, useed, |x, t| {
             self.nfa.accepts_from(BTreeSet::from([t]), x)
         });
-        self.group_memo.borrow_mut().insert((q, a, i), v);
-        v
+        self.group_memo.insert((q, a, i), v)
     }
 
     /// The Karp–Luby union estimator over parts `L(t, len)` with membership
-    /// oracle `member(x, t)`.
+    /// oracle `member(x, t)`, sampling from the streams rooted at `useed`.
     fn union_estimate(
         &self,
         parts: &[StateId],
         len: usize,
-        member: impl Fn(&[SymbolId], StateId) -> bool,
+        useed: u64,
+        member: impl Fn(&[SymbolId], StateId) -> bool + Sync,
     ) -> BigFloat {
         let sized: Vec<(StateId, BigFloat)> = parts
             .iter()
@@ -220,34 +232,28 @@ impl<'a> NfaCounter<'a> {
             0 => BigFloat::zero(),
             1 => sized[0].1,
             m => {
-                // Adaptive Karp–Luby estimation (see the NFTA counter).
+                // Adaptive Karp–Luby estimation (the shared parallel loop
+                // in `union_mc`).
                 let total: BigFloat = sized.iter().map(|(_, s)| *s).sum();
                 let cap = self.cfg.union_samples(m);
                 let floor = self.cfg.union_sample_floor.min(cap);
-                let eps_loc = self.cfg.local_epsilon();
-                let (mut taken, mut mean, mut m2) = (0usize, 0.0f64, 0.0f64);
-                for _ in 0..cap {
-                    let t = self.pick_part(&sized, total);
-                    let Some(x) = self.sample_string(t, len) else {
-                        continue;
-                    };
-                    let n_holding = sized
-                        .iter()
-                        .filter(|(t2, _)| member(&x, *t2))
-                        .count()
-                        .max(1);
-                    let v = 1.0 / n_holding as f64;
-                    taken += 1;
-                    let delta = v - mean;
-                    mean += delta / taken as f64;
-                    m2 += delta * (v - mean);
-                    if taken >= floor && mean > 0.0 {
-                        let sem = (m2 / (taken as f64 * (taken as f64 - 1.0))).sqrt() / mean;
-                        if sem < eps_loc {
-                            break;
-                        }
-                    }
-                }
+                let (taken, mean) = adaptive_mean(
+                    self.threads,
+                    cap,
+                    floor,
+                    self.cfg.local_epsilon(),
+                    useed,
+                    |rng: &mut StdRng| {
+                        let t = self.pick_part(&sized, total, rng);
+                        let x = self.sample_string(t, len, rng)?;
+                        let n_holding = sized
+                            .iter()
+                            .filter(|(t2, _)| member(&x, *t2))
+                            .count()
+                            .max(1);
+                        Some(1.0 / n_holding as f64)
+                    },
+                );
                 if taken == 0 {
                     return BigFloat::zero();
                 }
@@ -256,8 +262,13 @@ impl<'a> NfaCounter<'a> {
         }
     }
 
-    fn pick_part(&self, sized: &[(StateId, BigFloat)], total: BigFloat) -> StateId {
-        let u: f64 = self.rng.borrow_mut().random();
+    fn pick_part<R: Rng + ?Sized>(
+        &self,
+        sized: &[(StateId, BigFloat)],
+        total: BigFloat,
+        rng: &mut R,
+    ) -> StateId {
+        let u: f64 = rng.random();
         let threshold = total * u;
         let mut acc = BigFloat::zero();
         for (t, s) in sized {
@@ -276,19 +287,24 @@ impl<'a> NfaCounter<'a> {
     /// string's run multiplicity `M(x)`, and one is resampled by weight —
     /// cost `O(candidates · i)` regardless of depth, unlike nested
     /// rejection (see DESIGN.md §2.5).
-    fn sample_string(&self, q: StateId, i: usize) -> Option<Vec<SymbolId>> {
+    fn sample_string<R: Rng + ?Sized>(
+        &self,
+        q: StateId,
+        i: usize,
+        rng: &mut R,
+    ) -> Option<Vec<SymbolId>> {
         if self.path_count(q, i).is_zero() {
             return None;
         }
         let k = self.cfg.sir_candidates.max(1);
         let mut candidates: Vec<(Vec<SymbolId>, f64)> = Vec::with_capacity(k);
         for _ in 0..k {
-            let x = self.sample_path(q, i)?;
+            let x = self.sample_path(q, i, rng)?;
             let m = self.runs_of_string(q, &x).to_f64().max(1.0);
             candidates.push((x, 1.0 / m));
         }
         let total: f64 = candidates.iter().map(|(_, w)| w).sum();
-        let mut threshold: f64 = self.rng.borrow_mut().random::<f64>() * total;
+        let mut threshold: f64 = rng.random::<f64>() * total;
         for (x, w) in candidates.drain(..) {
             threshold -= w;
             if threshold <= 0.0 {
@@ -430,5 +446,16 @@ mod tests {
         let a = count_nfa(&m, 8, &cfg);
         let b = count_nfa(&m, 8, &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let m = contains_a_ambiguous();
+        let base = FprasConfig::with_epsilon(0.2).with_seed(0xCD);
+        let reference = count_nfa(&m, 8, &base.clone().with_threads(1));
+        for threads in [2usize, 4, 8] {
+            let got = count_nfa(&m, 8, &base.clone().with_threads(threads));
+            assert_eq!(got, reference, "threads={threads}");
+        }
     }
 }

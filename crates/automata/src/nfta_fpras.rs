@@ -20,12 +20,17 @@
 //! deterministic chain states (gadget bits, fact sequences) whose unions
 //! have a single part — those are counted exactly, so sampling effort
 //! concentrates on the genuinely ambiguous witness-choice states.
+//!
+//! Both the repetition loop and the per-union sample loops run on the
+//! `pqe-par` worker pool (`FprasConfig::threads`). Randomness is keyed per
+//! sample index via jump-split xoshiro streams (see `union_mc`), so for a
+//! fixed seed the estimate is bit-identical at any thread count.
 
+use crate::union_mc::{adaptive_mean, TAG_NFTA_GROUP};
 use crate::{FprasConfig, Nfta, RunTables, StateId, SymbolId, Tree};
 use pqe_arith::BigFloat;
-use pqe_rand::rngs::StdRng;
-use pqe_rand::{Rng, SeedableRng};
-use std::cell::RefCell;
+use pqe_par::ShardedMap;
+use pqe_rand::{mix_seed, Rng};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -40,14 +45,17 @@ pub static CNT_EST: AtomicU64 = AtomicU64::new(0);
 
 /// Approximates `|L_n(T)|`, the number of distinct size-`n` labelled trees
 /// accepted by `nfta`, as the median of `cfg.repetitions` independent
-/// estimates.
+/// estimates (computed in parallel — each repetition has its own seed, so
+/// the median is independent of scheduling).
 pub fn count_nfta(nfta: &Nfta, n: usize, cfg: &FprasConfig) -> BigFloat {
-    let mut results: Vec<BigFloat> = (0..cfg.repetitions.max(1))
-        .map(|r| {
-            NftaCounter::new(nfta, cfg.clone().with_seed(cfg.seed.wrapping_add(r as u64)))
+    let reps = cfg.repetitions.max(1);
+    let mut results: Vec<BigFloat> = pqe_par::map_chunks(cfg.effective_threads(), reps, 1, |r| {
+        r.map(|rep| {
+            NftaCounter::new(nfta, cfg.clone().with_seed(cfg.seed.wrapping_add(rep as u64)))
                 .count(n)
         })
-        .collect();
+        .collect()
+    });
     results.sort_by(|a, b| a.partial_cmp(b).unwrap());
     results[results.len() / 2]
 }
@@ -55,23 +63,29 @@ pub fn count_nfta(nfta: &Nfta, n: usize, cfg: &FprasConfig) -> BigFloat {
 /// A single-run CountNFTA estimator with memoized size tables.
 ///
 /// Exposed so the PQE pipeline can reuse one counter across calls (the
-/// estimate tables depend only on the automaton).
+/// estimate tables depend only on the automaton). The counter holds no
+/// generator of its own: every union derives a seed from `cfg.seed` and its
+/// own key, and sampling entry points take the caller's RNG — which makes
+/// every memoized value a pure function of its key and the run seed, and
+/// the whole structure shareable across worker threads.
 pub struct NftaCounter<'a> {
     nfta: &'a Nfta,
     cfg: FprasConfig,
-    rng: RefCell<StdRng>,
-    tree_memo: RefCell<HashMap<(StateId, usize), BigFloat>>,
-    forest_memo: RefCell<HashMap<(Vec<StateId>, usize), BigFloat>>,
+    /// Resolved worker count (captured once; resolution reads the
+    /// environment).
+    threads: usize,
+    tree_memo: ShardedMap<(StateId, usize), BigFloat>,
+    forest_memo: ShardedMap<(Vec<StateId>, usize), BigFloat>,
     /// Memoized per-group union estimates, keyed by
     /// `(state, group index, size)`. Without this, every sampling step
     /// would re-run the union estimator recursively — exponential work.
-    group_memo: RefCell<HashMap<(StateId, usize, usize), BigFloat>>,
+    group_memo: ShardedMap<(StateId, usize, usize), BigFloat>,
     /// Per-state transition groups (by root symbol, or one group per state
     /// under `naive_unions`), deduplicated, precomputed once — hot in both
     /// estimation and sampling.
     groups_cache: Vec<Vec<Vec<usize>>>,
     /// Exact run-count tables powering the SIR tree sampler.
-    runs: RefCell<RunTables<'a>>,
+    runs: RunTables<'a>,
     /// Per-state flag: `true` iff some state reachable from it (including
     /// itself) has an ambiguous symbol group. Where `false`, every tree has
     /// exactly one run, so a single run-sample is already uniform and the
@@ -80,9 +94,8 @@ pub struct NftaCounter<'a> {
 }
 
 impl<'a> NftaCounter<'a> {
-    /// Creates a counter with its own RNG stream.
+    /// Creates a counter; its randomness is fully determined by `cfg.seed`.
     pub fn new(nfta: &'a Nfta, cfg: FprasConfig) -> Self {
-        let seed = cfg.seed;
         let groups_cache: Vec<Vec<Vec<usize>>> = (0..nfta.num_states())
             .map(|qi| {
                 let mut m: BTreeMap<SymbolId, Vec<usize>> = BTreeMap::new();
@@ -102,15 +115,16 @@ impl<'a> NftaCounter<'a> {
             })
             .collect();
         let ambiguous_below = compute_ambiguous_below(nfta, &groups_cache);
+        let threads = cfg.effective_threads();
         NftaCounter {
             nfta,
             cfg,
-            rng: RefCell::new(StdRng::seed_from_u64(seed)),
-            tree_memo: RefCell::new(HashMap::new()),
-            forest_memo: RefCell::new(HashMap::new()),
-            group_memo: RefCell::new(HashMap::new()),
+            threads,
+            tree_memo: ShardedMap::new(),
+            forest_memo: ShardedMap::new(),
+            group_memo: ShardedMap::new(),
             groups_cache,
-            runs: RefCell::new(RunTables::new(nfta)),
+            runs: RunTables::new(nfta),
             ambiguous_below,
         }
     }
@@ -125,16 +139,15 @@ impl<'a> NftaCounter<'a> {
         if n == 0 {
             return BigFloat::zero();
         }
-        if let Some(v) = self.tree_memo.borrow().get(&(q, n)) {
-            return *v;
+        if let Some(v) = self.tree_memo.get(&(q, n)) {
+            return v;
         }
         CNT_EST.fetch_add(1, Ordering::Relaxed);
         let mut total = BigFloat::zero();
         for (gi, group) in self.groups(q).iter().enumerate() {
             total = total + self.group_est(q, gi, group, n);
         }
-        self.tree_memo.borrow_mut().insert((q, n), total);
-        total
+        self.tree_memo.insert((q, n), total)
     }
 
     /// Transition groups of `q` (see `groups_cache`).
@@ -145,15 +158,23 @@ impl<'a> NftaCounter<'a> {
     /// Estimated size of one group's union
     /// `⋃_τ a_τ(Forest(children(τ), n−1))`, memoized on `(q, group, n)`.
     fn group_est(&self, q: StateId, gi: usize, group: &[usize], n: usize) -> BigFloat {
-        if let Some(v) = self.group_memo.borrow().get(&(q, gi, n)) {
-            return *v;
+        if let Some(v) = self.group_memo.get(&(q, gi, n)) {
+            return v;
         }
-        let v = self.group_est_uncached(group, n);
-        self.group_memo.borrow_mut().insert((q, gi, n), v);
-        v
+        // The union's own sample streams, disjoint from every other
+        // union's: the estimate is a pure function of this seed.
+        let useed = mix_seed(&[
+            self.cfg.seed,
+            TAG_NFTA_GROUP,
+            q.0 as u64,
+            gi as u64,
+            n as u64,
+        ]);
+        let v = self.group_est_uncached(group, n, useed);
+        self.group_memo.insert((q, gi, n), v)
     }
 
-    fn group_est_uncached(&self, group: &[usize], n: usize) -> BigFloat {
+    fn group_est_uncached(&self, group: &[usize], n: usize, useed: u64) -> BigFloat {
         let sized: Vec<(usize, BigFloat)> = group
             .iter()
             .map(|&ti| {
@@ -168,33 +189,26 @@ impl<'a> NftaCounter<'a> {
             m => {
                 // Adaptive Karp–Luby estimation: draw until the standard
                 // error of the mean of 1/N falls below the per-union
-                // budget, capped by `union_samples(m)` (Welford online
-                // variance).
+                // budget, capped by `union_samples(m)` — the shared
+                // parallel loop in `union_mc`.
                 let total: BigFloat = sized.iter().map(|(_, s)| *s).sum();
                 let cap = self.cfg.union_samples(m);
                 let floor = self.cfg.union_sample_floor.min(cap);
-                let eps_loc = self.cfg.local_epsilon();
-                let (mut taken, mut mean, mut m2) = (0usize, 0.0f64, 0.0f64);
-                for _ in 0..cap {
-                    CNT_SAMPLES.fetch_add(1, Ordering::Relaxed);
-                    let ti = self.pick_weighted(&sized, total);
-                    let tr = &self.nfta.transitions()[ti];
-                    let Some(forest) = self.sample_forest(&tr.children, n - 1) else {
-                        continue;
-                    };
-                    let tree = Tree::node(tr.symbol, forest);
-                    let x = 1.0 / self.membership_count(&sized, &tree) as f64;
-                    taken += 1;
-                    let delta = x - mean;
-                    mean += delta / taken as f64;
-                    m2 += delta * (x - mean);
-                    if taken >= floor && mean > 0.0 {
-                        let sem = (m2 / (taken as f64 * (taken as f64 - 1.0))).sqrt() / mean;
-                        if sem < eps_loc {
-                            break;
-                        }
-                    }
-                }
+                let (taken, mean) = adaptive_mean(
+                    self.threads,
+                    cap,
+                    floor,
+                    self.cfg.local_epsilon(),
+                    useed,
+                    |rng| {
+                        CNT_SAMPLES.fetch_add(1, Ordering::Relaxed);
+                        let ti = self.pick_weighted(&sized, total, rng);
+                        let tr = &self.nfta.transitions()[ti];
+                        let forest = self.sample_forest(&tr.children, n - 1, rng)?;
+                        let tree = Tree::node(tr.symbol, forest);
+                        Some(1.0 / self.membership_count(&sized, &tree) as f64)
+                    },
+                );
                 if taken == 0 {
                     return BigFloat::zero();
                 }
@@ -243,8 +257,8 @@ impl<'a> NftaCounter<'a> {
             return self.tree_est(states[0], m);
         }
         let key = (states.to_vec(), m);
-        if let Some(v) = self.forest_memo.borrow().get(&key) {
-            return *v;
+        if let Some(v) = self.forest_memo.get(&key) {
+            return v;
         }
         let (first, rest) = states.split_first().unwrap();
         let mut total = BigFloat::zero();
@@ -256,8 +270,7 @@ impl<'a> NftaCounter<'a> {
             let f = self.forest_est(rest, m - j);
             total = total + t * f;
         }
-        self.forest_memo.borrow_mut().insert(key, total);
-        total
+        self.forest_memo.insert(key, total)
     }
 
     /// Samples an (approximately uniform) tree from `Trees(q, n)` by
@@ -269,10 +282,10 @@ impl<'a> NftaCounter<'a> {
     /// over *distinct* trees; unlike nested rejection sampling, the cost is
     /// `O(candidates · n)` regardless of tree depth (see DESIGN.md §2.5).
     ///
-    /// `None` iff no accepting run of size `n` exists.
-    pub fn sample_tree(&self, q: StateId, n: usize) -> Option<Tree> {
-        let mut runs = self.runs.borrow_mut();
-        if runs.tree_runs(q, n).is_zero() {
+    /// All randomness comes from the caller's `rng` — the counter holds no
+    /// stream of its own. `None` iff no accepting run of size `n` exists.
+    pub fn sample_tree<R: Rng + ?Sized>(&self, q: StateId, n: usize, rng: &mut R) -> Option<Tree> {
+        if self.runs.tree_runs(q, n).is_zero() {
             return None;
         }
         let k = if self.ambiguous_below[q.index()] {
@@ -282,29 +295,23 @@ impl<'a> NftaCounter<'a> {
             // one run-sample is exactly uniform.
             1
         };
-        let first = {
-            let mut rng = self.rng.borrow_mut();
-            runs.sample_run(q, n, &mut *rng)?
-        };
+        let first = self.runs.sample_run(q, n, rng)?;
         CNT_TRIES.fetch_add(1, Ordering::Relaxed);
         if k == 1 {
             return Some(first);
         }
-        let m_first = runs.runs_of_tree(q, &first);
+        let m_first = self.runs.runs_of_tree(q, &first);
         let mut candidates: Vec<(Tree, f64)> = Vec::with_capacity(k);
         let m0 = m_first.to_f64().max(1.0);
         candidates.push((first, 1.0 / m0));
         for _ in 1..k {
             CNT_TRIES.fetch_add(1, Ordering::Relaxed);
-            let t = {
-                let mut rng = self.rng.borrow_mut();
-                runs.sample_run(q, n, &mut *rng)?
-            };
-            let m = runs.runs_of_tree(q, &t).to_f64().max(1.0);
+            let t = self.runs.sample_run(q, n, rng)?;
+            let m = self.runs.runs_of_tree(q, &t).to_f64().max(1.0);
             candidates.push((t, 1.0 / m));
         }
         let total: f64 = candidates.iter().map(|(_, w)| w).sum();
-        let mut threshold: f64 = self.rng.borrow_mut().random::<f64>() * total;
+        let mut threshold: f64 = rng.random::<f64>() * total;
         for (t, w) in candidates.drain(..) {
             threshold -= w;
             if threshold <= 0.0 {
@@ -316,7 +323,12 @@ impl<'a> NftaCounter<'a> {
 
     /// Samples a forest from `Forest(states, m)`: first-tree size
     /// proportional to its share, then independent components.
-    fn sample_forest(&self, states: &[StateId], m: usize) -> Option<Vec<Tree>> {
+    fn sample_forest<R: Rng + ?Sized>(
+        &self,
+        states: &[StateId],
+        m: usize,
+        rng: &mut R,
+    ) -> Option<Vec<Tree>> {
         if states.is_empty() {
             return (m == 0).then(Vec::new);
         }
@@ -324,7 +336,7 @@ impl<'a> NftaCounter<'a> {
             return None;
         }
         if states.len() == 1 {
-            return self.sample_tree(states[0], m).map(|t| vec![t]);
+            return self.sample_tree(states[0], m, rng).map(|t| vec![t]);
         }
         let (first, rest) = states.split_first().unwrap();
         let options: Vec<(usize, BigFloat)> = (1..=(m - rest.len()))
@@ -335,9 +347,9 @@ impl<'a> NftaCounter<'a> {
             .filter(|(_, w)| !w.is_zero())
             .collect();
         let total: BigFloat = options.iter().map(|(_, w)| *w).sum();
-        let j = self.pick_weighted(&options, total);
-        let head = self.sample_tree(*first, j)?;
-        let mut tail = self.sample_forest(rest, m - j)?;
+        let j = self.pick_weighted(&options, total, rng);
+        let head = self.sample_tree(*first, j, rng)?;
+        let mut tail = self.sample_forest(rest, m - j, rng)?;
         let mut forest = Vec::with_capacity(1 + tail.len());
         forest.push(head);
         forest.append(&mut tail);
@@ -345,9 +357,14 @@ impl<'a> NftaCounter<'a> {
     }
 
     /// Draws a key from `(key, weight)` pairs proportionally to weight.
-    fn pick_weighted<K: Copy>(&self, weighted: &[(K, BigFloat)], total: BigFloat) -> K {
+    fn pick_weighted<K: Copy, R: Rng + ?Sized>(
+        &self,
+        weighted: &[(K, BigFloat)],
+        total: BigFloat,
+        rng: &mut R,
+    ) -> K {
         debug_assert!(!weighted.is_empty());
-        let u: f64 = self.rng.borrow_mut().random();
+        let u: f64 = rng.random();
         let threshold = total * u;
         let mut acc = BigFloat::zero();
         for (k, w) in weighted {
@@ -395,6 +412,8 @@ mod tests {
     use super::*;
     use crate::{count_trees_exact, Alphabet, Transition};
     use pqe_arith::BigUint;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
 
     fn check_close(nfta: &Nfta, n: usize, cfg: &FprasConfig, tol: f64) {
         let exact = count_trees_exact(nfta, n);
@@ -501,8 +520,9 @@ mod tests {
     fn sample_tree_produces_accepted_trees() {
         let aut = unary_contains_a();
         let counter = NftaCounter::new(&aut, FprasConfig::with_epsilon(0.2).with_seed(31));
+        let mut rng = StdRng::seed_from_u64(31);
         for _ in 0..50 {
-            let t = counter.sample_tree(aut.initial(), 6).expect("nonempty");
+            let t = counter.sample_tree(aut.initial(), 6, &mut rng).expect("nonempty");
             assert_eq!(t.size(), 6);
             assert!(aut.accepts(&t), "sampled unaccepted tree {}", t.display(aut.alphabet()));
         }
@@ -540,5 +560,16 @@ mod tests {
         let b = counter.count(7);
         assert_eq!(a, b); // memoized tables
         assert_eq!(a.to_biguint_round(), BigUint::from(5u32));
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let aut = unary_contains_a();
+        let base = FprasConfig::with_epsilon(0.15).with_seed(0xAB);
+        let reference = count_nfta(&aut, 9, &base.clone().with_threads(1));
+        for threads in [2usize, 4, 8] {
+            let got = count_nfta(&aut, 9, &base.clone().with_threads(threads));
+            assert_eq!(got, reference, "threads={threads}");
+        }
     }
 }

@@ -21,15 +21,21 @@
 
 use crate::{Nfta, StateId, Tree};
 use pqe_arith::{BigFloat, BigUint};
+use pqe_par::ShardedMap;
 use pqe_rand::rngs::StdRng;
 use pqe_rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
 /// Exact run-count tables for an NFTA, reusable across samples.
+///
+/// The tables are filled lazily through `&self` (sharded interior
+/// mutability): every entry is an exact DP value — a pure function of its
+/// key — so concurrent duplicate computation by parallel samplers is
+/// idempotent, and no lock is ever held across the recursion.
 pub struct RunTables<'a> {
     nfta: &'a Nfta,
-    tree_runs: HashMap<(StateId, usize), BigUint>,
-    forest_runs: HashMap<(Vec<StateId>, usize), BigUint>,
+    tree_runs: ShardedMap<(StateId, usize), BigUint>,
+    forest_runs: ShardedMap<(Vec<StateId>, usize), BigUint>,
 }
 
 impl<'a> RunTables<'a> {
@@ -37,29 +43,27 @@ impl<'a> RunTables<'a> {
     pub fn new(nfta: &'a Nfta) -> Self {
         RunTables {
             nfta,
-            tree_runs: HashMap::new(),
-            forest_runs: HashMap::new(),
+            tree_runs: ShardedMap::new(),
+            forest_runs: ShardedMap::new(),
         }
     }
 
     /// `R(q, n)`: accepting runs from `q` over size-`n` trees.
-    pub fn tree_runs(&mut self, q: StateId, n: usize) -> BigUint {
+    pub fn tree_runs(&self, q: StateId, n: usize) -> BigUint {
         if n == 0 {
             return BigUint::zero();
         }
         if let Some(v) = self.tree_runs.get(&(q, n)) {
-            return v.clone();
+            return v;
         }
         let mut total = BigUint::zero();
-        for ti in self.nfta.transitions_from(q).to_vec() {
-            let children = self.nfta.transitions()[ti].children.clone();
-            total += self.forest_runs(&children, n - 1);
+        for &ti in self.nfta.transitions_from(q) {
+            total += self.forest_runs(&self.nfta.transitions()[ti].children, n - 1);
         }
-        self.tree_runs.insert((q, n), total.clone());
-        total
+        self.tree_runs.insert((q, n), total)
     }
 
-    fn forest_runs(&mut self, states: &[StateId], m: usize) -> BigUint {
+    fn forest_runs(&self, states: &[StateId], m: usize) -> BigUint {
         if states.is_empty() {
             return if m == 0 { BigUint::one() } else { BigUint::zero() };
         }
@@ -72,26 +76,24 @@ impl<'a> RunTables<'a> {
         }
         let key = (states.to_vec(), m);
         if let Some(v) = self.forest_runs.get(&key) {
-            return v.clone();
+            return v;
         }
         let (first, rest) = states.split_first().unwrap();
-        let (first, rest) = (*first, rest.to_vec());
         let mut total = BigUint::zero();
         for j in 1..=(m - rest.len()) {
-            let t = self.tree_runs(first, j);
+            let t = self.tree_runs(*first, j);
             if t.is_zero() {
                 continue;
             }
-            total += &t * &self.forest_runs(&rest, m - j);
+            total += &t * &self.forest_runs(rest, m - j);
         }
-        self.forest_runs.insert(key, total.clone());
-        total
+        self.forest_runs.insert(key, total)
     }
 
     /// Samples a run (and its tree) uniformly among accepting runs from
     /// `q` over size-`n` trees. `None` iff no run exists.
     pub fn sample_run<R: Rng + ?Sized>(
-        &mut self,
+        &self,
         q: StateId,
         n: usize,
         rng: &mut R,
@@ -101,23 +103,19 @@ impl<'a> RunTables<'a> {
             return None;
         }
         // Pick a transition ∝ its forest run count.
-        let tis = self.nfta.transitions_from(q).to_vec();
+        let tis = self.nfta.transitions_from(q);
         let weights: Vec<BigUint> = tis
             .iter()
-            .map(|&ti| {
-                let children = self.nfta.transitions()[ti].children.clone();
-                self.forest_runs(&children, n - 1)
-            })
+            .map(|&ti| self.forest_runs(&self.nfta.transitions()[ti].children, n - 1))
             .collect();
         let pick = pick_weighted_biguint(&weights, rng);
         let tr = &self.nfta.transitions()[tis[pick]];
-        let (symbol, children) = (tr.symbol, tr.children.clone());
-        let forest = self.sample_forest_run(&children, n - 1, rng)?;
-        Some(Tree::node(symbol, forest))
+        let forest = self.sample_forest_run(&tr.children, n - 1, rng)?;
+        Some(Tree::node(tr.symbol, forest))
     }
 
     fn sample_forest_run<R: Rng + ?Sized>(
-        &mut self,
+        &self,
         states: &[StateId],
         m: usize,
         rng: &mut R,
@@ -129,18 +127,17 @@ impl<'a> RunTables<'a> {
             return self.sample_run(states[0], m, rng).map(|t| vec![t]);
         }
         let (first, rest) = states.split_first().unwrap();
-        let (first, rest) = (*first, rest.to_vec());
         let sizes: Vec<usize> = (1..=(m - rest.len())).collect();
         let weights: Vec<BigUint> = sizes
             .iter()
-            .map(|&j| &self.tree_runs(first, j) * &self.forest_runs(&rest, m - j))
+            .map(|&j| &self.tree_runs(*first, j) * &self.forest_runs(rest, m - j))
             .collect();
         if weights.iter().all(BigUint::is_zero) {
             return None;
         }
         let j = sizes[pick_weighted_biguint(&weights, rng)];
-        let head = self.sample_run(first, j, rng)?;
-        let mut tail = self.sample_forest_run(&rest, m - j, rng)?;
+        let head = self.sample_run(*first, j, rng)?;
+        let mut tail = self.sample_forest_run(rest, m - j, rng)?;
         let mut out = Vec::with_capacity(1 + tail.len());
         out.push(head);
         out.append(&mut tail);
@@ -212,21 +209,37 @@ fn pick_weighted_biguint<R: Rng + ?Sized>(weights: &[BigUint], rng: &mut R) -> u
 /// needed) when `R = 0`.
 pub fn count_nfta_run_based(nfta: &Nfta, n: usize, samples: usize, seed: u64) -> BigFloat {
     assert!(samples > 0);
-    let mut tables = RunTables::new(nfta);
+    let tables = RunTables::new(nfta);
     let total_runs = tables.tree_runs(nfta.initial(), n);
     if total_runs.is_zero() {
         return BigFloat::zero();
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut inv_sum = 0.0f64;
-    for _ in 0..samples {
-        let t = tables
-            .sample_run(nfta.initial(), n, &mut rng)
-            .expect("R > 0 implies a run exists");
-        let m = tables.runs_of_tree(nfta.initial(), &t);
-        debug_assert!(!m.is_zero());
-        inv_sum += 1.0 / m.to_f64();
-    }
+    // Sample i draws from the stream i jumps past the seed, so the result
+    // is independent of how the samples are scheduled across workers.
+    let rngs: Vec<StdRng> = {
+        let mut head = StdRng::seed_from_u64(seed);
+        (0..samples)
+            .map(|_| {
+                let r = head.clone();
+                head.jump();
+                r
+            })
+            .collect()
+    };
+    let invs = pqe_par::map_chunks(pqe_par::default_threads(), samples, 8, |range| {
+        range
+            .map(|i| {
+                let mut rng = rngs[i].clone();
+                let t = tables
+                    .sample_run(nfta.initial(), n, &mut rng)
+                    .expect("R > 0 implies a run exists");
+                let m = tables.runs_of_tree(nfta.initial(), &t);
+                debug_assert!(!m.is_zero());
+                1.0 / m.to_f64()
+            })
+            .collect()
+    });
+    let inv_sum: f64 = invs.iter().sum();
     BigFloat::from_biguint(&total_runs) * (inv_sum / samples as f64)
 }
 
@@ -287,7 +300,7 @@ mod tests {
     #[test]
     fn run_sampling_produces_accepted_trees() {
         let aut = unary_contains_a();
-        let mut tables = RunTables::new(&aut);
+        let tables = RunTables::new(&aut);
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..30 {
             let t = tables.sample_run(aut.initial(), 6, &mut rng).unwrap();

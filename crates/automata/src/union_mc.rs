@@ -1,0 +1,147 @@
+//! The shared adaptive Karp–Luby sample loop, parallel and deterministic.
+//!
+//! Both FPRAS counters (`nfa_fpras`, `nfta_fpras`) estimate ambiguous
+//! unions the same way: draw samples until the standard error of the mean
+//! of the `1/N` membership weights falls below the per-union budget, capped
+//! by `union_samples(m)` (Welford online variance). This module hosts that
+//! loop once, fanned out over `pqe_par` workers.
+//!
+//! ## Determinism contract
+//!
+//! The estimate must be **bit-identical for a fixed seed regardless of
+//! thread count**. Three rules achieve it:
+//!
+//! 1. Randomness is keyed to the *sample index*, never the worker: sample
+//!    `i` of a union draws from the xoshiro stream `i` jumps past the
+//!    union's seed (`Xoshiro256PlusPlus::split_n(useed, i)` — derived
+//!    incrementally here, one jump per index, to avoid the `O(i)` cost of
+//!    calling `split_n` per sample).
+//! 2. Welford accumulation folds the per-index results **in index order**
+//!    on the coordinating thread; workers only evaluate samples.
+//! 3. The adaptive early stop is decided during that ordered fold, so the
+//!    loop stops at the same sample index whatever the batch shape;
+//!    samples speculatively computed past the stop index are discarded.
+//!
+//! Each union gets its own seed via [`pqe_rand::mix_seed`] over
+//! `(run seed, domain tag, union key…)`, making every memoized estimate a
+//! pure function of its key and the run seed — which in turn is what lets
+//! the memo tables be simple first-insert-wins sharded maps.
+
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
+
+/// Samples per work-chunk handed to a `pqe_par` worker.
+pub(crate) const SAMPLE_CHUNK: usize = 4;
+
+/// Seed-domain tags (fed to `mix_seed` so the same `(state, size)` key in
+/// different contexts draws from unrelated streams).
+pub(crate) const TAG_NFTA_GROUP: u64 = 0x7e4a_0001;
+pub(crate) const TAG_NFA_GROUP: u64 = 0x7e4a_0002;
+pub(crate) const TAG_NFA_TOP: u64 = 0x7e4a_0003;
+
+/// Runs the adaptive sample loop: up to `cap` draws of `sample`, Welford
+/// mean/variance over the `Some` results in index order, stopping once at
+/// least `floor` values are in and the relative standard error of the mean
+/// drops below `eps_loc`. Returns `(values taken, mean)`.
+///
+/// `sample` receives the dedicated PRNG of its sample index and must not
+/// use any other randomness source.
+pub(crate) fn adaptive_mean<F>(
+    threads: usize,
+    cap: usize,
+    floor: usize,
+    eps_loc: f64,
+    useed: u64,
+    sample: F,
+) -> (usize, f64)
+where
+    F: Fn(&mut StdRng) -> Option<f64> + Sync,
+{
+    // Inside a worker the fan-out below runs inline anyway; dropping to
+    // one-at-a-time batches avoids computing speculative samples that the
+    // early stop would discard.
+    let threads = if pqe_par::in_worker() { 1 } else { threads };
+    let mut head = StdRng::seed_from_u64(useed); // stream 0 == split_n(useed, 0)
+    let (mut taken, mut mean, mut m2) = (0usize, 0.0f64, 0.0f64);
+    let mut drawn = 0usize;
+    while drawn < cap {
+        let want = if threads <= 1 {
+            1
+        } else {
+            (threads * SAMPLE_CHUNK).min(cap - drawn)
+        };
+        // Stream for index drawn + k is `head` advanced k more jumps.
+        let rngs: Vec<StdRng> = (0..want)
+            .map(|_| {
+                let r = head.clone();
+                head.jump();
+                r
+            })
+            .collect();
+        let vals = pqe_par::map_chunks(threads, want, SAMPLE_CHUNK, |range| {
+            range
+                .map(|k| {
+                    let mut rng = rngs[k].clone();
+                    sample(&mut rng)
+                })
+                .collect()
+        });
+        drawn += want;
+        for v in vals {
+            let Some(x) = v else { continue };
+            taken += 1;
+            let delta = x - mean;
+            mean += delta / taken as f64;
+            m2 += delta * (x - mean);
+            if taken >= floor && mean > 0.0 {
+                let sem = (m2 / (taken as f64 * (taken as f64 - 1.0))).sqrt() / mean;
+                if sem < eps_loc {
+                    return (taken, mean);
+                }
+            }
+        }
+    }
+    (taken, mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqe_rand::Rng;
+
+    #[test]
+    fn thread_count_is_invisible() {
+        // A sample function with real variance and occasional rejections.
+        let sample = |rng: &mut StdRng| {
+            let u: f64 = rng.random();
+            (u > 0.1).then_some(1.0 / (1.0 + (u * 3.0) as u64 as f64))
+        };
+        let baseline = adaptive_mean(1, 500, 24, 0.05, 0x1234, &sample);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                adaptive_mean(threads, 500, 24, 0.05, 0x1234, &sample),
+                baseline,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_union_seeds_give_distinct_streams() {
+        let sample = |rng: &mut StdRng| Some(rng.random::<f64>());
+        let a = adaptive_mean(1, 64, 64, 0.0, 1, &sample);
+        let b = adaptive_mean(1, 64, 64, 0.0, 2, &sample);
+        assert_eq!(a.0, 64);
+        assert_ne!(a.1, b.1);
+    }
+
+    #[test]
+    fn stops_early_on_zero_variance() {
+        fn constant(_: &mut StdRng) -> Option<f64> {
+            Some(0.5)
+        }
+        let (taken, mean) = adaptive_mean(4, 10_000, 8, 0.1, 7, constant);
+        assert_eq!(mean, 0.5);
+        assert!(taken < 100, "constant stream should stop at the floor");
+    }
+}

@@ -1,0 +1,48 @@
+//! E7 (thread axis) — wall-clock of the FPRAS at 1/2/4 worker threads on a
+//! fixed workload, plus the sequential KLM baseline for reference. The
+//! estimates themselves are bit-identical across the thread counts (the
+//! determinism suite asserts this); only the wall-clock may differ.
+//!
+//! Run with `PQE_BENCH_JSON_DIR=. cargo bench --bench thread_scaling` to
+//! also drop machine-readable `BENCH_fpras.json` next to the invocation.
+
+use pqe_automata::FprasConfig;
+use pqe_bench::path_workload;
+use pqe_core::baselines::karp_luby_pqe;
+use pqe_core::pqe_estimate;
+use pqe_testkit::bench::{black_box, Runner};
+
+fn main() {
+    let mut r = Runner::new("fpras");
+    r.start();
+
+    let w = path_workload(3, 3, 0.8, 710);
+    for threads in [1usize, 2, 4] {
+        let cfg = FprasConfig::with_epsilon(0.25)
+            .with_seed(72)
+            .with_threads(threads);
+        r.bench(format!("e7_fpras_threads/{threads}"), || {
+            black_box(pqe_estimate(&w.query, &w.h, &cfg).unwrap());
+        });
+    }
+    r.bench("e7_karp_luby_baseline/2000", || {
+        black_box(karp_luby_pqe(&w.query, &w.h, 2000, 72));
+    });
+
+    // Derived speedup row: baseline (1 thread) over the parallel runs.
+    let results = r.results();
+    let base = results
+        .iter()
+        .find(|s| s.name.ends_with("/1"))
+        .map(|s| s.median_ns);
+    if let Some(base) = base {
+        for s in results {
+            if s.name.starts_with("e7_fpras_threads/") {
+                let t = s.name.rsplit('/').next().unwrap();
+                println!("  speedup at {t} thread(s): {:.2}x", base / s.median_ns);
+            }
+        }
+    }
+
+    r.finish();
+}

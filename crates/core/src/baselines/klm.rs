@@ -63,10 +63,19 @@ pub fn karp_luby_pqe(
         };
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut inv_sum = 0.0f64;
-    let mut true_clause_sum = 0.0f64;
-    for _ in 0..samples {
+    // Trial `i` draws from its own RNG stream, `i` jumps past `seed`
+    // (derived incrementally — one jump per index), so the estimate is
+    // bit-identical for a fixed seed at any thread count.
+    let threads = pqe_par::default_threads();
+    let mut head = StdRng::seed_from_u64(seed);
+    let rngs: Vec<StdRng> = (0..samples)
+        .map(|_| {
+            let r = head.clone();
+            head.jump();
+            r
+        })
+        .collect();
+    let draw = |mut rng: StdRng| -> (f64, f64) {
         // Sample a clause ∝ its weight, then a world ⊇ clause.
         let clause = sampler.sample(q, &mut rng);
         let mut world = worlds::sample_world(h, &mut rng);
@@ -75,9 +84,17 @@ pub fn karp_luby_pqe(
         }
         let sub = db.subinstance(&world);
         // Number of clauses true in this world (≥ 1: the sampled one).
-        let n_true = count_homomorphisms(q, &sub);
-        let n = n_true.to_f64().max(1.0);
-        inv_sum += 1.0 / n;
+        let n = count_homomorphisms(q, &sub).to_f64().max(1.0);
+        (1.0 / n, n)
+    };
+    let vals = pqe_par::map_chunks(threads, samples, 16, |r| {
+        r.map(|i| draw(rngs[i].clone())).collect()
+    });
+    let mut inv_sum = 0.0f64;
+    let mut true_clause_sum = 0.0f64;
+    for (inv, n) in vals {
+        // Summed in sample-index order: deterministic.
+        inv_sum += inv;
         true_clause_sum += n;
     }
     let estimate = BigFloat::from_rational(&s_mass) * (inv_sum / samples as f64);
@@ -124,11 +141,13 @@ pub fn karp_luby_pqe_guaranteed(
     let lambda = (std::f64::consts::E - 2.0) * (2.0 / delta).ln();
     let upsilon = 1.0 + 4.0 * lambda * (1.0 + epsilon) / (epsilon * epsilon);
 
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut sum = 0.0f64;
-    let mut true_clause_sum = 0.0f64;
-    let mut samples = 0usize;
-    while sum < upsilon {
+    // Like `karp_luby_pqe`, trial `i` owns stream `i` (i jumps past the
+    // seed). Workers speculate a batch ahead; the stopping rule is applied
+    // while folding the batch in index order, and trials past the stop
+    // point are discarded — so the stop index, and with it the estimate,
+    // is independent of thread count and batch shape.
+    let threads = pqe_par::default_threads();
+    let draw = |mut rng: StdRng| -> (f64, f64) {
         let clause = sampler.sample(q, &mut rng);
         let mut world = worlds::sample_world(h, &mut rng);
         for &f in &clause {
@@ -136,9 +155,35 @@ pub fn karp_luby_pqe_guaranteed(
         }
         let sub = db.subinstance(&world);
         let n = count_homomorphisms(q, &sub).to_f64().max(1.0);
-        sum += 1.0 / n;
-        true_clause_sum += n;
-        samples += 1;
+        (1.0 / n, n)
+    };
+    let mut head = StdRng::seed_from_u64(seed);
+    let mut sum = 0.0f64;
+    let mut true_clause_sum = 0.0f64;
+    let mut samples = 0usize;
+    'outer: loop {
+        let want = if threads <= 1 { 1 } else { threads * 16 };
+        let rngs: Vec<StdRng> = (0..want)
+            .map(|_| {
+                let r = head.clone();
+                head.jump();
+                r
+            })
+            .collect();
+        let vals = pqe_par::map_chunks(threads, want, 16, |r| {
+            r.map(|k| draw(rngs[k].clone())).collect()
+        });
+        for (inv, n) in vals {
+            if sum >= upsilon {
+                break 'outer;
+            }
+            sum += inv;
+            true_clause_sum += n;
+            samples += 1;
+        }
+        if sum >= upsilon {
+            break;
+        }
     }
     let mu = upsilon / samples as f64; // DKLR estimator of E[1/N]
     KarpLubyReport {

@@ -46,6 +46,9 @@ pub struct PqeReport {
     pub automaton_states: usize,
     /// Encoding size of the final NFTA.
     pub automaton_size: usize,
+    /// Resolved worker-thread count the estimate ran with (the estimate
+    /// itself is bit-identical for a fixed seed at any thread count).
+    pub threads: usize,
     /// Wall-clock construction + counting time.
     pub elapsed: std::time::Duration,
 }
@@ -69,6 +72,7 @@ pub fn pqe_estimate(
             denominator: BigUint::one(),
             automaton_states: 0,
             automaton_size: 0,
+            threads: cfg.effective_threads(),
             elapsed: start.elapsed(),
         });
     }
@@ -81,6 +85,7 @@ pub fn pqe_estimate(
         denominator: pqe.denominator,
         automaton_states: pqe.nfta.num_states(),
         automaton_size: pqe.nfta.size(),
+        threads: cfg.effective_threads(),
         elapsed: start.elapsed(),
     })
 }
@@ -100,6 +105,8 @@ pub struct UrReport {
     pub automaton_states: usize,
     /// Encoding size of the translated NFTA.
     pub automaton_size: usize,
+    /// Resolved worker-thread count the estimate ran with.
+    pub threads: usize,
     /// Wall-clock time.
     pub elapsed: std::time::Duration,
 }
@@ -119,6 +126,7 @@ pub fn ur_estimate(
             dropped_facts: db.len(),
             automaton_states: 0,
             automaton_size: 0,
+            threads: cfg.effective_threads(),
             elapsed: start.elapsed(),
         });
     }
@@ -132,6 +140,7 @@ pub fn ur_estimate(
         dropped_facts: ur.dropped_facts,
         automaton_states: nfta.num_states(),
         automaton_size: nfta.size(),
+        threads: cfg.effective_threads(),
         elapsed: start.elapsed(),
     })
 }
@@ -147,6 +156,8 @@ pub struct PathUrReport {
     pub automaton_states: usize,
     /// NFA transition count.
     pub automaton_size: usize,
+    /// Resolved worker-thread count the estimate ran with.
+    pub threads: usize,
     /// Wall-clock time.
     pub elapsed: std::time::Duration,
 }
@@ -168,6 +179,7 @@ pub fn path_ur_estimate(
         target_len: p.target_len,
         automaton_states: p.nfa.num_states(),
         automaton_size: p.nfa.size(),
+        threads: cfg.effective_threads(),
         elapsed: start.elapsed(),
     })
 }
@@ -190,6 +202,7 @@ pub fn path_pqe_estimate(
         denominator: p.denominator,
         automaton_states: p.nfa.num_states(),
         automaton_size: p.nfa.size(),
+        threads: cfg.effective_threads(),
         elapsed: start.elapsed(),
     })
 }

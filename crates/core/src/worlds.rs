@@ -124,7 +124,7 @@ impl<'a> UniformWorldSampler<'a> {
         counter: &NftaCounter<'_>,
         rng: &mut R,
     ) -> Option<Vec<bool>> {
-        let tree = counter.sample_tree(self.nfta.initial(), self.target_size)?;
+        let tree = counter.sample_tree(self.nfta.initial(), self.target_size, rng)?;
         let mut world = decode_tree(&tree, &self.by_symbol, self.db.len());
         for &f in &self.free_facts {
             world[f.index()] = rng.random_bool(0.5);
@@ -185,7 +185,7 @@ impl<'a> WeightedWorldSampler<'a> {
         let counter = NftaCounter::new(&self.nfta, self.cfg.clone().with_seed(rng.random()));
         (0..count)
             .filter_map(|_| {
-                let tree = counter.sample_tree(self.nfta.initial(), self.target_size)?;
+                let tree = counter.sample_tree(self.nfta.initial(), self.target_size, rng)?;
                 let mut world = decode_tree(&tree, &self.by_symbol, self.h.len());
                 // Unconstrained facts keep their own independent law.
                 for &f in &self.free_facts {

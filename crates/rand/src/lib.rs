@@ -18,9 +18,13 @@
 //!   repo: `random::<T>()`, `random_range(lo..hi)` (bounded sampling with
 //!   **no modulo bias**, via Lemire rejection), `random_bool(p)`.
 //! * [`seq::SliceRandom`] — Fisher–Yates `shuffle` and `choose`.
-//! * Stream splitting — [`Xoshiro256PlusPlus::split_off`] hands out
-//!   non-overlapping subsequences (via the xoshiro jump polynomial) so
-//!   future parallel estimators can draw independently.
+//! * Stream splitting — [`Xoshiro256PlusPlus::split_off`] and
+//!   [`Xoshiro256PlusPlus::split_n`] hand out non-overlapping subsequences
+//!   (via the xoshiro jump polynomial); the parallel estimators in
+//!   `pqe-automata`/`pqe-core` assign stream `i` to sample index `i`, which
+//!   is what makes their output independent of thread count.
+//! * [`mix_seed`] — folds structured keys (run seed, tag, state, size)
+//!   into one well-mixed per-subproblem seed.
 //!
 //! Every generator is deterministic given its seed; nothing in this crate
 //! reads the OS entropy pool, the clock, or an address. Two runs with the
@@ -45,7 +49,7 @@ mod xoshiro;
 
 pub mod seq;
 
-pub use splitmix::SplitMix64;
+pub use splitmix::{mix_seed, SplitMix64};
 pub use traits::{FromRng, Rng, RngCore, SeedableRng};
 pub use uniform::SampleRange;
 pub use xoshiro::Xoshiro256PlusPlus;

@@ -78,6 +78,25 @@ impl Xoshiro256PlusPlus {
         self.jump();
         child
     }
+
+    /// The `i`-th parallel stream of `seed`: the generator seeded with
+    /// `seed` (via SplitMix64) and advanced by `i` jumps, i.e. `i · 2^128`
+    /// steps. Streams for distinct `i` are disjoint `2^128`-step blocks of
+    /// the period, so the parallel estimators can assign stream `i` to
+    /// sample index `i` and get the same draw sequence regardless of which
+    /// worker runs the sample.
+    ///
+    /// Cost is `O(i)` jumps; loops that walk consecutive indices should
+    /// instead keep one generator and call [`jump`](Self::jump) per step
+    /// (the identity `split_n(s, i+1) == { let mut r = split_n(s, i);
+    /// r.jump(); r }` is pinned by a unit test).
+    pub fn split_n(seed: u64, i: u64) -> Self {
+        let mut rng = Self::seed_from_u64(seed);
+        for _ in 0..i {
+            rng.jump();
+        }
+        rng
+    }
 }
 
 impl RngCore for Xoshiro256PlusPlus {
@@ -169,6 +188,40 @@ mod tests {
         let mut b = a.clone();
         b.jump();
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn split_n_streams_are_distinct_and_compose() {
+        let seed = 0x5eed_cafe;
+        for i in 0..4u64 {
+            let mut a = Xoshiro256PlusPlus::split_n(seed, i);
+            let mut b = Xoshiro256PlusPlus::split_n(seed, i + 1);
+            let first_a: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+            let first_b: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+            assert_ne!(first_a, first_b, "streams {i} and {} collide", i + 1);
+            // Composition law: stream i+1 is stream i advanced by one jump.
+            let mut c = Xoshiro256PlusPlus::split_n(seed, i);
+            c.jump();
+            let first_c: Vec<u64> = (0..4).map(|_| c.next_u64()).collect();
+            assert_eq!(first_b, first_c);
+        }
+    }
+
+    #[test]
+    fn split_n_matches_reference_jump_vectors() {
+        // split_n(s, i) must equal seeding with s and applying the
+        // reference JUMP polynomial i times — i.e. agree with the existing
+        // split_off() stream walk, which is pinned against the reference
+        // implementation above.
+        let seed = 0xDE7E_4141;
+        let mut walker = Xoshiro256PlusPlus::seed_from_u64(seed);
+        for i in 0..6u64 {
+            let mut stream = walker.split_off();
+            let mut derived = Xoshiro256PlusPlus::split_n(seed, i);
+            for _ in 0..8 {
+                assert_eq!(derived.next_u64(), stream.next_u64(), "stream {i}");
+            }
+        }
     }
 
     #[test]

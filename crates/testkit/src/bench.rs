@@ -8,9 +8,26 @@
 //! mean over a fixed number of samples.
 //!
 //! Honoring `PQE_BENCH_SAMPLES` / `PQE_BENCH_MIN_SAMPLE_MS` lets CI dial
-//! cost down without touching the bench sources.
+//! cost down without touching the bench sources. Setting
+//! `PQE_BENCH_JSON_DIR` makes [`Runner::finish`] additionally write the
+//! suite's stats to `BENCH_<suite>.json` in that directory, so scripts can
+//! consume results without scraping stdout.
 
 use std::time::{Duration, Instant};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Statistics for one benchmark, in nanoseconds per iteration.
 #[derive(Debug, Clone)]
@@ -21,6 +38,24 @@ pub struct Stats {
     pub mean_ns: f64,
     pub iters_per_sample: u64,
     pub samples: usize,
+}
+
+impl Stats {
+    /// One machine-readable JSON object for this benchmark.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"min_ns\":{},\"median_ns\":{},",
+                "\"mean_ns\":{},\"iters_per_sample\":{},\"samples\":{}}}"
+            ),
+            json_escape(&self.name),
+            self.min_ns,
+            self.median_ns,
+            self.mean_ns,
+            self.iters_per_sample,
+            self.samples,
+        )
+    }
 }
 
 /// Renders a duration in ns with an adaptive unit.
@@ -142,9 +177,34 @@ impl Runner {
         &self.results
     }
 
+    /// The whole suite as one JSON document:
+    /// `{"suite": ..., "results": [...]}`.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self.results.iter().map(Stats::to_json).collect();
+        format!(
+            "{{\"suite\":\"{}\",\"results\":[{}]}}\n",
+            json_escape(&self.suite),
+            body.join(",")
+        )
+    }
+
+    /// Writes [`Runner::to_json`] to `<dir>/BENCH_<suite>.json`.
+    pub fn write_json(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.suite));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
     /// Prints a closing summary line. Convention: every bench `main` ends
-    /// with this so the harness output is recognizably complete.
+    /// with this so the harness output is recognizably complete. When
+    /// `PQE_BENCH_JSON_DIR` is set, also drops `BENCH_<suite>.json` there.
     pub fn finish(&self) {
+        if let Ok(dir) = std::env::var("PQE_BENCH_JSON_DIR") {
+            match self.write_json(std::path::Path::new(&dir)) {
+                Ok(path) => println!("  wrote {}", path.display()),
+                Err(e) => eprintln!("  BENCH json write failed: {e}"),
+            }
+        }
         println!(
             "== {}: {} benchmark(s) done ==",
             self.suite,
@@ -172,6 +232,25 @@ mod tests {
         let s = &r.results()[0];
         assert!(s.min_ns > 0.0 && s.min_ns <= s.mean_ns * 1.5);
         assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        std::env::set_var("PQE_BENCH_SAMPLES", "3");
+        std::env::set_var("PQE_BENCH_MIN_SAMPLE_MS", "1");
+        let mut r = Runner::new("unit_json");
+        r.bench("noop \"quoted\"", || {
+            black_box(1u64);
+        });
+        let json = r.to_json();
+        assert!(json.starts_with("{\"suite\":\"unit_json\",\"results\":["));
+        assert!(json.contains("\"name\":\"noop \\\"quoted\\\"\""));
+        assert!(json.contains("\"median_ns\":"));
+        assert!(json.trim_end().ends_with("]}"));
+        let dir = std::env::temp_dir();
+        let path = r.write_json(&dir).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

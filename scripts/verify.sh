@@ -7,3 +7,9 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline
 cargo test -q --offline --workspace
+
+# The parallel-FPRAS contract: estimates are bit-identical for a fixed
+# seed at any thread count. Run the determinism suite at both ends of the
+# env knob to prove the override path as well as the invariance.
+PQE_THREADS=1 cargo test -q --offline --test determinism
+PQE_THREADS=4 cargo test -q --offline --test determinism

@@ -66,6 +66,82 @@ fn path_ur_estimate_is_bit_identical_across_runs() {
 }
 
 #[test]
+fn pqe_estimate_is_bit_identical_across_thread_counts() {
+    // The tentpole invariant of the parallel FPRAS: thread count changes
+    // wall-clock only, never the estimate (NFTA route).
+    let (q, h) = fixture();
+    let base = FprasConfig::with_epsilon(0.3).with_seed(0x5EED);
+    let reference = pqe_estimate(&q, &h, &base.clone().with_threads(1)).unwrap();
+    for threads in [2usize, 4, 8] {
+        let r = pqe_estimate(&q, &h, &base.clone().with_threads(threads)).unwrap();
+        assert_eq!(
+            r.probability.to_string(),
+            reference.probability.to_string(),
+            "threads={threads}"
+        );
+        assert_eq!(r.threads, threads);
+    }
+    // Auto (threads = 0) resolves to whatever the host offers — same value.
+    let auto = pqe_estimate(&q, &h, &base).unwrap();
+    assert_eq!(
+        auto.probability.to_string(),
+        reference.probability.to_string()
+    );
+    assert!(auto.threads >= 1);
+}
+
+#[test]
+fn path_ur_estimate_is_bit_identical_across_thread_counts() {
+    // Same invariant along the NFA route.
+    let (q, h) = fixture();
+    let db = h.database().clone();
+    let base = FprasConfig::with_epsilon(0.3).with_seed(0xF00D);
+    let reference = path_ur_estimate(&q, &db, &base.clone().with_threads(1)).unwrap();
+    for threads in [2usize, 4, 8] {
+        let r = path_ur_estimate(&q, &db, &base.clone().with_threads(threads)).unwrap();
+        assert_eq!(
+            r.reliability.to_string(),
+            reference.reliability.to_string(),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn env_thread_override_reproduces_single_threaded_values() {
+    // `PQE_THREADS=1` (the env knob behind `threads = 0`) must reproduce
+    // the explicit single-threaded run bit for bit.
+    let (q, h) = fixture();
+    let base = FprasConfig::with_epsilon(0.3).with_seed(0x5EED);
+    let reference = pqe_estimate(&q, &h, &base.clone().with_threads(1)).unwrap();
+    std::env::set_var("PQE_THREADS", "1");
+    let through_env = pqe_estimate(&q, &h, &base).unwrap();
+    let resolved = through_env.threads;
+    std::env::remove_var("PQE_THREADS");
+    assert_eq!(
+        through_env.probability.to_string(),
+        reference.probability.to_string()
+    );
+    assert_eq!(resolved, 1);
+}
+
+#[test]
+fn single_threaded_values_are_pinned() {
+    // Golden digits at threads = 1. Any change here means the sampling
+    // schedule changed — a deliberate, documented break in reproducibility,
+    // not an accident. (The same digits come out at any thread count; see
+    // the cross-thread tests above.)
+    let (q, h) = fixture();
+    let cfg = FprasConfig::with_epsilon(0.3).with_seed(0x5EED).with_threads(1);
+    let pqe = pqe_estimate(&q, &h, &cfg).unwrap();
+    assert_eq!(pqe.probability.to_string(), "8.589671e-1");
+    let db = h.database().clone();
+    let cfg = FprasConfig::with_epsilon(0.3).with_seed(0xBEEF).with_threads(1);
+    let ur = ur_estimate(&q, &db, &cfg).unwrap();
+    assert_eq!(ur.reliability.to_string(), "8.829016e5");
+}
+
+#[test]
 fn different_seeds_are_actually_different_streams() {
     // Guard against a seed that is accepted but ignored.
     let (q, h) = fixture();
