@@ -62,3 +62,17 @@ pub use nfta_run_estimator::{count_nfta_run_based, RunTables};
 pub mod nfta_counters {
     pub use crate::nfta_fpras::{CNT_EST, CNT_MEMBER, CNT_SAMPLES, CNT_TRIES};
 }
+
+// Compiled automata are shared across request threads (plan caches hold
+// them behind `Arc` and run `count_nfa`/`count_nfta` concurrently against
+// `&self`), so they must stay plain owned data. These assertions turn an
+// accidental `Rc`/`RefCell` in a field into a compile error instead of a
+// downstream service regression.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Nfa>();
+    assert_send_sync::<Nfta>();
+    assert_send_sync::<AugmentedNfta>();
+    assert_send_sync::<MultiplierNfta>();
+    assert_send_sync::<FprasConfig>();
+};

@@ -1,0 +1,85 @@
+//! E8 — the served-query path: throughput, tail latency, and the
+//! compiled-plan cache's effect under a hot/cold request mix.
+//!
+//! Starts an in-process `pqe-serve` server on an ephemeral port and drives
+//! it with the load generator over a bounded-width non-safe query (the
+//! triangle `R1(x,y), R2(y,z), R3(z,x)` — width 2, #P-hard exactly). Hot
+//! requests repeat one query at a fixed `(ε, seed)`, so after warmup they
+//! hit both the plan cache and the per-plan result memo; cold requests are
+//! unique variable renamings that force the full compile + count path.
+//! The headline metric is `hit_speedup`: mean cold-compile latency over
+//! mean cache-hit latency (the E8 acceptance bar is ≥ 5×).
+//!
+//! Run with `PQE_BENCH_JSON_DIR=. cargo bench --bench serve_cache` to drop
+//! machine-readable `BENCH_serve.json` next to the invocation
+//! (equivalently: `pqe bench-serve`).
+
+use pqe_rand::rngs::StdRng;
+use pqe_rand::{RngCore, SeedableRng};
+use pqe_serve::{run_load, LoadConfig, ServeConfig, Server};
+use pqe_testkit::bench::Runner;
+use std::io::{BufRead as _, BufReader, Write as _};
+
+/// A random graph instance over the triangle's three edge relations.
+fn triangle_db(nodes: usize, density_pct: u64, seed: u64) -> pqe_db::ProbDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = String::new();
+    for rel in ["R1", "R2", "R3"] {
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a != b && rng.next_u64() % 100 < density_pct {
+                    let num = 1 + rng.next_u64() % 3;
+                    src.push_str(&format!("{num}/4 {rel}(n{a},n{b})\n"));
+                }
+            }
+        }
+    }
+    pqe_db::io::load_str(&src).expect("generated db parses")
+}
+
+fn main() {
+    let mut r = Runner::new("serve");
+    r.start();
+
+    let h = triangle_db(6, 35, 0xE8);
+    let server = Server::bind(ServeConfig::default(), h).expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    let load = LoadConfig {
+        addr: addr.to_string(),
+        connections: 4,
+        requests: 25,
+        repeat_ratio: 0.8,
+        query: "R1(x,y), R2(y,z), R3(z,x)".to_owned(),
+        epsilon: 0.3,
+        seed: 0xE8,
+        method: "fpras".to_owned(),
+    };
+    let report = run_load(&load).expect("load run");
+
+    r.metric("requests", report.requests as f64);
+    r.metric("errors", report.errors as f64);
+    r.metric("throughput_rps", report.throughput_rps);
+    r.metric("latency_p50_us", report.p50_us as f64);
+    r.metric("latency_p99_us", report.p99_us as f64);
+    r.metric("cache_hit_rate", report.hit_rate);
+    r.metric("hit_mean_us", report.hit_mean_us);
+    r.metric("cold_compile_mean_us", report.miss_mean_us);
+    r.metric("hit_speedup", report.hit_speedup);
+    r.finish();
+
+    // Clean shutdown over the wire.
+    let mut c = std::net::TcpStream::connect(addr).expect("connect");
+    c.write_all(b"{\"op\":\"shutdown\"}\n").expect("send shutdown");
+    let mut line = String::new();
+    BufReader::new(c).read_line(&mut line).ok();
+    handle.join().expect("server thread").expect("server exit");
+
+    assert_eq!(report.errors, 0, "load run had failing requests");
+    assert!(
+        report.hit_speedup >= 5.0,
+        "cache-hit speedup {:.1}x below the E8 bar",
+        report.hit_speedup
+    );
+}

@@ -1,11 +1,10 @@
 //! The three estimators of the paper: `PathEstimate` (Thm 2),
 //! `UREstimate` (Thm 3), and `PQEEstimate` (Thm 1).
 
-use crate::reductions::{
-    build_path_nfa, build_path_pqe_nfa, build_pqe_automaton, build_ur_automaton, ReductionError,
-};
+use crate::plan::{compile_pqe_plan, compile_ur_plan};
+use crate::reductions::{build_path_nfa, build_path_pqe_nfa, ReductionError};
 use pqe_arith::{BigFloat, BigUint};
-use pqe_automata::{count_nfa, count_nfta, FprasConfig};
+use pqe_automata::{count_nfa, FprasConfig};
 use pqe_db::{Database, ProbDatabase};
 use pqe_query::ConjunctiveQuery;
 use std::time::Instant;
@@ -59,35 +58,21 @@ pub struct PqeReport {
 ///
 /// The empty query is certain (`Pr = 1`); a query over relations with no
 /// facts gets probability 0 — both handled by the construction itself.
+///
+/// This is exactly [`compile_pqe_plan`] followed by
+/// [`PqePlan::execute`](crate::plan::PqePlan::execute); callers that
+/// evaluate the same `(Q, H)` repeatedly should compile once and execute
+/// per request — the result is bit-identical either way.
 pub fn pqe_estimate(
     q: &ConjunctiveQuery,
     h: &ProbDatabase,
     cfg: &FprasConfig,
 ) -> Result<PqeReport, EstimateError> {
     let start = Instant::now();
-    if q.is_empty() {
-        return Ok(PqeReport {
-            probability: BigFloat::one(),
-            target_size: 0,
-            denominator: BigUint::one(),
-            automaton_states: 0,
-            automaton_size: 0,
-            threads: cfg.effective_threads(),
-            elapsed: start.elapsed(),
-        });
-    }
-    let pqe = build_pqe_automaton(q, h)?;
-    let trees = count_nfta(&pqe.nfta, pqe.target_size, cfg);
-    let probability = trees / BigFloat::from_biguint(&pqe.denominator);
-    Ok(PqeReport {
-        probability,
-        target_size: pqe.target_size,
-        denominator: pqe.denominator,
-        automaton_states: pqe.nfta.num_states(),
-        automaton_size: pqe.nfta.size(),
-        threads: cfg.effective_threads(),
-        elapsed: start.elapsed(),
-    })
+    let plan = compile_pqe_plan(q, h)?;
+    let mut report = plan.execute(cfg);
+    report.elapsed = start.elapsed();
+    Ok(report)
 }
 
 /// Result of `UREstimate` (Theorem 3).
@@ -113,36 +98,19 @@ pub struct UrReport {
 
 /// `UREstimate(Q, D)` — Theorem 3: a `(1±ε)` approximation of the uniform
 /// reliability `UR(Q, D)` (the number of satisfying subinstances).
+///
+/// Like [`pqe_estimate`], this is [`compile_ur_plan`] followed by
+/// [`UrPlan::execute`](crate::plan::UrPlan::execute).
 pub fn ur_estimate(
     q: &ConjunctiveQuery,
     db: &Database,
     cfg: &FprasConfig,
 ) -> Result<UrReport, EstimateError> {
     let start = Instant::now();
-    if q.is_empty() {
-        return Ok(UrReport {
-            reliability: BigFloat::one().scale_exp(db.len() as i64),
-            target_size: 0,
-            dropped_facts: db.len(),
-            automaton_states: 0,
-            automaton_size: 0,
-            threads: cfg.effective_threads(),
-            elapsed: start.elapsed(),
-        });
-    }
-    let ur = build_ur_automaton(q, db)?;
-    let (nfta, _) = ur.aug.translate();
-    let trees = count_nfta(&nfta, ur.target_size, cfg);
-    let reliability = trees.scale_exp(ur.dropped_facts as i64);
-    Ok(UrReport {
-        reliability,
-        target_size: ur.target_size,
-        dropped_facts: ur.dropped_facts,
-        automaton_states: nfta.num_states(),
-        automaton_size: nfta.size(),
-        threads: cfg.effective_threads(),
-        elapsed: start.elapsed(),
-    })
+    let plan = compile_ur_plan(q, db)?;
+    let mut report = plan.execute(cfg);
+    report.elapsed = start.elapsed();
+    Ok(report)
 }
 
 /// Result of `PathEstimate` (Theorem 2).

@@ -46,6 +46,7 @@
 pub mod baselines;
 mod estimators;
 pub mod landscape;
+pub mod plan;
 pub mod reductions;
 pub mod worlds;
 
@@ -53,3 +54,4 @@ pub use estimators::{
     fact_influence, path_pqe_estimate, path_ur_estimate, pqe_estimate, ur_estimate, EstimateError,
     PathUrReport, PqeReport, UrReport,
 };
+pub use plan::{compile_pqe_plan, compile_ur_plan, PqePlan, UrPlan};

@@ -1,0 +1,279 @@
+//! The compilation / execution split of the paper's estimators.
+//!
+//! For a fixed query and database instance, the whole reduction chain —
+//! hypertree decomposition, landscape classification, augmented-NFTA
+//! construction, multiplier translation — depends only on `(Q, H)`, never
+//! on the accuracy `ε`, the seed, or the thread count. The combined
+//! complexity bounds make exactly that prefix the reusable artifact: build
+//! it once, then every estimate at any `(ε, seed)` is just the
+//! `poly(|H|, ε⁻¹)` counting phase on the compiled automaton.
+//!
+//! [`PqePlan`] and [`UrPlan`] are those prefixes as first-class values.
+//! [`pqe_estimate`](crate::pqe_estimate) and
+//! [`ur_estimate`](crate::ur_estimate) are now thin wrappers — compile
+//! then execute — so an estimate produced through a cached plan is
+//! **bit-identical** to a one-shot call with the same config (asserted in
+//! the tests below and in `tests/determinism.rs`). Plans are `Send + Sync`
+//! (everything inside is plain owned data), so a service can share one
+//! plan across request threads behind an `Arc`.
+
+use crate::landscape::{self, Classification};
+use crate::reductions::{build_pqe_automaton, build_ur_automaton, PqeAutomaton};
+use crate::{EstimateError, PqeReport, UrReport};
+use pqe_arith::{BigFloat, BigUint};
+use pqe_automata::{count_nfta, FprasConfig, Nfta};
+use pqe_db::{Database, ProbDatabase};
+use pqe_query::ConjunctiveQuery;
+use std::time::{Duration, Instant};
+
+// The whole point of first-class plans is cross-thread reuse; fail the
+// build, not the downstream service, if a field ever loses Sync.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PqePlan>();
+    assert_send_sync::<UrPlan>();
+};
+
+/// The cacheable prefix of `PQEEstimate`: everything derived from
+/// `(Q, H)` alone.
+pub struct PqePlan {
+    /// Where the query sits in the paper's Table 1.
+    pub classification: Classification,
+    /// Wall-clock cost of compilation (decomposition + construction).
+    pub compile_time: Duration,
+    kind: PqePlanKind,
+}
+
+enum PqePlanKind {
+    /// The empty query is certain; there is no automaton.
+    Certain,
+    /// The §5.2 automaton, ready for repeated counting runs.
+    Automaton(Box<PqeAutomaton>),
+}
+
+/// Compiles the `PQEEstimate` prefix for `(q, h)`: classification plus the
+/// Theorem 1 automaton. Fails exactly when [`pqe_estimate`] would
+/// (self-joins, unbounded width, …).
+///
+/// [`pqe_estimate`]: crate::pqe_estimate
+pub fn compile_pqe_plan(
+    q: &ConjunctiveQuery,
+    h: &ProbDatabase,
+) -> Result<PqePlan, EstimateError> {
+    let start = Instant::now();
+    let classification = landscape::classify(q);
+    let kind = if q.is_empty() {
+        PqePlanKind::Certain
+    } else {
+        PqePlanKind::Automaton(Box::new(build_pqe_automaton(q, h)?))
+    };
+    Ok(PqePlan {
+        classification,
+        compile_time: start.elapsed(),
+        kind,
+    })
+}
+
+impl PqePlan {
+    /// Runs the counting phase on the compiled automaton. For a fixed
+    /// `cfg` the result is bit-identical to
+    /// [`pqe_estimate`](crate::pqe_estimate) on the original inputs
+    /// (`elapsed` covers only this execution, not compilation).
+    pub fn execute(&self, cfg: &FprasConfig) -> PqeReport {
+        let start = Instant::now();
+        match &self.kind {
+            PqePlanKind::Certain => PqeReport {
+                probability: BigFloat::one(),
+                target_size: 0,
+                denominator: BigUint::one(),
+                automaton_states: 0,
+                automaton_size: 0,
+                threads: cfg.effective_threads(),
+                elapsed: start.elapsed(),
+            },
+            PqePlanKind::Automaton(pqe) => {
+                let trees = count_nfta(&pqe.nfta, pqe.target_size, cfg);
+                let probability = trees / BigFloat::from_biguint(&pqe.denominator);
+                PqeReport {
+                    probability,
+                    target_size: pqe.target_size,
+                    denominator: pqe.denominator.clone(),
+                    automaton_states: pqe.nfta.num_states(),
+                    automaton_size: pqe.nfta.size(),
+                    threads: cfg.effective_threads(),
+                    elapsed: start.elapsed(),
+                }
+            }
+        }
+    }
+
+    /// States of the compiled automaton (0 for the trivial plan).
+    pub fn automaton_states(&self) -> usize {
+        match &self.kind {
+            PqePlanKind::Certain => 0,
+            PqePlanKind::Automaton(pqe) => pqe.nfta.num_states(),
+        }
+    }
+}
+
+/// The cacheable prefix of `UREstimate`: the translated Proposition 1
+/// automaton for `(Q, D)`.
+pub struct UrPlan {
+    /// Where the query sits in the paper's Table 1.
+    pub classification: Classification,
+    /// Wall-clock cost of compilation.
+    pub compile_time: Duration,
+    kind: UrPlanKind,
+}
+
+enum UrPlanKind {
+    /// Empty query: every one of the `2^|D|` subinstances satisfies it.
+    Certain { db_len: usize },
+    Automaton {
+        nfta: Nfta,
+        target_size: usize,
+        dropped_facts: usize,
+    },
+}
+
+/// Compiles the `UREstimate` prefix for `(q, db)`.
+pub fn compile_ur_plan(q: &ConjunctiveQuery, db: &Database) -> Result<UrPlan, EstimateError> {
+    let start = Instant::now();
+    let classification = landscape::classify(q);
+    let kind = if q.is_empty() {
+        UrPlanKind::Certain { db_len: db.len() }
+    } else {
+        let ur = build_ur_automaton(q, db)?;
+        let (nfta, _) = ur.aug.translate();
+        UrPlanKind::Automaton {
+            nfta,
+            target_size: ur.target_size,
+            dropped_facts: ur.dropped_facts,
+        }
+    };
+    Ok(UrPlan {
+        classification,
+        compile_time: start.elapsed(),
+        kind,
+    })
+}
+
+impl UrPlan {
+    /// Runs the counting phase; bit-identical to
+    /// [`ur_estimate`](crate::ur_estimate) for the same config.
+    pub fn execute(&self, cfg: &FprasConfig) -> UrReport {
+        let start = Instant::now();
+        match &self.kind {
+            UrPlanKind::Certain { db_len } => UrReport {
+                reliability: BigFloat::one().scale_exp(*db_len as i64),
+                target_size: 0,
+                dropped_facts: *db_len,
+                automaton_states: 0,
+                automaton_size: 0,
+                threads: cfg.effective_threads(),
+                elapsed: start.elapsed(),
+            },
+            UrPlanKind::Automaton {
+                nfta,
+                target_size,
+                dropped_facts,
+            } => {
+                let trees = count_nfta(nfta, *target_size, cfg);
+                UrReport {
+                    reliability: trees.scale_exp(*dropped_facts as i64),
+                    target_size: *target_size,
+                    dropped_facts: *dropped_facts,
+                    automaton_states: nfta.num_states(),
+                    automaton_size: nfta.size(),
+                    threads: cfg.effective_threads(),
+                    elapsed: start.elapsed(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pqe_estimate, ur_estimate};
+    use pqe_db::generators;
+    use pqe_query::shapes;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
+
+    fn fixture() -> (ConjunctiveQuery, ProbDatabase) {
+        let mut rng = StdRng::seed_from_u64(0xCAB1E);
+        let db = generators::layered_graph_connected(3, 2, 0.6, &mut rng);
+        let h = generators::with_random_probs(db, 5, &mut rng);
+        (shapes::path_query(3), h)
+    }
+
+    #[test]
+    fn cached_plan_reproduces_one_shot_estimate_bit_for_bit() {
+        let (q, h) = fixture();
+        let cfg = FprasConfig::with_epsilon(0.3).with_seed(0x1234);
+        let plan = compile_pqe_plan(&q, &h).unwrap();
+        let direct = pqe_estimate(&q, &h, &cfg).unwrap();
+        // Two executions of the same plan, interleaved with the one-shot
+        // path: all three must agree to the last bit.
+        for _ in 0..2 {
+            let via_plan = plan.execute(&cfg);
+            assert_eq!(via_plan.probability.to_string(), direct.probability.to_string());
+            assert_eq!(via_plan.target_size, direct.target_size);
+            assert_eq!(via_plan.denominator, direct.denominator);
+            assert_eq!(via_plan.automaton_states, direct.automaton_states);
+        }
+    }
+
+    #[test]
+    fn ur_plan_reproduces_one_shot_estimate_bit_for_bit() {
+        let (q, h) = fixture();
+        let db = h.database().clone();
+        let cfg = FprasConfig::with_epsilon(0.3).with_seed(0x77);
+        let plan = compile_ur_plan(&q, &db).unwrap();
+        let direct = ur_estimate(&q, &db, &cfg).unwrap();
+        let via_plan = plan.execute(&cfg);
+        assert_eq!(via_plan.reliability.to_string(), direct.reliability.to_string());
+        assert_eq!(via_plan.target_size, direct.target_size);
+        assert_eq!(via_plan.dropped_facts, direct.dropped_facts);
+    }
+
+    #[test]
+    fn plan_execution_varies_with_seed_but_not_repetition() {
+        let (q, h) = fixture();
+        let plan = compile_pqe_plan(&q, &h).unwrap();
+        let a = plan.execute(&FprasConfig::with_epsilon(0.3).with_seed(1));
+        let a2 = plan.execute(&FprasConfig::with_epsilon(0.3).with_seed(1));
+        assert_eq!(a.probability.to_string(), a2.probability.to_string());
+    }
+
+    #[test]
+    fn empty_query_plan_is_certain() {
+        let (_, h) = fixture();
+        let q = shapes::path_query(1).restrict_atoms(&[]);
+        let plan = compile_pqe_plan(&q, &h).unwrap();
+        let r = plan.execute(&FprasConfig::default());
+        assert_eq!(r.probability.to_f64(), 1.0);
+        assert_eq!(plan.automaton_states(), 0);
+        let ur = compile_ur_plan(&q, h.database()).unwrap();
+        let r = ur.execute(&FprasConfig::default());
+        assert_eq!(r.dropped_facts, h.len());
+    }
+
+    #[test]
+    fn compile_fails_where_estimate_fails() {
+        let (_, h) = fixture();
+        assert!(compile_pqe_plan(&shapes::self_join_path(2), &h).is_err());
+        assert!(compile_ur_plan(&shapes::self_join_path(2), h.database()).is_err());
+    }
+
+    #[test]
+    fn classification_is_attached() {
+        let (q, h) = fixture();
+        let plan = compile_pqe_plan(&q, &h).unwrap();
+        assert!(plan.classification.three_path);
+        assert!(!plan.classification.safe);
+        assert!(plan.automaton_states() > 0);
+    }
+}

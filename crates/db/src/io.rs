@@ -19,26 +19,34 @@
 use crate::{Database, DbError, ProbDatabase, Schema};
 use pqe_arith::Rational;
 
-/// A parse failure with its line number (1-based).
+/// A parse failure with its 1-based line number and the offending line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadError {
     /// 1-based line number.
     pub line: usize,
+    /// The offending source line, verbatim (trailing whitespace trimmed;
+    /// empty when the failure is not tied to one line).
+    pub text: String,
     /// Description of the failure.
     pub message: String,
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        if self.text.is_empty() {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "line {}: {}\n  {} | {}", self.line, self.message, self.line, self.text)
+        }
     }
 }
 
 impl std::error::Error for LoadError {}
 
-fn err(line: usize, message: impl Into<String>) -> LoadError {
+fn err(line: usize, text: &str, message: impl Into<String>) -> LoadError {
     LoadError {
         line,
+        text: text.trim_end().to_owned(),
         message: message.into(),
     }
 }
@@ -57,13 +65,15 @@ pub fn load_str(src: &str) -> Result<ProbDatabase, LoadError> {
         if line.is_empty() {
             continue;
         }
-        let (prob, fact_src) = split_probability(line, lineno)?;
-        let (rel, args) = parse_fact(fact_src, lineno)?;
+        let (prob, fact_src) = split_probability(line).map_err(|m| err(lineno, raw, m))?;
+        let (rel, args) = parse_fact(fact_src).map_err(|m| err(lineno, raw, m))?;
         if !prob.is_probability() {
-            return Err(err(lineno, format!("probability {prob} outside [0, 1]")));
+            return Err(err(lineno, raw, format!("probability {prob} outside [0, 1]")));
         }
         rows.push((lineno, prob, rel, args));
     }
+
+    let line_text = |lineno: usize| -> &str { src.lines().nth(lineno - 1).unwrap_or("") };
 
     // Infer the schema.
     let mut schema = Schema::default();
@@ -72,6 +82,7 @@ pub fn load_str(src: &str) -> Result<ProbDatabase, LoadError> {
             if schema.arity(id) != args.len() {
                 return Err(err(
                     *lineno,
+                    line_text(*lineno),
                     format!(
                         "relation {rel} used with arity {} after arity {}",
                         args.len(),
@@ -90,20 +101,21 @@ pub fn load_str(src: &str) -> Result<ProbDatabase, LoadError> {
         let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
         let id = db
             .add_fact(&rel, &arg_refs)
-            .map_err(|e: DbError| err(lineno, e.to_string()))?;
+            .map_err(|e: DbError| err(lineno, line_text(lineno), e.to_string()))?;
         if id.index() < probs.len() {
             return Err(err(
                 lineno,
+                line_text(lineno),
                 format!("duplicate fact {rel}({})", args.join(",")),
             ));
         }
         probs.push(prob);
     }
-    ProbDatabase::with_probs(db, probs).map_err(|e| err(0, e.to_string()))
+    ProbDatabase::with_probs(db, probs).map_err(|e| err(0, "", e.to_string()))
 }
 
 /// Splits an optional leading probability token from the fact text.
-fn split_probability(line: &str, lineno: usize) -> Result<(Rational, &str), LoadError> {
+fn split_probability(line: &str) -> Result<(Rational, &str), String> {
     // A line starting with a digit carries a probability; otherwise the
     // whole line is the fact and the probability is 1.
     let first = line.chars().next().unwrap();
@@ -112,35 +124,35 @@ fn split_probability(line: &str, lineno: usize) -> Result<(Rational, &str), Load
     }
     let split = line
         .find(|c: char| c.is_whitespace())
-        .ok_or_else(|| err(lineno, "expected a fact after the probability"))?;
+        .ok_or_else(|| "expected a fact after the probability".to_owned())?;
     let (tok, rest) = line.split_at(split);
     let prob: Rational = tok
         .parse()
-        .map_err(|e| err(lineno, format!("bad probability {tok:?}: {e}")))?;
+        .map_err(|e| format!("bad probability {tok:?}: {e}"))?;
     Ok((prob, rest.trim_start()))
 }
 
 /// Parses `Rel(arg, arg, ...)`.
-fn parse_fact(src: &str, lineno: usize) -> Result<(String, Vec<String>), LoadError> {
+fn parse_fact(src: &str) -> Result<(String, Vec<String>), String> {
     let open = src
         .find('(')
-        .ok_or_else(|| err(lineno, format!("expected Rel(args...) in {src:?}")))?;
+        .ok_or_else(|| format!("expected Rel(args...) in {src:?}"))?;
     let rel = src[..open].trim();
     if rel.is_empty() || !rel.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-        return Err(err(lineno, format!("bad relation name {rel:?}")));
+        return Err(format!("bad relation name {rel:?}"));
     }
     let close = src
         .rfind(')')
-        .ok_or_else(|| err(lineno, "missing closing parenthesis"))?;
+        .ok_or_else(|| "missing closing parenthesis".to_owned())?;
     if !src[close + 1..].trim().is_empty() {
-        return Err(err(lineno, "trailing input after fact"));
+        return Err("trailing input after fact".to_owned());
     }
     let args: Vec<String> = src[open + 1..close]
         .split(',')
         .map(|a| a.trim().to_owned())
         .collect();
     if args.iter().any(String::is_empty) {
-        return Err(err(lineno, "empty argument"));
+        return Err("empty argument".to_owned());
     }
     Ok((rel.to_owned(), args))
 }
@@ -209,6 +221,37 @@ mod tests {
     fn error_reports_line_numbers() {
         let e = load_str("R(a,b)\n\n# fine\nbroken line here").unwrap_err();
         assert_eq!(e.line, 4);
+        assert_eq!(e.text, "broken line here");
+    }
+
+    #[test]
+    fn malformed_probability_reports_line_and_text() {
+        let e = load_str("1/2 R(a,b)\n0.x5 R(b,c)\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.text, "0.x5 R(b,c)");
+        assert!(e.message.contains("bad probability"), "message: {}", e.message);
+        let shown = e.to_string();
+        assert!(shown.contains("line 2"), "display: {shown}");
+        assert!(shown.contains("0.x5 R(b,c)"), "display: {shown}");
+    }
+
+    #[test]
+    fn malformed_fact_reports_line_and_text() {
+        let e = load_str("R(a,b)\n1/2 S(a\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.text, "1/2 S(a");
+        assert!(e.message.contains("closing parenthesis"), "message: {}", e.message);
+        assert!(e.to_string().contains("1/2 S(a"));
+
+        let e = load_str("0.9 not_a_fact here\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.text, "0.9 not_a_fact here");
+
+        // Out-of-range probability keeps the raw line too.
+        let e = load_str("S(a)\n3/2 R(a)  # bad\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.text, "3/2 R(a)  # bad");
+        assert!(e.message.contains("outside"));
     }
 
     #[test]

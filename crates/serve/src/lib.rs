@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # pqe-serve — the query evaluation service
+//!
+//! A long-lived, zero-dependency server wrapping the workspace's
+//! estimators: bind once over a probabilistic database, then answer
+//! `estimate` / `reliability` / `classify` / `stats` requests over a
+//! newline-delimited JSON protocol on `std::net::TcpListener`
+//! ([`protocol`] documents the wire format).
+//!
+//! The service exists because of the compilation/execution split
+//! formalized in `pqe_core::plan`: for a fixed `(Q, H)` the expensive
+//! reduction chain (decomposition → classification → NFTA construction →
+//! multiplier translation) is independent of `(ε, seed, threads)`, so the
+//! server memoizes it in a sharded LRU **compiled-plan cache** ([`cache`])
+//! and reuses it across requests. Since execution is a pure function of
+//! plan + config and the seed travels with each request, a served estimate
+//! is bit-identical to the same CLI invocation — cache hit or not.
+//!
+//! Overload policy is *rejection, not queueing*: at most
+//! [`ServeConfig::max_inflight`] heavy requests compute at once, and
+//! excess requests get an immediate structured `overloaded` error;
+//! per-request deadlines turn runaway work into `timeout` errors
+//! ([`server`]). [`loadgen`] drives a server with a reproducible hot/cold
+//! query mix and measures throughput, tail latency, and the cache-hit
+//! speedup (`pqe bench-serve` persists it as `BENCH_serve.json`).
+
+pub mod cache;
+pub mod json;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheStats, PlanCache};
+pub use json::Json;
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use protocol::{ErrorKind, Request};
+pub use server::{ServeConfig, ServedPlan, Server};

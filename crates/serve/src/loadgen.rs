@@ -1,0 +1,296 @@
+//! A load generator for the query service.
+//!
+//! Drives `connections` concurrent NDJSON clients against a running
+//! server, each issuing `requests` estimate calls drawn from a query mix:
+//! with probability `repeat_ratio` the shared **hot** query (second and
+//! later arrivals hit the compiled-plan cache), otherwise a **cold**
+//! variant — the same query shape under a unique variable renaming, so it
+//! is semantically identical and costs the same to compile, but normalizes
+//! to a distinct cache key and forces the full reduction chain.
+//!
+//! The mix decision stream is seeded (`pqe-rand`, one stream per
+//! connection), so a load run is reproducible. Per-request latency is
+//! measured client-side around the full round trip and bucketed by the
+//! server's own `"cache":"hit"|"miss"` response tag; the report carries
+//! throughput, p50/p99, per-bucket means, and the hot/cold speedup that
+//! `pqe bench-serve` persists to `BENCH_serve.json`.
+
+use crate::json::Json;
+use pqe_query::ConjunctiveQuery;
+use pqe_rand::rngs::StdRng;
+use pqe_rand::{RngCore, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Parameters of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7431`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests: usize,
+    /// Probability a request uses the hot (cache-friendly) query.
+    pub repeat_ratio: f64,
+    /// The hot query text; cold variants are variable renamings of it.
+    pub query: String,
+    /// ε forwarded with every estimate request.
+    pub epsilon: f64,
+    /// Seed for the request seeds and the hot/cold decision streams.
+    pub seed: u64,
+    /// Method forwarded with every estimate request.
+    pub method: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: String::new(),
+            connections: 4,
+            requests: 50,
+            repeat_ratio: 0.8,
+            query: "R1(x,y), R2(y,z)".to_owned(),
+            epsilon: 0.1,
+            seed: 0x10ad,
+            method: "auto".to_owned(),
+        }
+    }
+}
+
+/// One request's client-side observation.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    latency_us: u64,
+    hit: bool,
+    ok: bool,
+}
+
+/// Aggregated result of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests issued (across all connections).
+    pub requests: u64,
+    /// Responses with `"ok":false` (or unparseable).
+    pub errors: u64,
+    /// Responses tagged `"cache":"hit"`.
+    pub hits: u64,
+    /// Responses tagged `"cache":"miss"`.
+    pub misses: u64,
+    /// Wall clock of the whole run.
+    pub elapsed: Duration,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median round-trip latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile round-trip latency, microseconds.
+    pub p99_us: u64,
+    /// Mean latency of cache hits, microseconds (0 when none).
+    pub hit_mean_us: f64,
+    /// Mean latency of cache misses (cold compiles), microseconds.
+    pub miss_mean_us: f64,
+    /// `miss_mean_us / hit_mean_us` (0 when either bucket is empty).
+    pub hit_speedup: f64,
+    /// `hits / (hits + misses)` as observed by the clients.
+    pub hit_rate: f64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+/// Renames every variable of `q` with a `_c<tag>` suffix: same shape, same
+/// compile cost, distinct normalized text — i.e. a guaranteed cache miss.
+pub fn cold_variant(q: &ConjunctiveQuery, tag: u64) -> ConjunctiveQuery {
+    let renamed = q
+        .var_names()
+        .iter()
+        .map(|n| format!("{n}_c{tag}"))
+        .collect();
+    ConjunctiveQuery::new(q.atoms().to_vec(), renamed)
+}
+
+fn estimate_line(query: &str, cfg: &LoadConfig, seed: u64) -> String {
+    Json::obj([
+        ("op", Json::str("estimate")),
+        ("query", Json::str(query)),
+        ("epsilon", Json::from(cfg.epsilon)),
+        ("seed", Json::from(seed)),
+        ("method", Json::str(cfg.method.as_str())),
+    ])
+    .to_string()
+}
+
+fn drive_connection(cfg: &LoadConfig, conn_idx: usize) -> std::io::Result<Vec<Sample>> {
+    let hot = pqe_query::parse(&cfg.query)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+    let stream = TcpStream::connect(&cfg.addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut samples = Vec::with_capacity(cfg.requests);
+    let mut resp = String::new();
+    for i in 0..cfg.requests {
+        // 53 uniform bits → [0,1): the hot/cold coin.
+        let coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let query_text = if coin < cfg.repeat_ratio {
+            cfg.query.clone()
+        } else {
+            cold_variant(&hot, (conn_idx as u64) << 32 | i as u64).to_string()
+        };
+        let line = estimate_line(&query_text, cfg, cfg.seed);
+        let start = Instant::now();
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        resp.clear();
+        reader.read_line(&mut resp)?;
+        let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let v = Json::parse(resp.trim()).ok();
+        let ok = v
+            .as_ref()
+            .and_then(|v| v.get("ok"))
+            .and_then(Json::as_bool)
+            .unwrap_or(false);
+        let hit = v
+            .as_ref()
+            .and_then(|v| v.get("cache"))
+            .and_then(Json::as_str)
+            == Some("hit");
+        samples.push(Sample { latency_us, hit, ok });
+    }
+    Ok(samples)
+}
+
+/// Runs the load described by `cfg` against a live server and aggregates
+/// the client-side observations.
+pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
+    let start = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.connections.max(1))
+            .map(|t| s.spawn(move || drive_connection(cfg, t)))
+            .collect();
+        let mut all = Vec::new();
+        let mut first_err = None;
+        for h in handles {
+            match h.join().expect("load connection panicked") {
+                Ok(mut v) => all.append(&mut v),
+                Err(e) => first_err = Some(e),
+            }
+        }
+        match first_err {
+            Some(e) if all.is_empty() => Err(e),
+            _ => Ok(all),
+        }
+    })?;
+    let elapsed = start.elapsed();
+
+    let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_us).collect();
+    latencies.sort_unstable();
+    let hits: Vec<u64> = samples.iter().filter(|s| s.hit && s.ok).map(|s| s.latency_us).collect();
+    let misses: Vec<u64> =
+        samples.iter().filter(|s| !s.hit && s.ok).map(|s| s.latency_us).collect();
+    let mean = |v: &[u64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    };
+    let hit_mean_us = mean(&hits);
+    let miss_mean_us = mean(&misses);
+    let total = samples.len() as u64;
+    let observed = (hits.len() + misses.len()) as u64;
+    Ok(LoadReport {
+        requests: total,
+        errors: samples.iter().filter(|s| !s.ok).count() as u64,
+        hits: hits.len() as u64,
+        misses: misses.len() as u64,
+        elapsed,
+        throughput_rps: if elapsed.as_secs_f64() > 0.0 {
+            total as f64 / elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        hit_mean_us,
+        miss_mean_us,
+        hit_speedup: if hit_mean_us > 0.0 && miss_mean_us > 0.0 {
+            miss_mean_us / hit_mean_us
+        } else {
+            0.0
+        },
+        hit_rate: if observed > 0 {
+            hits.len() as f64 / observed as f64
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeConfig, Server};
+
+    #[test]
+    fn cold_variants_are_distinct_but_same_shape() {
+        let q = pqe_query::parse("R1(x,y), R2(y,z)").unwrap();
+        let a = cold_variant(&q, 1);
+        let b = cold_variant(&q, 2);
+        assert_ne!(a.to_string(), q.to_string());
+        assert_ne!(a.to_string(), b.to_string());
+        assert_eq!(a.len(), q.len());
+        assert_eq!(a.to_string(), "R1(x_c1,y_c1), R2(y_c1,z_c1)");
+    }
+
+    #[test]
+    fn percentiles_pick_order_statistics() {
+        let v = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&v, 0.5), 60);
+        assert_eq!(percentile(&v, 0.99), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn load_run_reports_hits_and_misses() {
+        let h = pqe_db::io::load_str("1/2 R1(a,b)\n1/3 R2(b,c)\n1/5 R2(b,d)\n").unwrap();
+        let server = Server::bind(ServeConfig::default(), h).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+
+        let cfg = LoadConfig {
+            addr: addr.to_string(),
+            connections: 2,
+            requests: 10,
+            repeat_ratio: 0.7,
+            query: "R1(x,y), R2(y,z)".to_owned(),
+            epsilon: 0.3,
+            method: "fpras".to_owned(),
+            ..Default::default()
+        };
+        let report = run_load(&cfg).unwrap();
+        assert_eq!(report.requests, 20);
+        assert_eq!(report.errors, 0);
+        assert!(report.hits > 0, "hot queries should hit after warmup");
+        assert!(report.misses > 0, "cold variants and first hot miss");
+        assert_eq!(report.hits + report.misses, 20);
+        assert!(report.p50_us > 0 && report.p99_us >= report.p50_us);
+        assert!(report.throughput_rps > 0.0);
+
+        // Shut the server down cleanly.
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut r = BufReader::new(c.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,253 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order. A
+//! request is a JSON object with an `"op"` discriminator:
+//!
+//! ```text
+//! {"op":"estimate","query":"R1(x,y), R2(y,z)","epsilon":0.1,"seed":24301,"method":"auto"}
+//! {"op":"reliability","query":"R1(x,y), R2(y,z)","epsilon":0.1,"seed":24301}
+//! {"op":"classify","query":"R1(x,y), R2(y,z)"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! All fields except `op` (and `query` where shown) are optional; the
+//! defaults equal the CLI's (`ε = 0.1`, `seed = 0x5eed`, `method =
+//! "auto"`, `threads` = server default), so a served estimate is
+//! bit-identical to the same `pqe estimate` invocation. Responses always
+//! carry `"ok"`; failures are structured, never dropped connections:
+//!
+//! ```text
+//! {"ok":false,"error":"overloaded","message":"..."}   // admission bound hit
+//! {"ok":false,"error":"timeout","message":"..."}      // deadline exceeded
+//! {"ok":false,"error":"bad_request","message":"..."}  // malformed JSON / unknown op
+//! {"ok":false,"error":"eval_error","message":"..."}   // reduction/parse failure
+//! ```
+
+use crate::json::Json;
+
+/// Default ε when a request omits `"epsilon"` (matches the CLI).
+pub const DEFAULT_EPSILON: f64 = 0.1;
+/// Default seed when a request omits `"seed"` (matches the CLI).
+pub const DEFAULT_SEED: u64 = 0x5eed;
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `PQEEstimate` / lifted inference over the served instance.
+    Estimate {
+        /// Query text (parsed and normalized server-side).
+        query: String,
+        /// Target relative error.
+        epsilon: f64,
+        /// RNG seed (estimates are bit-identical per seed).
+        seed: u64,
+        /// `auto` | `lifted` | `fpras`.
+        method: String,
+        /// Worker threads (0 = server default; never changes the estimate).
+        threads: usize,
+        /// Artificial pre-execution delay, for load/overload testing.
+        delay_ms: u64,
+    },
+    /// `UREstimate` over the served instance (probabilities ignored).
+    Reliability {
+        /// Query text.
+        query: String,
+        /// Target relative error.
+        epsilon: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Worker threads (0 = server default).
+        threads: usize,
+        /// Artificial pre-execution delay, for load/overload testing.
+        delay_ms: u64,
+    },
+    /// Table 1 landscape classification (no database access).
+    Classify {
+        /// Query text.
+        query: String,
+    },
+    /// Service counters and cache statistics.
+    Stats,
+    /// Stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+/// Why a request failed — the `"error"` discriminator of an error response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Admission control rejected the request (max in-flight reached).
+    Overloaded,
+    /// The per-request wall-clock deadline passed.
+    Timeout,
+    /// Malformed JSON, missing fields, or an unknown op/method.
+    BadRequest,
+    /// The engine refused the query (self-joins, unbounded width, …).
+    EvalError,
+}
+
+impl ErrorKind {
+    /// The wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::EvalError => "eval_error",
+        }
+    }
+}
+
+/// Encodes an error response line (without trailing newline).
+pub fn error_response(kind: ErrorKind, message: impl Into<String>) -> String {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(kind.tag())),
+        ("message", Json::str(message.into())),
+    ])
+    .to_string()
+}
+
+fn opt_f64(v: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(x) => x.as_f64().ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+impl Request {
+    /// Decodes one request line. `Err` carries a human-readable message
+    /// suitable for a `bad_request` response.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let op = req_str(&v, "op")?;
+        match op.as_str() {
+            "estimate" => {
+                let epsilon = opt_f64(&v, "epsilon", DEFAULT_EPSILON)?;
+                if !(epsilon > 0.0 && epsilon < 1.0) {
+                    return Err(format!("epsilon must lie in (0,1), got {epsilon}"));
+                }
+                let method = match v.get("method") {
+                    None | Some(Json::Null) => "auto".to_owned(),
+                    Some(m) => m
+                        .as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "field \"method\" must be a string".to_owned())?,
+                };
+                if !matches!(method.as_str(), "auto" | "lifted" | "fpras") {
+                    return Err(format!(
+                        "unknown method {method:?} (serve supports auto, lifted, fpras)"
+                    ));
+                }
+                Ok(Request::Estimate {
+                    query: req_str(&v, "query")?,
+                    epsilon,
+                    seed: opt_u64(&v, "seed", DEFAULT_SEED)?,
+                    method,
+                    threads: opt_u64(&v, "threads", 0)? as usize,
+                    delay_ms: opt_u64(&v, "delay_ms", 0)?,
+                })
+            }
+            "reliability" => {
+                let epsilon = opt_f64(&v, "epsilon", DEFAULT_EPSILON)?;
+                if !(epsilon > 0.0 && epsilon < 1.0) {
+                    return Err(format!("epsilon must lie in (0,1), got {epsilon}"));
+                }
+                Ok(Request::Reliability {
+                    query: req_str(&v, "query")?,
+                    epsilon,
+                    seed: opt_u64(&v, "seed", DEFAULT_SEED)?,
+                    threads: opt_u64(&v, "threads", 0)? as usize,
+                    delay_ms: opt_u64(&v, "delay_ms", 0)?,
+                })
+            }
+            "classify" => Ok(Request::Classify { query: req_str(&v, "query")? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op {other:?} (expected estimate, reliability, classify, stats, shutdown)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_estimate_with_defaults() {
+        let r = Request::decode(r#"{"op":"estimate","query":"R(x,y)"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Estimate {
+                query: "R(x,y)".into(),
+                epsilon: DEFAULT_EPSILON,
+                seed: DEFAULT_SEED,
+                method: "auto".into(),
+                threads: 0,
+                delay_ms: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn decodes_explicit_fields() {
+        let r = Request::decode(
+            r#"{"op":"estimate","query":"Q()","epsilon":0.25,"seed":7,"method":"fpras","threads":2}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Estimate { epsilon, seed, method, threads, .. } => {
+                assert_eq!(epsilon, 0.25);
+                assert_eq!(seed, 7);
+                assert_eq!(method, "fpras");
+                assert_eq!(threads, 2);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_messages() {
+        assert!(Request::decode("not json").unwrap_err().contains("JSON"));
+        assert!(Request::decode(r#"{"op":"estimate"}"#).unwrap_err().contains("query"));
+        assert!(Request::decode(r#"{"op":"frobnicate"}"#).unwrap_err().contains("unknown op"));
+        assert!(Request::decode(r#"{"op":"estimate","query":"Q()","epsilon":2}"#)
+            .unwrap_err()
+            .contains("epsilon"));
+        assert!(Request::decode(r#"{"op":"estimate","query":"Q()","method":"brute"}"#)
+            .unwrap_err()
+            .contains("method"));
+    }
+
+    #[test]
+    fn stats_and_shutdown_are_bare() {
+        assert_eq!(Request::decode(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(Request::decode(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn error_responses_are_structured() {
+        let line = error_response(ErrorKind::Overloaded, "1 in flight");
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"));
+    }
+}

@@ -1,0 +1,728 @@
+//! The long-lived query service.
+//!
+//! One process serves one probabilistic database instance. Connections
+//! speak the NDJSON protocol of [`crate::protocol`]; per connection a
+//! cheap reader thread owns the socket, while the heavy work — plan
+//! compilation and the FPRAS counting phase — passes through **bounded
+//! admission** (at most `max_inflight` requests compute at once; the rest
+//! get a structured `overloaded` error immediately instead of queueing)
+//! and runs on the caller thread, fanning out across the shared `pqe-par`
+//! workers exactly as a CLI invocation would. Deadlines are enforced
+//! cooperatively at phase boundaries (post-admission, post-compile,
+//! post-execute): a request that blows its budget gets a `timeout` error.
+//!
+//! The compiled-plan cache (see [`crate::cache`]) is keyed by
+//! `op | method | normalized-query` — normalization is parse → print, so
+//! whitespace and atom formatting differences collapse onto one entry
+//! while variable renamings stay distinct. A hit skips the entire
+//! reduction chain (classification, hypertree decomposition, NFTA
+//! construction, multiplier translation) and goes straight to sampling
+//! with the request's own `(ε, seed, threads)`; because execution is a
+//! pure function of plan + config, a served estimate is **bit-identical**
+//! to the same CLI invocation, hit or miss.
+
+use crate::cache::PlanCache;
+use crate::json::Json;
+use crate::protocol::{error_response, ErrorKind, Request};
+use pqe_arith::Rational;
+use pqe_automata::FprasConfig;
+use pqe_core::baselines::lifted_pqe;
+use pqe_core::landscape::{self, Classification, Verdict};
+use pqe_core::{compile_pqe_plan, compile_ur_plan, PqePlan, UrPlan};
+use pqe_db::ProbDatabase;
+use pqe_query::{parse, ConjunctiveQuery};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 binds an ephemeral port.
+    pub addr: String,
+    /// Maximum estimate/reliability requests computing at once; further
+    /// requests receive `overloaded` (never unbounded queueing).
+    pub max_inflight: usize,
+    /// Per-request wall-clock budget, enforced at phase boundaries.
+    pub deadline_ms: u64,
+    /// Compiled-plan cache capacity (entries, across all shards).
+    pub cache_capacity: usize,
+    /// Cache shard count (rounded up to a power of two).
+    pub cache_shards: usize,
+    /// Default worker threads for requests that don't specify their own
+    /// (`0` = auto: `PQE_THREADS`, else available parallelism). Never
+    /// changes an estimate, only its wall-clock.
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_inflight: 4,
+            deadline_ms: 30_000,
+            cache_capacity: 256,
+            cache_shards: 8,
+            threads: 0,
+        }
+    }
+}
+
+/// A compiled, cached answer path for one `(op, method, query)` key.
+///
+/// Besides the compiled artifact, each plan carries a bounded **result
+/// memo**: executed estimates keyed by `(ε, seed)`. An estimate is a pure
+/// function of plan + `(ε, seed)` — the thread count only changes
+/// wall-clock — so replaying a memoized result is bit-identical to
+/// recounting, and turns a repeat request into a cache lookup instead of
+/// a full sampling run.
+pub struct ServedPlan {
+    kind: PlanKind,
+    memo: Mutex<HashMap<(u64, u64), String>>,
+}
+
+enum PlanKind {
+    /// Safe query via exact lifted inference: the exact probability *is*
+    /// the plan (it depends on nothing but `(Q, H)`).
+    Lifted {
+        classification: Classification,
+        exact: Rational,
+    },
+    /// The FPRAS route: landscape cell + constructed automaton.
+    Fpras(PqePlan),
+    /// Uniform reliability: the translated Proposition 1 automaton.
+    Ur(UrPlan),
+}
+
+/// Entries kept per plan before the memo is wholesale cleared; estimates
+/// are tiny strings, this only bounds degenerate seed-sweeping clients.
+const MEMO_CAP: usize = 256;
+
+impl ServedPlan {
+    fn new(kind: PlanKind) -> Self {
+        ServedPlan { kind, memo: Mutex::new(HashMap::new()) }
+    }
+
+    /// Returns the memoized result for `(ε, seed)`, or computes it with
+    /// `count`, stores it, and reports `false` for the memo flag.
+    fn memoized(&self, epsilon: f64, seed: u64, count: impl FnOnce() -> String) -> (String, bool) {
+        let key = (epsilon.to_bits(), seed);
+        if let Some(s) = self.memo.lock().expect("memo poisoned").get(&key) {
+            return (s.clone(), true);
+        }
+        let s = count();
+        let mut memo = self.memo.lock().expect("memo poisoned");
+        if memo.len() >= MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(key, s.clone());
+        (s, false)
+    }
+}
+
+/// Monotonic service counters.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    estimates: AtomicU64,
+    reliabilities: AtomicU64,
+    classifies: AtomicU64,
+    overloaded: AtomicU64,
+    timeouts: AtomicU64,
+    bad_requests: AtomicU64,
+    eval_errors: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+struct ServerState {
+    h: ProbDatabase,
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    cache: PlanCache<ServedPlan>,
+    stats: ServerStats,
+    inflight: AtomicUsize,
+    open_connections: AtomicUsize,
+    shutdown: AtomicBool,
+    started: Instant,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until a
+/// `shutdown` request arrives.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// RAII admission permit: holds one in-flight slot.
+struct Permit<'a>(&'a AtomicUsize);
+
+impl<'a> Permit<'a> {
+    fn try_acquire(counter: &'a AtomicUsize, max: usize) -> Option<Permit<'a>> {
+        let mut current = counter.load(Ordering::Relaxed);
+        loop {
+            if current >= max {
+                return None;
+            }
+            match counter.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit(counter)),
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+type ReqError = (ErrorKind, String);
+
+fn verdict_tag(v: Verdict) -> &'static str {
+    match v {
+        Verdict::ExactAndFpras => "exact+fpras",
+        Verdict::FprasOnly => "fpras-only",
+        Verdict::ExactOnly => "exact-only",
+        Verdict::Open => "open",
+    }
+}
+
+impl Server {
+    /// Binds the listener and prepares the shared state. The database is
+    /// fixed for the life of the server.
+    pub fn bind(cfg: ServeConfig, h: ProbDatabase) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = PlanCache::new(cfg.cache_capacity, cfg.cache_shards);
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                h,
+                cfg,
+                addr,
+                cache,
+                stats: ServerStats::default(),
+                inflight: AtomicUsize::new(0),
+                open_connections: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+                started: Instant::now(),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Accept loop: one reader thread per connection, until a `shutdown`
+    /// request flips the flag. Returns once in-flight work has drained
+    /// (bounded wait).
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, state } = self;
+        for conn in listener.incoming() {
+            if state.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let st = Arc::clone(&state);
+            st.open_connections.fetch_add(1, Ordering::AcqRel);
+            std::thread::Builder::new()
+                .name("pqe-serve-conn".to_owned())
+                .spawn(move || {
+                    let _ = handle_connection(&st, stream);
+                    st.open_connections.fetch_sub(1, Ordering::AcqRel);
+                })?;
+        }
+        // Drain: connections notice the flag via their read timeout.
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while state.open_connections.load(Ordering::Acquire) > 0
+            && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // A finite read timeout lets idle readers notice shutdown.
+    stream.set_read_timeout(Some(Duration::from_millis(200))).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) if !line.ends_with('\n') => continue, // partial line at timeout boundary
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // `line` may hold a partial request; keep it for the next
+                // read_line call to finish.
+                if state.shutdown.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            line.clear();
+            continue;
+        }
+        let (response, shutdown) = dispatch(state, trimmed);
+        line.clear();
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            state.shutdown.store(true, Ordering::Release);
+            // Wake the accept loop so `run` can observe the flag.
+            let _ = TcpStream::connect(state.addr);
+            return Ok(());
+        }
+    }
+}
+
+/// Handles one request line; returns `(response_line, initiate_shutdown)`.
+fn dispatch(state: &Arc<ServerState>, line: &str) -> (String, bool) {
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match Request::decode(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return (error_response(ErrorKind::BadRequest, msg), false);
+        }
+    };
+    match request {
+        Request::Estimate { query, epsilon, seed, method, threads, delay_ms } => {
+            state.stats.estimates.fetch_add(1, Ordering::Relaxed);
+            let r = estimate(state, &query, epsilon, seed, &method, threads, delay_ms);
+            (finish(state, r), false)
+        }
+        Request::Reliability { query, epsilon, seed, threads, delay_ms } => {
+            state.stats.reliabilities.fetch_add(1, Ordering::Relaxed);
+            let r = reliability(state, &query, epsilon, seed, threads, delay_ms);
+            (finish(state, r), false)
+        }
+        Request::Classify { query } => {
+            state.stats.classifies.fetch_add(1, Ordering::Relaxed);
+            let r = classify_response(&query);
+            (finish(state, r), false)
+        }
+        Request::Stats => (stats_response(state).to_string(), false),
+        Request::Shutdown => {
+            (Json::obj([("ok", Json::Bool(true)), ("op", Json::str("shutdown"))]).to_string(), true)
+        }
+    }
+}
+
+fn finish(state: &Arc<ServerState>, r: Result<Json, ReqError>) -> String {
+    match r {
+        Ok(body) => body.to_string(),
+        Err((kind, msg)) => {
+            let counter = match kind {
+                ErrorKind::Overloaded => &state.stats.overloaded,
+                ErrorKind::Timeout => &state.stats.timeouts,
+                ErrorKind::BadRequest => &state.stats.bad_requests,
+                ErrorKind::EvalError => &state.stats.eval_errors,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            error_response(kind, msg)
+        }
+    }
+}
+
+fn parse_query(query: &str) -> Result<ConjunctiveQuery, ReqError> {
+    parse(query).map_err(|e| (ErrorKind::BadRequest, format!("query: {e}")))
+}
+
+fn check_deadline(state: &ServerState, start: Instant, phase: &str) -> Result<(), ReqError> {
+    let budget = Duration::from_millis(state.cfg.deadline_ms);
+    let elapsed = start.elapsed();
+    if elapsed > budget {
+        return Err((
+            ErrorKind::Timeout,
+            format!(
+                "deadline of {}ms exceeded after {} ({:.0}ms elapsed)",
+                state.cfg.deadline_ms,
+                phase,
+                elapsed.as_secs_f64() * 1e3
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn admit<'a>(state: &'a ServerState) -> Result<Permit<'a>, ReqError> {
+    Permit::try_acquire(&state.inflight, state.cfg.max_inflight).ok_or_else(|| {
+        (
+            ErrorKind::Overloaded,
+            format!(
+                "{} requests in flight (max {}); retry later",
+                state.inflight.load(Ordering::Relaxed),
+                state.cfg.max_inflight
+            ),
+        )
+    })
+}
+
+fn apply_delay(delay_ms: u64) {
+    if delay_ms > 0 {
+        // Test/load-shaping knob; capped so a stray request can't wedge a
+        // permit for minutes.
+        std::thread::sleep(Duration::from_millis(delay_ms.min(60_000)));
+    }
+}
+
+/// Looks up or compiles the plan for `key`, reporting whether it was a hit.
+fn plan_for<'a>(
+    state: &'a ServerState,
+    key: String,
+    compile: impl FnOnce() -> Result<ServedPlan, ReqError>,
+) -> Result<(Arc<ServedPlan>, bool), ReqError> {
+    if let Some(plan) = state.cache.get(&key) {
+        return Ok((plan, true));
+    }
+    let plan = Arc::new(compile()?);
+    state.cache.insert(key, Arc::clone(&plan));
+    Ok((plan, false))
+}
+
+fn estimate(
+    state: &ServerState,
+    query: &str,
+    epsilon: f64,
+    seed: u64,
+    method: &str,
+    threads: usize,
+    delay_ms: u64,
+) -> Result<Json, ReqError> {
+    let q = parse_query(query)?;
+    let start = Instant::now();
+    let _permit = admit(state)?;
+    apply_delay(delay_ms);
+    check_deadline(state, start, "admission")?;
+
+    let key = format!("estimate|{method}|{q}");
+    let (plan, hit) = plan_for(state, key, || compile_estimate_plan(state, &q, method))?;
+    check_deadline(state, start, "compile")?;
+
+    let resolved_threads = if threads != 0 { threads } else { state.cfg.threads };
+    let cfg = FprasConfig::with_epsilon(epsilon)
+        .with_seed(seed)
+        .with_threads(resolved_threads);
+    let mut fields: Vec<(&'static str, Json)> = vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("estimate")),
+        ("query", Json::str(q.to_string())),
+        ("cache", Json::str(if hit { "hit" } else { "miss" })),
+    ];
+    match &plan.kind {
+        PlanKind::Lifted { classification, exact } => {
+            fields.push(("method", Json::str("lifted")));
+            fields.push(("probability", Json::str(format!("{:.6}", exact.to_f64()))));
+            fields.push(("exact", Json::str(exact.to_string())));
+            fields.push(("landscape", Json::str(classification.to_string())));
+            fields.push(("states", Json::from(0usize)));
+        }
+        PlanKind::Fpras(p) => {
+            let (probability, memo_hit) = plan.memoized(epsilon, seed, || {
+                format!("{:.6}", p.execute(&cfg).probability.to_f64())
+            });
+            if memo_hit {
+                state.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            check_deadline(state, start, "execute")?;
+            fields.push(("method", Json::str("fpras")));
+            fields.push(("probability", Json::str(probability)));
+            fields.push(("memo", Json::str(if memo_hit { "hit" } else { "miss" })));
+            fields.push(("landscape", Json::str(p.classification.to_string())));
+            fields.push(("states", Json::from(p.automaton_states())));
+            fields.push(("epsilon", Json::from(epsilon)));
+            fields.push(("seed", Json::from(seed)));
+            fields.push(("threads", Json::from(cfg.effective_threads())));
+        }
+        PlanKind::Ur(_) => unreachable!("estimate key never maps to a UR plan"),
+    }
+    fields.push((
+        "elapsed_us",
+        Json::from(start.elapsed().as_micros().min(u64::MAX as u128) as u64),
+    ));
+    Ok(Json::obj(fields))
+}
+
+fn compile_estimate_plan(
+    state: &ServerState,
+    q: &ConjunctiveQuery,
+    method: &str,
+) -> Result<ServedPlan, ReqError> {
+    let use_lifted = match method {
+        "lifted" => true,
+        "fpras" => false,
+        // `auto`: the CLI routing — lifted when safe, FPRAS otherwise.
+        _ => landscape::classify(q).safe,
+    };
+    if use_lifted {
+        let exact = lifted_pqe(q, &state.h)
+            .map_err(|e| (ErrorKind::EvalError, e.to_string()))?;
+        Ok(ServedPlan::new(PlanKind::Lifted {
+            classification: landscape::classify(q),
+            exact,
+        }))
+    } else {
+        let plan = compile_pqe_plan(q, &state.h)
+            .map_err(|e| (ErrorKind::EvalError, e.to_string()))?;
+        Ok(ServedPlan::new(PlanKind::Fpras(plan)))
+    }
+}
+
+fn reliability(
+    state: &ServerState,
+    query: &str,
+    epsilon: f64,
+    seed: u64,
+    threads: usize,
+    delay_ms: u64,
+) -> Result<Json, ReqError> {
+    let q = parse_query(query)?;
+    let start = Instant::now();
+    let _permit = admit(state)?;
+    apply_delay(delay_ms);
+    check_deadline(state, start, "admission")?;
+
+    let key = format!("reliability|{q}");
+    let (plan, hit) = plan_for(state, key, || {
+        compile_ur_plan(&q, state.h.database())
+            .map(|p| ServedPlan::new(PlanKind::Ur(p)))
+            .map_err(|e| (ErrorKind::EvalError, e.to_string()))
+    })?;
+    check_deadline(state, start, "compile")?;
+
+    let PlanKind::Ur(ur) = &plan.kind else {
+        unreachable!("reliability key never maps to an estimate plan");
+    };
+    let resolved_threads = if threads != 0 { threads } else { state.cfg.threads };
+    let cfg = FprasConfig::with_epsilon(epsilon)
+        .with_seed(seed)
+        .with_threads(resolved_threads);
+    let (reliability, memo_hit) =
+        plan.memoized(epsilon, seed, || ur.execute(&cfg).reliability.to_string());
+    if memo_hit {
+        state.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    check_deadline(state, start, "execute")?;
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("reliability")),
+        ("query", Json::str(q.to_string())),
+        ("cache", Json::str(if hit { "hit" } else { "miss" })),
+        ("memo", Json::str(if memo_hit { "hit" } else { "miss" })),
+        ("reliability", Json::str(reliability)),
+        ("facts", Json::from(state.h.len())),
+        ("epsilon", Json::from(epsilon)),
+        ("seed", Json::from(seed)),
+        ("threads", Json::from(cfg.effective_threads())),
+        (
+            "elapsed_us",
+            Json::from(start.elapsed().as_micros().min(u64::MAX as u128) as u64),
+        ),
+    ]))
+}
+
+fn classify_response(query: &str) -> Result<Json, ReqError> {
+    let q = parse_query(query)?;
+    let c = landscape::classify(&q);
+    let advice = match c.verdict {
+        Verdict::ExactAndFpras => "safe: exact lifted inference applies (and so does the FPRAS)",
+        Verdict::FprasOnly => "#P-hard exactly; the combined FPRAS is the guaranteed option",
+        Verdict::ExactOnly => "exact lifted inference only (width unbounded)",
+        Verdict::Open => "outside all positive cells of Table 1",
+    };
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("classify")),
+        ("query", Json::str(q.to_string())),
+        ("width", Json::from(c.width.min(1 << 30))),
+        ("bounded_width", Json::from(c.bounded_width)),
+        ("self_join_free", Json::from(c.self_join_free)),
+        ("safe", Json::from(c.safe)),
+        ("three_path", Json::from(c.three_path)),
+        ("verdict", Json::str(verdict_tag(c.verdict))),
+        ("advice", Json::str(advice)),
+    ]))
+}
+
+fn stats_response(state: &ServerState) -> Json {
+    let cache = state.cache.stats();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("stats")),
+        ("uptime_ms", Json::from(state.started.elapsed().as_millis() as u64)),
+        ("requests", Json::from(state.stats.requests.load(Ordering::Relaxed))),
+        ("estimates", Json::from(state.stats.estimates.load(Ordering::Relaxed))),
+        ("reliabilities", Json::from(state.stats.reliabilities.load(Ordering::Relaxed))),
+        ("classifies", Json::from(state.stats.classifies.load(Ordering::Relaxed))),
+        ("cache_hits", Json::from(cache.hits())),
+        ("cache_misses", Json::from(cache.misses())),
+        ("cache_evictions", Json::from(cache.evictions())),
+        ("cache_resident", Json::from(state.cache.len())),
+        ("cache_hit_rate", Json::from(cache.hit_rate())),
+        ("memo_hits", Json::from(state.stats.memo_hits.load(Ordering::Relaxed))),
+        ("inflight", Json::from(state.inflight.load(Ordering::Relaxed))),
+        ("max_inflight", Json::from(state.cfg.max_inflight)),
+        ("deadline_ms", Json::from(state.cfg.deadline_ms)),
+        ("facts", Json::from(state.h.len())),
+        ("overloaded", Json::from(state.stats.overloaded.load(Ordering::Relaxed))),
+        ("timeouts", Json::from(state.stats.timeouts.load(Ordering::Relaxed))),
+        ("bad_requests", Json::from(state.stats.bad_requests.load(Ordering::Relaxed))),
+        ("eval_errors", Json::from(state.stats.eval_errors.load(Ordering::Relaxed))),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqe_db::io as dbio;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    const DB: &str = "1/2 R1(a,b)\n1/3 R2(b,c)\n1/5 R2(b,d)\n";
+
+    fn start(cfg: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+        let h = dbio::load_str(DB).unwrap();
+        let server = Server::bind(cfg, h).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, line: &str) -> Json {
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        Json::parse(resp.trim()).unwrap()
+    }
+
+    #[test]
+    fn full_session_and_clean_shutdown() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut c = TcpStream::connect(addr).unwrap();
+
+        let v = roundtrip(&mut c, r#"{"op":"classify","query":"R1(x,y), R2(y,z)"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("safe").and_then(Json::as_bool), Some(true));
+
+        let v = roundtrip(
+            &mut c,
+            r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","epsilon":0.2,"seed":9}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
+        let first = v.get("probability").and_then(Json::as_str).unwrap().to_owned();
+
+        // Same request again: a hit, same digits (per-request seed).
+        let v = roundtrip(
+            &mut c,
+            r#"{"op":"estimate","query":"R1(x,y),   R2(y,z)","method":"fpras","epsilon":0.2,"seed":9}"#,
+        );
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(v.get("probability").and_then(Json::as_str), Some(first.as_str()));
+
+        let v = roundtrip(&mut c, r#"{"op":"stats"}"#);
+        assert_eq!(v.get("cache_hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("cache_misses").and_then(Json::as_u64), Some(1));
+
+        let v = roundtrip(&mut c, r#"{"op":"shutdown"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn overload_returns_structured_error() {
+        let (addr, handle) = start(ServeConfig { max_inflight: 1, ..Default::default() });
+        let mut slow = TcpStream::connect(addr).unwrap();
+        let mut fast = TcpStream::connect(addr).unwrap();
+
+        // Occupy the only slot with an artificial 1500ms execution.
+        slow.write_all(
+            br#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","delay_ms":1500}"#,
+        )
+        .unwrap();
+        slow.write_all(b"\n").unwrap();
+        slow.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+
+        let v = roundtrip(
+            &mut fast,
+            r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras"}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"));
+
+        // The slow request still completes normally.
+        let mut reader = BufReader::new(slow.try_clone().unwrap());
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        let v = Json::parse(resp.trim()).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+
+        roundtrip(&mut fast, r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn deadline_returns_timeout_error() {
+        let (addr, handle) = start(ServeConfig { deadline_ms: 100, ..Default::default() });
+        let mut c = TcpStream::connect(addr).unwrap();
+        let v = roundtrip(
+            &mut c,
+            r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","delay_ms":300}"#,
+        );
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("timeout"));
+
+        let v = roundtrip(&mut c, r#"{"op":"stats"}"#);
+        assert_eq!(v.get("timeouts").and_then(Json::as_u64), Some(1));
+
+        roundtrip(&mut c, r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bad_requests_are_reported_not_dropped() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut c = TcpStream::connect(addr).unwrap();
+        let v = roundtrip(&mut c, "this is not json");
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("bad_request"));
+        // Self-join: engine-level refusal, connection stays usable.
+        let v = roundtrip(&mut c, r#"{"op":"estimate","query":"R(x,y), R(y,z)","method":"fpras"}"#);
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("eval_error"));
+        let v = roundtrip(&mut c, r#"{"op":"classify","query":"R1(x,y)"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        roundtrip(&mut c, r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+}

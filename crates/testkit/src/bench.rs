@@ -83,12 +83,32 @@ pub fn black_box<T>(value: T) -> T {
     }
 }
 
+/// A free-form named measurement (throughput, a percentile, a rate …)
+/// attached to a suite alongside the per-closure [`Stats`].
+#[derive(Debug, Clone)]
+pub struct Metric {
+    pub name: String,
+    pub value: f64,
+}
+
+impl Metric {
+    /// One machine-readable JSON object for this metric.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"value\":{}}}",
+            json_escape(&self.name),
+            self.value
+        )
+    }
+}
+
 /// Collects and prints benchmark results.
 pub struct Runner {
     suite: String,
     samples: usize,
     min_sample: Duration,
     results: Vec<Stats>,
+    metrics: Vec<Metric>,
 }
 
 impl Runner {
@@ -108,7 +128,17 @@ impl Runner {
             samples: samples.max(3),
             min_sample: Duration::from_millis(min_sample_ms.max(1)),
             results: Vec::new(),
+            metrics: Vec::new(),
         }
+    }
+
+    /// Records a named scalar measured outside the closure harness (e.g.
+    /// a load run's throughput or p99). Printed immediately and included
+    /// in the JSON document under `"metrics"`.
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) {
+        let m = Metric { name: name.into(), value };
+        println!("  {:<44} {}", m.name, m.value);
+        self.metrics.push(m);
     }
 
     /// Benchmarks `f`, which runs one iteration of the workload per call.
@@ -177,14 +207,27 @@ impl Runner {
         &self.results
     }
 
+    /// All recorded free-form metrics, in registration order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
     /// The whole suite as one JSON document:
-    /// `{"suite": ..., "results": [...]}`.
+    /// `{"suite": ..., "results": [...]}`, plus a `"metrics"` array when
+    /// any were recorded.
     pub fn to_json(&self) -> String {
         let body: Vec<String> = self.results.iter().map(Stats::to_json).collect();
+        let metrics = if self.metrics.is_empty() {
+            String::new()
+        } else {
+            let m: Vec<String> = self.metrics.iter().map(Metric::to_json).collect();
+            format!(",\"metrics\":[{}]", m.join(","))
+        };
         format!(
-            "{{\"suite\":\"{}\",\"results\":[{}]}}\n",
+            "{{\"suite\":\"{}\",\"results\":[{}]{}}}\n",
             json_escape(&self.suite),
-            body.join(",")
+            body.join(","),
+            metrics
         )
     }
 
@@ -251,6 +294,17 @@ mod tests {
         let path = r.write_json(&dir).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), json);
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn metrics_ride_along_in_json() {
+        let mut r = Runner::new("unit_metrics");
+        r.metric("throughput_rps", 123.5);
+        r.metric("hit_rate", 0.75);
+        let json = r.to_json();
+        assert!(json.contains("\"metrics\":[{\"name\":\"throughput_rps\",\"value\":123.5}"));
+        assert!(json.contains("{\"name\":\"hit_rate\",\"value\":0.75}"));
+        assert_eq!(r.metrics().len(), 2);
     }
 
     #[test]

@@ -13,3 +13,41 @@ cargo test -q --offline --workspace
 # env knob to prove the override path as well as the invariance.
 PQE_THREADS=1 cargo test -q --offline --test determinism
 PQE_THREADS=4 cargo test -q --offline --test determinism
+
+# Serve smoke test, fully offline: a release server on an ephemeral port,
+# one NDJSON session (classify + estimate + stats + shutdown) over bash's
+# /dev/tcp, and a clean exit.
+echo "serve smoke test:"
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+printf '1/2 R1(a,b)\n1/3 R2(b,c)\n2/3 R2(b,d)\n1/5 R3(c,e)\n' > "$SMOKE_DIR/smoke.pdb"
+./target/release/pqe serve --db "$SMOKE_DIR/smoke.pdb" --addr 127.0.0.1:0 \
+    > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^pqe-serve listening on //p' "$SMOKE_DIR/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+if [ -z "$addr" ]; then
+    echo "  FAIL: server never announced its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+fi
+port=${addr##*:}
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+send() { printf '%s\n' "$1" >&3; IFS= read -r resp <&3; }
+send '{"op":"classify","query":"R1(x,y), R2(y,z), R3(z,w)"}'
+echo "$resp" | grep -q '"verdict":"fpras-only"'
+send '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","epsilon":0.3,"seed":7}'
+echo "$resp" | grep -q '"ok":true'
+echo "$resp" | grep -q '"probability":"0\.'
+send '{"op":"stats"}'
+echo "$resp" | grep -q '"estimates":1'
+echo "$resp" | grep -q '"classifies":1'
+send '{"op":"shutdown"}'
+echo "$resp" | grep -q '"ok":true'
+exec 3>&- 3<&-
+wait "$SERVE_PID"
+echo "  ok: classify/estimate/stats/shutdown round-tripped, clean exit"

@@ -13,3 +13,4 @@ pub use pqe_db as db;
 pub use pqe_engine as engine;
 pub use pqe_hypertree as hypertree;
 pub use pqe_query as query;
+pub use pqe_serve as serve;

@@ -20,21 +20,33 @@ use pqe::core::worlds::WeightedWorldSampler;
 use pqe::core::{landscape, pqe_estimate, ur_estimate};
 use pqe::db::{io as dbio, ProbDatabase};
 use pqe::query::{parse, ConjunctiveQuery};
+use pqe::serve::{run_load, LoadConfig, ServeConfig, Server};
 use pqe_rand::rngs::StdRng;
 use pqe_rand::SeedableRng;
+use pqe_testkit::bench::Runner;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 pqe — probabilistic query evaluation (van Bremen & Meel, PODS 2023)
 
 USAGE:
-  pqe estimate    --db FILE --query Q [--epsilon E] [--seed N] [--method M]
-  pqe reliability --db FILE --query Q [--epsilon E] [--seed N]
+  pqe estimate    --db FILE --query Q [--epsilon E] [--seed N] [--method M] [--threads N]
+  pqe reliability --db FILE --query Q [--epsilon E] [--seed N] [--threads N]
   pqe classify    --query Q
   pqe sample      --db FILE --query Q [--count N] [--seed N]
   pqe marginals   --db FILE --query Q [--samples N] [--seed N]
   pqe influence   --db FILE --query Q [--epsilon E] [--seed N]
   pqe lineage     --db FILE --query Q [--materialize LIMIT]
+  pqe serve       --db FILE [--addr HOST:PORT] [--max-inflight N] [--deadline-ms N]
+                  [--cache-capacity N] [--cache-shards N] [--threads N]
+  pqe bench-serve --db FILE [--query Q] [--connections N] [--requests N]
+                  [--repeat-ratio R] [--epsilon E] [--seed N] [--method M]
+
+THREADS:
+  --threads N sets the FPRAS worker count for the command (and the server
+  default for requests that don't carry their own). Precedence: the flag,
+  then the PQE_THREADS environment variable, then auto-detection. The
+  thread count never changes an estimate — only its wall-clock.
 
 METHODS (estimate):
   auto       lifted inference when the query is safe, FPRAS otherwise [default]
@@ -107,14 +119,46 @@ impl Args {
         }
     }
 
+    /// Worker threads; 0 (the default) defers to `PQE_THREADS`, then
+    /// auto-detection — so the precedence is flag > env > auto.
+    fn threads(&self) -> Result<usize, String> {
+        match self.opt("threads") {
+            None => Ok(0),
+            Some(s) => s.parse().map_err(|_| format!("bad --threads {s:?}")),
+        }
+    }
+
     fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
         for k in self.options.keys() {
             if !allowed.contains(&k.as_str()) {
-                return Err(format!("unknown option --{k} (see `pqe help`)"));
+                let hint = allowed
+                    .iter()
+                    .map(|a| (edit_distance(k, a), a))
+                    .filter(|(d, _)| *d <= 2)
+                    .min()
+                    .map(|(_, a)| format!(" (did you mean --{a}?)"))
+                    .unwrap_or_else(|| " (see `pqe help`)".to_owned());
+                return Err(format!("unknown option --{k}{hint}"));
             }
         }
         Ok(())
     }
+}
+
+/// Levenshtein distance, for "did you mean" hints on unknown options.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
 }
 
 fn load_db(args: &Args) -> Result<ProbDatabase, String> {
@@ -129,7 +173,7 @@ fn load_query(args: &Args) -> Result<ConjunctiveQuery, String> {
 }
 
 fn cmd_estimate(args: &Args) -> Result<(), String> {
-    args.check_known(&["db", "query", "epsilon", "seed", "method"])?;
+    args.check_known(&["db", "query", "epsilon", "seed", "method", "threads"])?;
     let h = load_db(args)?;
     let q = load_query(args)?;
     let eps = args.epsilon()?;
@@ -153,7 +197,9 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
             println!("Pr(Q) = {} ≈ {:.6}   [lifted inference, exact]", p, p.to_f64());
         }
         "fpras" => {
-            let cfg = FprasConfig::with_epsilon(eps).with_seed(seed);
+            let cfg = FprasConfig::with_epsilon(eps)
+                .with_seed(seed)
+                .with_threads(args.threads()?);
             let r = pqe_estimate(&q, &h, &cfg).map_err(|e| e.to_string())?;
             println!(
                 "Pr(Q) ≈ {:.6}   [FPRAS, ε = {eps}, {} states, {:.1?}]",
@@ -193,10 +239,12 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_reliability(args: &Args) -> Result<(), String> {
-    args.check_known(&["db", "query", "epsilon", "seed"])?;
+    args.check_known(&["db", "query", "epsilon", "seed", "threads"])?;
     let h = load_db(args)?;
     let q = load_query(args)?;
-    let cfg = FprasConfig::with_epsilon(args.epsilon()?).with_seed(args.seed()?);
+    let cfg = FprasConfig::with_epsilon(args.epsilon()?)
+        .with_seed(args.seed()?)
+        .with_threads(args.threads()?);
     let r = ur_estimate(&q, h.database(), &cfg).map_err(|e| e.to_string())?;
     println!(
         "UR(Q, D) ≈ {}   of 2^{} subinstances   [UREstimate, {:.1?}]",
@@ -324,6 +372,136 @@ fn cmd_lineage(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "db",
+        "addr",
+        "max-inflight",
+        "deadline-ms",
+        "cache-capacity",
+        "cache-shards",
+        "threads",
+    ])?;
+    let h = load_db(args)?;
+    let parse_opt = |name: &str, default: usize| -> Result<usize, String> {
+        match args.opt(name) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad --{name} {s:?}")),
+        }
+    };
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: args.opt("addr").unwrap_or("127.0.0.1:7431").to_owned(),
+        max_inflight: parse_opt("max-inflight", defaults.max_inflight)?.max(1),
+        deadline_ms: parse_opt("deadline-ms", defaults.deadline_ms as usize)? as u64,
+        cache_capacity: parse_opt("cache-capacity", defaults.cache_capacity)?.max(1),
+        cache_shards: parse_opt("cache-shards", defaults.cache_shards)?,
+        threads: args.threads()?,
+    };
+    let server = Server::bind(cfg, h).map_err(|e| format!("bind: {e}"))?;
+    // Scripts parse this line for the ephemeral port; keep the format.
+    println!("pqe-serve listening on {}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    println!("pqe-serve: clean shutdown");
+    Ok(())
+}
+
+fn cmd_bench_serve(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "db",
+        "query",
+        "connections",
+        "requests",
+        "repeat-ratio",
+        "epsilon",
+        "seed",
+        "method",
+        "threads",
+    ])?;
+    let h = load_db(args)?;
+    let parse_opt = |name: &str, default: usize| -> Result<usize, String> {
+        match args.opt(name) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad --{name} {s:?}")),
+        }
+    };
+    let repeat_ratio: f64 = match args.opt("repeat-ratio") {
+        None => 0.8,
+        Some(s) => {
+            let r: f64 = s.parse().map_err(|_| format!("bad --repeat-ratio {s:?}"))?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("--repeat-ratio must lie in [0,1], got {r}"));
+            }
+            r
+        }
+    };
+    let load = LoadConfig {
+        addr: String::new(), // filled in once the server is bound
+        connections: parse_opt("connections", 4)?.max(1),
+        requests: parse_opt("requests", 50)?.max(1),
+        repeat_ratio,
+        query: args
+            .opt("query")
+            .unwrap_or("R1(x,y), R2(y,z), R3(z,x)")
+            .to_owned(),
+        epsilon: args.epsilon()?,
+        seed: args.seed()?,
+        method: args.opt("method").unwrap_or("auto").to_owned(),
+    };
+
+    // In-process server on an ephemeral port: the bench measures the full
+    // wire round trip without needing a second process.
+    let serve_cfg = ServeConfig {
+        max_inflight: load.connections.max(4),
+        threads: args.threads()?,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(serve_cfg, h).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let load = LoadConfig {
+        addr: addr.to_string(),
+        ..load
+    };
+
+    println!(
+        "bench-serve: {} connections × {} requests, repeat ratio {}, query {:?}",
+        load.connections, load.requests, load.repeat_ratio, load.query
+    );
+    let report = run_load(&load).map_err(|e| format!("load run: {e}"))?;
+
+    let mut r = Runner::new("serve");
+    r.start();
+    r.metric("requests", report.requests as f64);
+    r.metric("errors", report.errors as f64);
+    r.metric("throughput_rps", report.throughput_rps);
+    r.metric("latency_p50_us", report.p50_us as f64);
+    r.metric("latency_p99_us", report.p99_us as f64);
+    r.metric("cache_hit_rate", report.hit_rate);
+    r.metric("hit_mean_us", report.hit_mean_us);
+    r.metric("cold_compile_mean_us", report.miss_mean_us);
+    r.metric("hit_speedup", report.hit_speedup);
+    r.finish();
+
+    // Shut the in-process server down over the wire.
+    use std::io::{BufRead as _, BufReader, Write as _};
+    let mut c = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    c.write_all(b"{\"op\":\"shutdown\"}\n").map_err(|e| e.to_string())?;
+    let mut line = String::new();
+    BufReader::new(c).read_line(&mut line).ok();
+    handle
+        .join()
+        .map_err(|_| "server thread panicked".to_owned())?
+        .map_err(|e| format!("serve: {e}"))?;
+
+    if report.errors > 0 {
+        return Err(format!("{} request(s) failed during the load run", report.errors));
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -341,6 +519,8 @@ fn run() -> Result<(), String> {
         "marginals" => cmd_marginals(&args),
         "influence" => cmd_influence(&args),
         "lineage" => cmd_lineage(&args),
+        "serve" => cmd_serve(&args),
+        "bench-serve" => cmd_bench_serve(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

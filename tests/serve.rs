@@ -1,0 +1,258 @@
+//! End-to-end tests of `pqe serve`: the server is a real child process,
+//! the client speaks the NDJSON protocol over a real socket, and the core
+//! contract — a served estimate is **byte-identical** to the same CLI
+//! invocation — is asserted on the printed digits.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn pqe() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pqe"))
+}
+
+fn write_db(content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "pqe-serve-test-{}-{:?}.pdb",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const PATH3_DB: &str = "\
+1/2 R1(a,b)
+1/3 R2(b,c)
+2/3 R2(b,d)
+1/5 R3(c,e)
+3/4 R3(d,e)
+";
+
+/// A `pqe serve` child on an ephemeral port, killed on drop.
+struct ServerProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServerProc {
+    fn start(db: &std::path::Path, extra: &[&str]) -> ServerProc {
+        let mut child = pqe()
+            .args(["serve", "--db"])
+            .arg(db)
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .unwrap();
+        // The first stdout line announces the bound address.
+        let stdout = child.stdout.as_mut().unwrap();
+        let mut reader = BufReader::new(stdout);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address in announce line")
+            .to_owned();
+        assert!(
+            line.contains("listening"),
+            "unexpected announce line: {line:?}"
+        );
+        ServerProc { child, addr }
+    }
+
+    fn connect(&self) -> TcpStream {
+        TcpStream::connect(&self.addr).unwrap()
+    }
+
+    /// Sends `shutdown` and waits for a clean exit.
+    fn shutdown(mut self) {
+        let mut c = self.connect();
+        c.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut resp = String::new();
+        BufReader::new(c).read_line(&mut resp).unwrap();
+        assert!(resp.contains("\"ok\":true"), "shutdown response: {resp}");
+        let status = self.child.wait().unwrap();
+        assert!(status.success(), "server exit status {status:?}");
+    }
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn roundtrip(stream: &mut TcpStream, line: &str) -> String {
+    stream.write_all(line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    resp
+}
+
+/// Extracts the string value of `"field":"…"` from a one-line JSON response.
+fn json_str_field<'a>(resp: &'a str, field: &str) -> &'a str {
+    let tag = format!("\"{field}\":\"");
+    let start = resp.find(&tag).unwrap_or_else(|| panic!("no {field} in {resp}")) + tag.len();
+    let end = resp[start..].find('"').unwrap() + start;
+    &resp[start..end]
+}
+
+#[test]
+fn served_estimate_is_byte_identical_to_cli() {
+    let db = write_db(PATH3_DB);
+    let query = "R1(x,y), R2(y,z), R3(z,w)";
+
+    // CLI digits at a fixed (ε, seed), single-threaded.
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db)
+        .args([
+            "--query", query, "--method", "fpras", "--epsilon", "0.25", "--seed", "99",
+            "--threads", "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let cli_digits = stdout
+        .split('≈')
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("digits in CLI output")
+        .to_owned();
+
+    let server = ServerProc::start(&db, &["--threads", "4"]);
+    let mut c = server.connect();
+    // Served at 4 worker threads: thread count must not change the digits.
+    let req = format!(
+        r#"{{"op":"estimate","query":"{query}","method":"fpras","epsilon":0.25,"seed":99}}"#
+    );
+    let resp = roundtrip(&mut c, &req);
+    assert!(resp.contains("\"ok\":true"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "cache"), "miss");
+    assert_eq!(json_str_field(&resp, "probability"), cli_digits);
+
+    // Again: now a plan hit and a result-memo hit, same digits.
+    let resp = roundtrip(&mut c, &req);
+    assert_eq!(json_str_field(&resp, "cache"), "hit");
+    assert_eq!(json_str_field(&resp, "memo"), "hit");
+    assert_eq!(json_str_field(&resp, "probability"), cli_digits);
+
+    // A different seed re-executes the shared plan: memo miss, cache hit.
+    let req2 = req.replace("\"seed\":99", "\"seed\":100");
+    let resp = roundtrip(&mut c, &req2);
+    assert_eq!(json_str_field(&resp, "cache"), "hit");
+    assert_eq!(json_str_field(&resp, "memo"), "miss");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn second_concurrent_request_gets_structured_overload() {
+    let db = write_db(PATH3_DB);
+    let server = ServerProc::start(&db, &["--max-inflight", "1"]);
+
+    // First connection occupies the single slot via the delay knob.
+    let mut slow = server.connect();
+    slow.write_all(
+        b"{\"op\":\"estimate\",\"query\":\"R1(x,y), R2(y,z), R3(z,w)\",\"method\":\"fpras\",\"delay_ms\":1500}\n",
+    )
+    .unwrap();
+    slow.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+
+    let mut fast = server.connect();
+    let resp = roundtrip(
+        &mut fast,
+        r#"{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras"}"#,
+    );
+    assert!(resp.contains("\"ok\":false"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "error"), "overloaded");
+
+    // The occupied request still completes successfully.
+    let mut reader = BufReader::new(slow.try_clone().unwrap());
+    let mut resp = String::new();
+    reader.read_line(&mut resp).unwrap();
+    assert!(resp.contains("\"ok\":true"), "slow response: {resp}");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn stats_and_classify_round_trip() {
+    let db = write_db(PATH3_DB);
+    let server = ServerProc::start(&db, &[]);
+    let mut c = server.connect();
+
+    let resp = roundtrip(&mut c, r#"{"op":"classify","query":"R1(x,y), R2(y,z), R3(z,w)"}"#);
+    assert!(resp.contains("\"ok\":true"), "response: {resp}");
+    assert!(resp.contains("\"three_path\":true"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "verdict"), "fpras-only");
+
+    let resp = roundtrip(&mut c, r#"{"op":"stats"}"#);
+    assert!(resp.contains("\"ok\":true"), "response: {resp}");
+    assert!(resp.contains("\"classifies\":1"), "response: {resp}");
+    assert!(resp.contains("\"facts\":5"), "response: {resp}");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn unknown_option_suggests_the_intended_flag() {
+    let out = pqe()
+        .args(["estimate", "--db", "/dev/null", "--query", "R(x)", "--thread", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did you mean --threads"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn serve_rejects_unknown_option_with_hint() {
+    let out = pqe()
+        .args(["serve", "--db", "/dev/null", "--max-inflght", "2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("did you mean --max-inflight"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn server_reports_db_load_errors_with_context() {
+    let db = write_db("1/2 R1(a,b)\n0.x5 R1(b,c)\n");
+    let mut child = pqe()
+        .args(["serve", "--db"])
+        .arg(&db)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let status = child.wait().unwrap();
+    assert!(!status.success());
+    let mut stderr = String::new();
+    child.stderr.take().unwrap().read_to_string(&mut stderr).unwrap();
+    assert!(stderr.contains("line 2"), "stderr: {stderr}");
+    assert!(stderr.contains("0.x5 R1(b,c)"), "stderr: {stderr}");
+    let _ = std::fs::remove_file(&db);
+}
