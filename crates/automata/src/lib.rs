@@ -58,11 +58,6 @@ pub use nfta_exact::{count_runs, count_trees_exact};
 pub use nfta_fpras::{count_nfta, NftaCounter};
 pub use nfta_run_estimator::{count_nfta_run_based, RunTables};
 
-/// Temporary diagnostics for the NFTA counter (pub for profiling bins).
-pub mod nfta_counters {
-    pub use crate::nfta_fpras::{CNT_EST, CNT_MEMBER, CNT_SAMPLES, CNT_TRIES};
-}
-
 // Compiled automata are shared across request threads (plan caches hold
 // them behind `Arc` and run `count_nfa`/`count_nfta` concurrently against
 // `&self`), so they must stay plain owned data. These assertions turn an

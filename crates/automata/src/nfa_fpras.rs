@@ -25,10 +25,16 @@ use std::collections::{BTreeMap, BTreeSet};
 /// accepted by `nfa`, running `cfg.repetitions` independent estimates in
 /// parallel and returning their median.
 pub fn count_nfa(nfa: &Nfa, n: usize, cfg: &FprasConfig) -> BigFloat {
+    let _span = pqe_obs::span::span("count.nfa");
     let reps = cfg.repetitions.max(1);
     let mut results: Vec<BigFloat> = pqe_par::map_chunks(cfg.effective_threads(), reps, 1, |r| {
-        r.map(|rep| NfaCounter::new(nfa, cfg.clone(), cfg.seed.wrapping_add(rep as u64)).count(n))
-            .collect()
+        r.map(|rep| {
+            // Per-repetition span (logical index, not chunk): the span
+            // tree stays identical at any worker count.
+            let _rep = pqe_obs::span::span("rep");
+            NfaCounter::new(nfa, cfg.clone(), cfg.seed.wrapping_add(rep as u64)).count(n)
+        })
+        .collect()
     });
     results.sort_by(|a, b| a.partial_cmp(b).unwrap());
     results[results.len() / 2]

@@ -32,27 +32,42 @@ use pqe_arith::BigFloat;
 use pqe_par::ShardedMap;
 use pqe_rand::{mix_seed, Rng};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-/// Temporary instrumentation counters (sampling diagnostics).
-pub static CNT_SAMPLES: AtomicU64 = AtomicU64::new(0);
-/// Rejection tries.
-pub static CNT_TRIES: AtomicU64 = AtomicU64::new(0);
-/// Membership checks.
-pub static CNT_MEMBER: AtomicU64 = AtomicU64::new(0);
-/// tree_est computations.
-pub static CNT_EST: AtomicU64 = AtomicU64::new(0);
+/// Sampling diagnostics, published through the `pqe-obs` metrics registry
+/// under `fpras.*` (visible in `--profile` output and the serve `metrics`
+/// op). Handles are resolved once; the hot paths pay one sharded
+/// relaxed atomic add.
+macro_rules! obs_counter {
+    ($fn_name:ident, $metric:literal) => {
+        fn $fn_name() -> &'static pqe_obs::metrics::Counter {
+            static C: OnceLock<Arc<pqe_obs::metrics::Counter>> = OnceLock::new();
+            C.get_or_init(|| pqe_obs::metrics::counter($metric))
+        }
+    };
+}
+obs_counter!(cnt_samples, "fpras.samples");
+obs_counter!(cnt_tries, "fpras.sample_tries");
+obs_counter!(cnt_member, "fpras.member_checks");
+obs_counter!(cnt_est, "fpras.union_ests");
 
 /// Approximates `|L_n(T)|`, the number of distinct size-`n` labelled trees
 /// accepted by `nfta`, as the median of `cfg.repetitions` independent
 /// estimates (computed in parallel — each repetition has its own seed, so
 /// the median is independent of scheduling).
 pub fn count_nfta(nfta: &Nfta, n: usize, cfg: &FprasConfig) -> BigFloat {
+    let _span = pqe_obs::span::span("count.nfta");
     let reps = cfg.repetitions.max(1);
     let mut results: Vec<BigFloat> = pqe_par::map_chunks(cfg.effective_threads(), reps, 1, |r| {
         r.map(|rep| {
-            NftaCounter::new(nfta, cfg.clone().with_seed(cfg.seed.wrapping_add(rep as u64)))
-                .count(n)
+            // One span per repetition (a logical index, never a chunk), so
+            // the span tree is identical at any worker count.
+            let _rep = pqe_obs::span::span("rep");
+            let counter = {
+                let _init = pqe_obs::span::span("init");
+                NftaCounter::new(nfta, cfg.clone().with_seed(cfg.seed.wrapping_add(rep as u64)))
+            };
+            counter.count(n)
         })
         .collect()
     });
@@ -142,7 +157,7 @@ impl<'a> NftaCounter<'a> {
         if let Some(v) = self.tree_memo.get(&(q, n)) {
             return v;
         }
-        CNT_EST.fetch_add(1, Ordering::Relaxed);
+        cnt_est().inc();
         let mut total = BigFloat::zero();
         for (gi, group) in self.groups(q).iter().enumerate() {
             total = total + self.group_est(q, gi, group, n);
@@ -201,7 +216,7 @@ impl<'a> NftaCounter<'a> {
                     self.cfg.local_epsilon(),
                     useed,
                     |rng| {
-                        CNT_SAMPLES.fetch_add(1, Ordering::Relaxed);
+                        cnt_samples().inc();
                         let ti = self.pick_weighted(&sized, total, rng);
                         let tr = &self.nfta.transitions()[ti];
                         let forest = self.sample_forest(&tr.children, n - 1, rng)?;
@@ -220,7 +235,7 @@ impl<'a> NftaCounter<'a> {
     /// In how many of the group's parts does `tree` lie? (≥ 1 for sampled
     /// trees.) One shared tree index and memo across all candidates.
     fn membership_count(&self, sized: &[(usize, BigFloat)], tree: &Tree) -> usize {
-        CNT_MEMBER.fetch_add(1, Ordering::Relaxed);
+        cnt_member().inc();
         let it = crate::IndexedTree::new(tree);
         let mut memo = HashMap::new();
         sized
@@ -296,7 +311,7 @@ impl<'a> NftaCounter<'a> {
             1
         };
         let first = self.runs.sample_run(q, n, rng)?;
-        CNT_TRIES.fetch_add(1, Ordering::Relaxed);
+        cnt_tries().inc();
         if k == 1 {
             return Some(first);
         }
@@ -305,7 +320,7 @@ impl<'a> NftaCounter<'a> {
         let m0 = m_first.to_f64().max(1.0);
         candidates.push((first, 1.0 / m0));
         for _ in 1..k {
-            CNT_TRIES.fetch_add(1, Ordering::Relaxed);
+            cnt_tries().inc();
             let t = self.runs.sample_run(q, n, rng)?;
             let m = self.runs.runs_of_tree(q, &t).to_f64().max(1.0);
             candidates.push((t, 1.0 / m));

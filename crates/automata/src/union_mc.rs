@@ -60,6 +60,7 @@ where
     // Inside a worker the fan-out below runs inline anyway; dropping to
     // one-at-a-time batches avoids computing speculative samples that the
     // early stop would discard.
+    let _span = pqe_obs::span::span("union_mc");
     let threads = if pqe_par::in_worker() { 1 } else { threads };
     let mut head = StdRng::seed_from_u64(useed); // stream 0 == split_n(useed, 0)
     let (mut taken, mut mean, mut m2) = (0usize, 0.0f64, 0.0f64);

@@ -1,0 +1,57 @@
+//! Observability overhead — the cost of running the full FPRAS with span
+//! recording enabled versus disabled. The `pqe-obs` design budget is ≤5%
+//! on a realistic estimate: spans sit at phase granularity (per rep, per
+//! union call, resolved through a thread-local cache), never inside the
+//! per-sample inner loops, which touch only sharded counters that are on
+//! in both configurations.
+//!
+//! Run with `PQE_BENCH_JSON_DIR=. cargo bench --bench obs_overhead` to
+//! also drop machine-readable `BENCH_obs.json` next to the invocation.
+//!
+//! The bench asserts the budget: it exits non-zero if the min-of-samples
+//! overhead exceeds 5%.
+
+use pqe_automata::FprasConfig;
+use pqe_bench::path_workload;
+use pqe_core::pqe_estimate;
+use pqe_testkit::bench::{black_box, Runner};
+
+fn main() {
+    let mut r = Runner::new("obs");
+    r.start();
+
+    let w = path_workload(3, 3, 0.8, 710);
+    let cfg = FprasConfig::with_epsilon(0.25).with_seed(72).with_threads(1);
+
+    pqe_obs::span::set_enabled(false);
+    r.bench("estimate_obs_off", || {
+        black_box(pqe_estimate(&w.query, &w.h, &cfg).unwrap());
+    });
+
+    pqe_obs::span::reset();
+    pqe_obs::span::set_enabled(true);
+    r.bench("estimate_obs_on", || {
+        black_box(pqe_estimate(&w.query, &w.h, &cfg).unwrap());
+    });
+    pqe_obs::span::set_enabled(false);
+
+    // Overhead on the min-of-samples (the least noisy point estimate) and
+    // on the median for reference.
+    let off = r.results()[0].clone();
+    let on = r.results()[1].clone();
+    let overhead_min = (on.min_ns / off.min_ns - 1.0) * 100.0;
+    let overhead_median = (on.median_ns / off.median_ns - 1.0) * 100.0;
+    r.metric("overhead_min_pct", (overhead_min * 100.0).round() / 100.0);
+    r.metric(
+        "overhead_median_pct",
+        (overhead_median * 100.0).round() / 100.0,
+    );
+
+    r.finish();
+
+    assert!(
+        overhead_min <= 5.0,
+        "span recording cost {overhead_min:.2}% > 5% budget"
+    );
+    println!("  overhead within the 5% budget");
+}

@@ -62,6 +62,7 @@ fn main() {
     r.metric("errors", report.errors as f64);
     r.metric("throughput_rps", report.throughput_rps);
     r.metric("latency_p50_us", report.p50_us as f64);
+    r.metric("latency_p95_us", report.p95_us as f64);
     r.metric("latency_p99_us", report.p99_us as f64);
     r.metric("cache_hit_rate", report.hit_rate);
     r.metric("hit_mean_us", report.hit_mean_us);

@@ -60,6 +60,7 @@ pub fn compile_pqe_plan(
     q: &ConjunctiveQuery,
     h: &ProbDatabase,
 ) -> Result<PqePlan, EstimateError> {
+    let _span = pqe_obs::span::span("compile");
     let start = Instant::now();
     let classification = landscape::classify(q);
     let kind = if q.is_empty() {
@@ -80,6 +81,7 @@ impl PqePlan {
     /// [`pqe_estimate`](crate::pqe_estimate) on the original inputs
     /// (`elapsed` covers only this execution, not compilation).
     pub fn execute(&self, cfg: &FprasConfig) -> PqeReport {
+        let _span = pqe_obs::span::span("execute");
         let start = Instant::now();
         match &self.kind {
             PqePlanKind::Certain => PqeReport {
@@ -138,13 +140,17 @@ enum UrPlanKind {
 
 /// Compiles the `UREstimate` prefix for `(q, db)`.
 pub fn compile_ur_plan(q: &ConjunctiveQuery, db: &Database) -> Result<UrPlan, EstimateError> {
+    let _span = pqe_obs::span::span("compile");
     let start = Instant::now();
     let classification = landscape::classify(q);
     let kind = if q.is_empty() {
         UrPlanKind::Certain { db_len: db.len() }
     } else {
         let ur = build_ur_automaton(q, db)?;
-        let (nfta, _) = ur.aug.translate();
+        let (nfta, _) = {
+            let _t = pqe_obs::span::span("translate");
+            ur.aug.translate()
+        };
         UrPlanKind::Automaton {
             nfta,
             target_size: ur.target_size,
@@ -162,6 +168,7 @@ impl UrPlan {
     /// Runs the counting phase; bit-identical to
     /// [`ur_estimate`](crate::ur_estimate) for the same config.
     pub fn execute(&self, cfg: &FprasConfig) -> UrReport {
+        let _span = pqe_obs::span::span("execute");
         let start = Instant::now();
         match &self.kind {
             UrPlanKind::Certain { db_len } => UrReport {

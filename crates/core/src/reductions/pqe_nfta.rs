@@ -50,9 +50,15 @@ pub fn build_pqe_automaton(
         .collect();
     let hproj = h.project(|r| keep.contains(&r));
 
-    let ur = build_ur_automaton(q, hproj.database())?;
+    let ur = {
+        let _s = pqe_obs::span::span("ur_automaton");
+        build_ur_automaton(q, hproj.database())?
+    };
     debug_assert_eq!(ur.dropped_facts, 0, "projection already applied");
-    let (nfta0, neg_map) = ur.aug.translate();
+    let (nfta0, neg_map) = {
+        let _s = pqe_obs::span::span("translate");
+        ur.aug.translate()
+    };
 
     // Per fact: positive multiplier w_f, negated multiplier d_f − w_f,
     // common gadget width K_f.
@@ -70,6 +76,7 @@ pub fn build_pqe_automaton(
         }
     }
 
+    let _mul_span = pqe_obs::span::span("multipliers");
     let mut mul = MultiplierNfta::from_nfta_shell(&nfta0);
     for t in nfta0.transitions() {
         if t.symbol == ur.padding {
@@ -95,7 +102,11 @@ pub fn build_pqe_automaton(
         }
     }
 
-    let nfta = mul.translate();
+    drop(_mul_span);
+    let nfta = {
+        let _s = pqe_obs::span::span("translate_gadgets");
+        mul.translate()
+    };
     Ok(PqeAutomaton {
         nfta,
         target_size: ur.target_size + extra_nodes,

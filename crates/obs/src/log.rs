@@ -1,0 +1,126 @@
+//! Optional event logging to stderr, gated by the `PQE_LOG` environment
+//! variable.
+//!
+//! `PQE_LOG` accepts `off` (default), `error`, `warn`, `info`, `debug`,
+//! `trace`. Events at or below the configured level are written to
+//! stderr as `[<uptime>s LEVEL target] message`; everything else is
+//! dropped after one relaxed atomic load — and crucially the message
+//! closure is never invoked, so disabled logging never formats.
+//!
+//! Logging is observation-only: it writes to stderr and can never
+//! perturb estimates (asserted by `scripts/verify.sh`, which re-runs the
+//! determinism suite under `PQE_LOG=debug`).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Event severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    Error = 1,
+    Warn = 2,
+    Info = 3,
+    Debug = 4,
+    Trace = 5,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+}
+
+/// `0` = off; `1..=5` = max enabled [`Level`]; `UNINIT` = not yet parsed.
+static FILTER: AtomicU8 = AtomicU8::new(UNINIT);
+const UNINIT: u8 = u8::MAX;
+
+/// The environment variable controlling the log filter.
+pub const LOG_ENV: &str = "PQE_LOG";
+
+fn parse_level(s: &str) -> u8 {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "error" => 1,
+        "warn" | "warning" => 2,
+        "info" => 3,
+        "debug" => 4,
+        "trace" => 5,
+        // "off", empty, or unrecognised: logging stays off.
+        _ => 0,
+    }
+}
+
+fn filter() -> u8 {
+    let f = FILTER.load(Ordering::Relaxed);
+    if f != UNINIT {
+        return f;
+    }
+    let parsed = std::env::var(LOG_ENV).map(|v| parse_level(&v)).unwrap_or(0);
+    FILTER.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Overrides the env-derived filter (tests; `None` disables logging).
+pub fn set_filter(level: Option<Level>) {
+    FILTER.store(level.map(|l| l as u8).unwrap_or(0), Ordering::Relaxed);
+}
+
+/// `true` iff events at `level` would currently be written.
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= filter()
+}
+
+/// Writes one event to stderr if `level` passes the filter. `msg` is only
+/// invoked when the event is actually written.
+pub fn event(level: Level, target: &str, msg: impl FnOnce() -> String) {
+    if !enabled(level) {
+        return;
+    }
+    let uptime = crate::process_start().elapsed();
+    eprintln!(
+        "[{:>9.3}s {:5} {}] {}",
+        uptime.as_secs_f64(),
+        level.label(),
+        target,
+        msg()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_levels() {
+        assert_eq!(parse_level("error"), 1);
+        assert_eq!(parse_level("WARN"), 2);
+        assert_eq!(parse_level(" info "), 3);
+        assert_eq!(parse_level("debug"), 4);
+        assert_eq!(parse_level("trace"), 5);
+        assert_eq!(parse_level("off"), 0);
+        assert_eq!(parse_level("bogus"), 0);
+        assert_eq!(parse_level(""), 0);
+    }
+
+    #[test]
+    fn disabled_never_formats() {
+        set_filter(None);
+        event(Level::Error, "test", || {
+            panic!("message closure must not run when logging is off")
+        });
+        set_filter(Some(Level::Info));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Debug));
+        let mut ran = false;
+        event(Level::Info, "test", || {
+            ran = true;
+            "covered by the filter".to_owned()
+        });
+        assert!(ran);
+        set_filter(None);
+    }
+}

@@ -102,10 +102,15 @@ where
     }
     let workers = threads.min(total.div_ceil(chunk));
     let next = AtomicUsize::new(0);
+    // Workers adopt the spawner's span context so fan-out work is
+    // attributed to the phase that requested it (pqe-obs charges by name
+    // path, never by thread, keeping span trees worker-count-invariant).
+    let span_ctx = pqe_obs::span::current_context();
     let mut parts: Vec<(usize, Vec<T>)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    let _span = pqe_obs::span::enter_context(span_ctx);
                     IN_WORKER.with(|g| g.set(true));
                     let mut local: Vec<(usize, Vec<T>)> = Vec::new();
                     loop {

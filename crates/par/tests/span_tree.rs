@@ -1,0 +1,51 @@
+//! Satellite: span attribution under `map_chunks` fan-out is
+//! deterministic even though scheduling is not — a threaded sample loop
+//! under an active span yields the *same span tree* (structure and
+//! counts) at 1, 2 and 4 workers, because pqe-obs charges work by name
+//! path and `pqe-par` workers adopt their spawner's span context.
+
+use pqe_obs::span;
+
+/// `(name, count, children)` skeleton — the worker-count-invariant part
+/// of a span tree (total_ns carries timing noise by nature).
+#[derive(Debug, PartialEq)]
+struct Shape(String, u64, Vec<Shape>);
+
+fn shape(n: &span::SpanNode) -> Shape {
+    Shape(n.name.clone(), n.count, n.children.iter().map(shape).collect())
+}
+
+fn run_sample_loop(workers: usize) -> Vec<Shape> {
+    span::reset();
+    span::set_enabled(true);
+    {
+        let _loop_span = span::span("sample_loop");
+        let out = pqe_par::map_indexed(workers, 64, |i| {
+            let _s = span::span("sample");
+            let _m = span::span("member_check");
+            i * 2
+        });
+        assert_eq!(out.len(), 64);
+    }
+    span::set_enabled(false);
+    let snap = span::snapshot();
+    snap.iter().filter(|r| r.name == "sample_loop").map(shape).collect()
+}
+
+#[test]
+fn threaded_sample_loop_has_worker_count_invariant_span_tree() {
+    let at1 = run_sample_loop(1);
+    // The expected tree: one loop entry, 64 samples, each with one check.
+    assert_eq!(
+        at1,
+        vec![Shape(
+            "sample_loop".into(),
+            1,
+            vec![Shape("sample".into(), 64, vec![Shape("member_check".into(), 64, vec![])])]
+        )]
+    );
+    for workers in [2, 4] {
+        let at_n = run_sample_loop(workers);
+        assert_eq!(at_n, at1, "span tree differs at {workers} workers");
+    }
+}

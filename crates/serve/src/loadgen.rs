@@ -11,11 +11,13 @@
 //! The mix decision stream is seeded (`pqe-rand`, one stream per
 //! connection), so a load run is reproducible. Per-request latency is
 //! measured client-side around the full round trip and bucketed by the
-//! server's own `"cache":"hit"|"miss"` response tag; the report carries
-//! throughput, p50/p99, per-bucket means, and the hot/cold speedup that
-//! `pqe bench-serve` persists to `BENCH_serve.json`.
+//! server's own `"cache":"hit"|"miss"` response tag; latencies feed a
+//! `pqe-obs` log-linear histogram, so the report carries real p50/p95/p99
+//! percentiles (not just means), per-bucket means, and the hot/cold
+//! speedup that `pqe bench-serve` persists to `BENCH_serve.json`.
 
 use crate::json::Json;
+use pqe_obs::metrics::Histogram;
 use pqe_query::ConjunctiveQuery;
 use pqe_rand::rngs::StdRng;
 use pqe_rand::{RngCore, SeedableRng};
@@ -82,8 +84,11 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Completed requests per second.
     pub throughput_rps: f64,
-    /// Median round-trip latency, microseconds.
+    /// Median round-trip latency, microseconds (histogram percentile:
+    /// log-linear buckets, ≤ 9.4 % relative error).
     pub p50_us: u64,
+    /// 95th-percentile round-trip latency, microseconds.
+    pub p95_us: u64,
     /// 99th-percentile round-trip latency, microseconds.
     pub p99_us: u64,
     /// Mean latency of cache hits, microseconds (0 when none).
@@ -94,14 +99,6 @@ pub struct LoadReport {
     pub hit_speedup: f64,
     /// `hits / (hits + misses)` as observed by the clients.
     pub hit_rate: f64,
-}
-
-fn percentile(sorted_us: &[u64], p: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
-    sorted_us[idx.min(sorted_us.len() - 1)]
 }
 
 /// Renames every variable of `q` with a `_c<tag>` suffix: same shape, same
@@ -191,8 +188,13 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     })?;
     let elapsed = start.elapsed();
 
-    let mut latencies: Vec<u64> = samples.iter().map(|s| s.latency_us).collect();
-    latencies.sort_unstable();
+    // Percentiles come from a pqe-obs log-linear histogram — the same
+    // machinery the server's own `metrics` op reports from.
+    let hist = Histogram::default();
+    for s in &samples {
+        hist.record(s.latency_us);
+    }
+    let hsnap = hist.snapshot();
     let hits: Vec<u64> = samples.iter().filter(|s| s.hit && s.ok).map(|s| s.latency_us).collect();
     let misses: Vec<u64> =
         samples.iter().filter(|s| !s.hit && s.ok).map(|s| s.latency_us).collect();
@@ -218,8 +220,9 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         } else {
             0.0
         },
-        p50_us: percentile(&latencies, 0.50),
-        p99_us: percentile(&latencies, 0.99),
+        p50_us: hsnap.p50,
+        p95_us: hsnap.p95,
+        p99_us: hsnap.p99,
         hit_mean_us,
         miss_mean_us,
         hit_speedup: if hit_mean_us > 0.0 && miss_mean_us > 0.0 {
@@ -252,14 +255,6 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_pick_order_statistics() {
-        let v = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
-        assert_eq!(percentile(&v, 0.5), 60);
-        assert_eq!(percentile(&v, 0.99), 100);
-        assert_eq!(percentile(&[], 0.5), 0);
-    }
-
-    #[test]
     fn load_run_reports_hits_and_misses() {
         let h = pqe_db::io::load_str("1/2 R1(a,b)\n1/3 R2(b,c)\n1/5 R2(b,d)\n").unwrap();
         let server = Server::bind(ServeConfig::default(), h).unwrap();
@@ -282,7 +277,8 @@ mod tests {
         assert!(report.hits > 0, "hot queries should hit after warmup");
         assert!(report.misses > 0, "cold variants and first hot miss");
         assert_eq!(report.hits + report.misses, 20);
-        assert!(report.p50_us > 0 && report.p99_us >= report.p50_us);
+        assert!(report.p50_us > 0, "p50 must be measured");
+        assert!(report.p95_us >= report.p50_us && report.p99_us >= report.p95_us);
         assert!(report.throughput_rps > 0.0);
 
         // Shut the server down cleanly.

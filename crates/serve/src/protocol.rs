@@ -8,6 +8,7 @@
 //! {"op":"reliability","query":"R1(x,y), R2(y,z)","epsilon":0.1,"seed":24301}
 //! {"op":"classify","query":"R1(x,y), R2(y,z)"}
 //! {"op":"stats"}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -69,6 +70,9 @@ pub enum Request {
     },
     /// Service counters and cache statistics.
     Stats,
+    /// Live telemetry: request-latency histograms (p50/p95/p99) and
+    /// cache/admission counters from the `pqe-obs` registry.
+    Metrics,
     /// Stop accepting connections and exit cleanly.
     Shutdown,
 }
@@ -179,9 +183,10 @@ impl Request {
             }
             "classify" => Ok(Request::Classify { query: req_str(&v, "query")? }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op {other:?} (expected estimate, reliability, classify, stats, shutdown)"
+                "unknown op {other:?} (expected estimate, reliability, classify, stats, metrics, shutdown)"
             )),
         }
     }
@@ -240,6 +245,7 @@ mod tests {
     #[test]
     fn stats_and_shutdown_are_bare() {
         assert_eq!(Request::decode(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(Request::decode(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics);
         assert_eq!(Request::decode(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
     }
 

@@ -34,9 +34,43 @@ use pqe_query::{parse, ConjunctiveQuery};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::collections::HashMap;
+use pqe_obs::log::{event, Level};
+use pqe_obs::metrics::{Counter, Histogram};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Handles into the `pqe-obs` metrics registry, resolved once at bind
+/// time; the per-request cost is a few relaxed atomic adds.
+struct ServeMetrics {
+    /// Time blocked reading one complete request line off the socket.
+    read_us: Arc<Histogram>,
+    /// Time decoding + evaluating a request (the dispatch call).
+    eval_us: Arc<Histogram>,
+    /// Time encoding + flushing the response line.
+    write_us: Arc<Histogram>,
+    /// End-to-end evaluation latency per heavy op.
+    estimate_us: Arc<Histogram>,
+    reliability_us: Arc<Histogram>,
+    /// Admission outcomes (the bounded-admission counters).
+    admitted: Arc<Counter>,
+    admission_rejected: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn resolve() -> ServeMetrics {
+        use pqe_obs::metrics::{counter, histogram};
+        ServeMetrics {
+            read_us: histogram("serve.read_us"),
+            eval_us: histogram("serve.eval_us"),
+            write_us: histogram("serve.write_us"),
+            estimate_us: histogram("serve.request_us.estimate"),
+            reliability_us: histogram("serve.request_us.reliability"),
+            admitted: counter("serve.admitted"),
+            admission_rejected: counter("serve.admission_rejected"),
+        }
+    }
+}
 
 /// Tuning knobs of one service instance.
 #[derive(Debug, Clone)]
@@ -143,6 +177,7 @@ struct ServerState {
     addr: SocketAddr,
     cache: PlanCache<ServedPlan>,
     stats: ServerStats,
+    metrics: ServeMetrics,
     inflight: AtomicUsize,
     open_connections: AtomicUsize,
     shutdown: AtomicBool,
@@ -211,6 +246,7 @@ impl Server {
                 addr,
                 cache,
                 stats: ServerStats::default(),
+                metrics: ServeMetrics::resolve(),
                 inflight: AtomicUsize::new(0),
                 open_connections: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
@@ -265,10 +301,15 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> std::io::Re
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
     loop {
+        let read_start = Instant::now();
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client closed
             Ok(_) if !line.ends_with('\n') => continue, // partial line at timeout boundary
-            Ok(_) => {}
+            Ok(_) => {
+                // Only completed lines count: idle poll timeouts would
+                // otherwise swamp the read histogram.
+                state.metrics.read_us.record(elapsed_us(read_start));
+            }
             Err(e)
                 if matches!(
                     e.kind(),
@@ -289,11 +330,21 @@ fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> std::io::Re
             line.clear();
             continue;
         }
-        let (response, shutdown) = dispatch(state, trimmed);
+        let eval_start = Instant::now();
+        let (response, shutdown) = {
+            let _s = pqe_obs::span::span("serve.eval");
+            dispatch(state, trimmed)
+        };
+        state.metrics.eval_us.record(elapsed_us(eval_start));
         line.clear();
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let write_start = Instant::now();
+        {
+            let _s = pqe_obs::span::span("serve.write");
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
+        state.metrics.write_us.record(elapsed_us(write_start));
         if shutdown {
             state.shutdown.store(true, Ordering::Release);
             // Wake the accept loop so `run` can observe the flag.
@@ -316,12 +367,16 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> (String, bool) {
     match request {
         Request::Estimate { query, epsilon, seed, method, threads, delay_ms } => {
             state.stats.estimates.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
             let r = estimate(state, &query, epsilon, seed, &method, threads, delay_ms);
+            state.metrics.estimate_us.record(elapsed_us(start));
             (finish(state, r), false)
         }
         Request::Reliability { query, epsilon, seed, threads, delay_ms } => {
             state.stats.reliabilities.fetch_add(1, Ordering::Relaxed);
+            let start = Instant::now();
             let r = reliability(state, &query, epsilon, seed, threads, delay_ms);
+            state.metrics.reliability_us.record(elapsed_us(start));
             (finish(state, r), false)
         }
         Request::Classify { query } => {
@@ -330,10 +385,16 @@ fn dispatch(state: &Arc<ServerState>, line: &str) -> (String, bool) {
             (finish(state, r), false)
         }
         Request::Stats => (stats_response(state).to_string(), false),
+        Request::Metrics => (metrics_response(state).to_string(), false),
         Request::Shutdown => {
             (Json::obj([("ok", Json::Bool(true)), ("op", Json::str("shutdown"))]).to_string(), true)
         }
     }
+}
+
+/// Microseconds since `start`, clamped into `u64`.
+fn elapsed_us(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
 fn finish(state: &Arc<ServerState>, r: Result<Json, ReqError>) -> String {
@@ -374,16 +435,26 @@ fn check_deadline(state: &ServerState, start: Instant, phase: &str) -> Result<()
 }
 
 fn admit<'a>(state: &'a ServerState) -> Result<Permit<'a>, ReqError> {
-    Permit::try_acquire(&state.inflight, state.cfg.max_inflight).ok_or_else(|| {
-        (
-            ErrorKind::Overloaded,
-            format!(
-                "{} requests in flight (max {}); retry later",
-                state.inflight.load(Ordering::Relaxed),
-                state.cfg.max_inflight
-            ),
-        )
-    })
+    match Permit::try_acquire(&state.inflight, state.cfg.max_inflight) {
+        Some(permit) => {
+            state.metrics.admitted.inc();
+            Ok(permit)
+        }
+        None => {
+            state.metrics.admission_rejected.inc();
+            event(Level::Debug, "serve", || {
+                format!("admission rejected at max_inflight={}", state.cfg.max_inflight)
+            });
+            Err((
+                ErrorKind::Overloaded,
+                format!(
+                    "{} requests in flight (max {}); retry later",
+                    state.inflight.load(Ordering::Relaxed),
+                    state.cfg.max_inflight
+                ),
+            ))
+        }
+    }
 }
 
 fn apply_delay(delay_ms: u64) {
@@ -577,6 +648,8 @@ fn stats_response(state: &ServerState) -> Json {
     Json::obj([
         ("ok", Json::Bool(true)),
         ("op", Json::str("stats")),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("uptime_s", Json::from(state.started.elapsed().as_secs())),
         ("uptime_ms", Json::from(state.started.elapsed().as_millis() as u64)),
         ("requests", Json::from(state.stats.requests.load(Ordering::Relaxed))),
         ("estimates", Json::from(state.stats.estimates.load(Ordering::Relaxed))),
@@ -596,6 +669,62 @@ fn stats_response(state: &ServerState) -> Json {
         ("timeouts", Json::from(state.stats.timeouts.load(Ordering::Relaxed))),
         ("bad_requests", Json::from(state.stats.bad_requests.load(Ordering::Relaxed))),
         ("eval_errors", Json::from(state.stats.eval_errors.load(Ordering::Relaxed))),
+    ])
+}
+
+/// The `metrics` op: the full `pqe-obs` registry snapshot plus the plan
+/// cache's own counters, encoded with the serve JSON machinery. Histogram
+/// entries carry count/min/max/mean and the p50/p95/p99 latency
+/// percentiles (log-linear buckets, ≤ 9.4 % relative error).
+fn metrics_response(state: &ServerState) -> Json {
+    let snap = pqe_obs::metrics::snapshot();
+    let counters = Json::Obj(
+        snap.counters.iter().map(|(name, v)| (name.clone(), Json::from(*v))).collect(),
+    );
+    let gauges = Json::Obj(
+        snap.gauges
+            .iter()
+            .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        snap.histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Json::obj([
+                        ("count", Json::from(h.count)),
+                        ("min", Json::from(h.min)),
+                        ("max", Json::from(h.max)),
+                        ("mean", Json::from(h.mean())),
+                        ("p50", Json::from(h.p50)),
+                        ("p95", Json::from(h.p95)),
+                        ("p99", Json::from(h.p99)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let cache = state.cache.stats();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("metrics")),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+        ("uptime_s", Json::from(state.started.elapsed().as_secs())),
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::from(cache.hits())),
+                ("misses", Json::from(cache.misses())),
+                ("evictions", Json::from(cache.evictions())),
+                ("resident", Json::from(state.cache.len())),
+                ("hit_rate", Json::from(cache.hit_rate())),
+            ]),
+        ),
     ])
 }
 

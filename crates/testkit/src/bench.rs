@@ -213,8 +213,11 @@ impl Runner {
     }
 
     /// The whole suite as one JSON document:
-    /// `{"suite": ..., "results": [...]}`, plus a `"metrics"` array when
-    /// any were recorded.
+    /// `{"suite": ..., "config": {...}, "results": [...]}`, plus a
+    /// `"metrics"` array when any were recorded. The `config` object
+    /// records the calibration knobs the suite actually ran with (sample
+    /// count and per-sample time floor, after env overrides), so archived
+    /// BENCH_*.json files are comparable at face value.
     pub fn to_json(&self) -> String {
         let body: Vec<String> = self.results.iter().map(Stats::to_json).collect();
         let metrics = if self.metrics.is_empty() {
@@ -224,8 +227,10 @@ impl Runner {
             format!(",\"metrics\":[{}]", m.join(","))
         };
         format!(
-            "{{\"suite\":\"{}\",\"results\":[{}]{}}}\n",
+            "{{\"suite\":\"{}\",\"config\":{{\"samples\":{},\"min_sample_ms\":{}}},\"results\":[{}]{}}}\n",
             json_escape(&self.suite),
+            self.samples,
+            self.min_sample.as_millis(),
             body.join(","),
             metrics
         )
@@ -286,7 +291,8 @@ mod tests {
             black_box(1u64);
         });
         let json = r.to_json();
-        assert!(json.starts_with("{\"suite\":\"unit_json\",\"results\":["));
+        assert!(json.starts_with("{\"suite\":\"unit_json\",\"config\":{"));
+        assert!(json.contains("\"config\":{\"samples\":3,\"min_sample_ms\":1}"));
         assert!(json.contains("\"name\":\"noop \\\"quoted\\\"\""));
         assert!(json.contains("\"median_ns\":"));
         assert!(json.trim_end().ends_with("]}"));

@@ -10,13 +10,37 @@ cargo test -q --offline --workspace
 
 # The parallel-FPRAS contract: estimates are bit-identical for a fixed
 # seed at any thread count. Run the determinism suite at both ends of the
-# env knob to prove the override path as well as the invariance.
+# env knob to prove the override path as well as the invariance — and once
+# more with event logging fully on, to prove observability never perturbs
+# an estimate (the pqe-obs contract).
 PQE_THREADS=1 cargo test -q --offline --test determinism
 PQE_THREADS=4 cargo test -q --offline --test determinism
+PQE_LOG=debug cargo test -q --offline --test determinism
 
 # Serve smoke test, fully offline: a release server on an ephemeral port,
 # one NDJSON session (classify + estimate + stats + shutdown) over bash's
 # /dev/tcp, and a clean exit.
+# Profile smoke test: the span tree renders with non-zero totals and the
+# compile/execute split, and the estimate line itself is unaffected.
+echo "profile smoke test:"
+PROFILE_DIR=$(mktemp -d)
+# Five facts (two R3 rows) so the automaton has genuinely ambiguous
+# unions: the sample counters stay zero on smaller instances.
+printf '1/2 R1(a,b)\n1/3 R2(b,c)\n2/3 R2(b,d)\n1/5 R3(c,e)\n3/4 R3(d,e)\n' > "$PROFILE_DIR/smoke.pdb"
+profile_out=$(./target/release/pqe estimate --db "$PROFILE_DIR/smoke.pdb" \
+    --query 'R1(x,y), R2(y,z), R3(z,w)' --method fpras --seed 7 --profile)
+rm -rf "$PROFILE_DIR"
+echo "$profile_out" | grep -q 'Pr(Q) ≈'
+echo "$profile_out" | grep -q -- '--- profile: phase totals'
+echo "$profile_out" | grep -q '^estimate .* 100\.0%'
+echo "$profile_out" | grep -q '  compile '
+echo "$profile_out" | grep -q '  execute '
+echo "$profile_out" | grep -q 'fpras.samples'
+# Non-zero root total: the rendered line must not read "0ns".
+echo "$profile_out" | grep '^estimate ' | grep -qv ' 0ns ' || {
+    echo "  FAIL: profile root total is zero" >&2; exit 1; }
+echo "  ok: --profile renders the span tree with non-zero totals"
+
 echo "serve smoke test:"
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT

@@ -31,7 +31,8 @@ pqe — probabilistic query evaluation (van Bremen & Meel, PODS 2023)
 
 USAGE:
   pqe estimate    --db FILE --query Q [--epsilon E] [--seed N] [--method M] [--threads N]
-  pqe reliability --db FILE --query Q [--epsilon E] [--seed N] [--threads N]
+                  [--profile]
+  pqe reliability --db FILE --query Q [--epsilon E] [--seed N] [--threads N] [--profile]
   pqe classify    --query Q
   pqe sample      --db FILE --query Q [--count N] [--seed N]
   pqe marginals   --db FILE --query Q [--samples N] [--seed N]
@@ -44,9 +45,20 @@ USAGE:
 
 THREADS:
   --threads N sets the FPRAS worker count for the command (and the server
-  default for requests that don't carry their own). Precedence: the flag,
-  then the PQE_THREADS environment variable, then auto-detection. The
-  thread count never changes an estimate — only its wall-clock.
+  default for requests that don't carry their own). N must be a
+  non-negative integer; N = 0 is the auto sentinel — defer to the
+  PQE_THREADS environment variable, then to the detected core count. So
+  the precedence is flag > env > auto, and `--threads 0` is an explicit
+  auto. The thread count never changes an estimate — only its wall-clock.
+
+PROFILING:
+  --profile records hierarchical phase spans (compile → ur_automaton /
+  translate / multipliers; execute → count.nfta → rep → union_mc) and
+  prints the span tree with per-phase totals and percentages after the
+  result, plus the fpras.* sample counters. Profiling never touches the
+  RNG streams: estimates are bit-identical with it on or off. Set
+  PQE_LOG=debug|info|... for optional event logging to stderr (also
+  perturbation-free).
 
 METHODS (estimate):
   auto       lifted inference when the query is safe, FPRAS otherwise [default]
@@ -67,12 +79,21 @@ struct Args {
     options: std::collections::HashMap<String, String>,
 }
 
+/// Options that are bare flags (present/absent, no value argument).
+const FLAG_OPTIONS: &[&str] = &["profile"];
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut positional = Vec::new();
     let mut options = std::collections::HashMap::new();
     let mut it = argv.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            if FLAG_OPTIONS.contains(&name) {
+                if options.insert(name.to_owned(), "true".to_owned()).is_some() {
+                    return Err(format!("option --{name} given twice"));
+                }
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("option --{name} requires a value"))?;
@@ -121,11 +142,39 @@ impl Args {
 
     /// Worker threads; 0 (the default) defers to `PQE_THREADS`, then
     /// auto-detection — so the precedence is flag > env > auto.
+    /// Negative, non-numeric and implausibly large values are rejected
+    /// with a message that spells out the 0 sentinel.
     fn threads(&self) -> Result<usize, String> {
+        const MAX_THREADS: usize = 4096;
         match self.opt("threads") {
             None => Ok(0),
-            Some(s) => s.parse().map_err(|_| format!("bad --threads {s:?}")),
+            Some(s) => {
+                let t = s.trim();
+                if t.starts_with('-') {
+                    return Err(format!(
+                        "--threads must be non-negative, got {s:?} (use 0 for auto: PQE_THREADS, then detected cores)"
+                    ));
+                }
+                let n: usize = t.parse().map_err(|_| {
+                    if !t.is_empty() && t.chars().all(|c| c.is_ascii_digit()) {
+                        format!("--threads {s:?} overflows the supported range (max {MAX_THREADS}, 0 = auto)")
+                    } else {
+                        format!("--threads expects a non-negative integer, got {s:?} (0 = auto: PQE_THREADS, then detected cores)")
+                    }
+                })?;
+                if n > MAX_THREADS {
+                    return Err(format!(
+                        "--threads {n} is implausibly large (max {MAX_THREADS}; 0 = auto)"
+                    ));
+                }
+                Ok(n)
+            }
         }
+    }
+
+    /// `--profile`: record phase spans and print the tree after the run.
+    fn profile(&self) -> bool {
+        self.opt("profile").is_some()
     }
 
     fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
@@ -173,11 +222,15 @@ fn load_query(args: &Args) -> Result<ConjunctiveQuery, String> {
 }
 
 fn cmd_estimate(args: &Args) -> Result<(), String> {
-    args.check_known(&["db", "query", "epsilon", "seed", "method", "threads"])?;
+    args.check_known(&["db", "query", "epsilon", "seed", "method", "threads", "profile"])?;
+    let _profile = ProfileGuard::start(args.profile(), "estimate");
     let h = load_db(args)?;
     let q = load_query(args)?;
     let eps = args.epsilon()?;
     let seed = args.seed()?;
+    // Validate up front so a bad value errors on every method, not just
+    // the FPRAS route.
+    let threads = args.threads()?;
     let method = args.opt("method").unwrap_or("auto");
     let class = landscape::classify(&q);
 
@@ -199,7 +252,7 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
         "fpras" => {
             let cfg = FprasConfig::with_epsilon(eps)
                 .with_seed(seed)
-                .with_threads(args.threads()?);
+                .with_threads(threads);
             let r = pqe_estimate(&q, &h, &cfg).map_err(|e| e.to_string())?;
             println!(
                 "Pr(Q) ≈ {:.6}   [FPRAS, ε = {eps}, {} states, {:.1?}]",
@@ -239,7 +292,8 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_reliability(args: &Args) -> Result<(), String> {
-    args.check_known(&["db", "query", "epsilon", "seed", "threads"])?;
+    args.check_known(&["db", "query", "epsilon", "seed", "threads", "profile"])?;
+    let _profile = ProfileGuard::start(args.profile(), "reliability");
     let h = load_db(args)?;
     let q = load_query(args)?;
     let cfg = FprasConfig::with_epsilon(args.epsilon()?)
@@ -478,6 +532,7 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
     r.metric("errors", report.errors as f64);
     r.metric("throughput_rps", report.throughput_rps);
     r.metric("latency_p50_us", report.p50_us as f64);
+    r.metric("latency_p95_us", report.p95_us as f64);
     r.metric("latency_p99_us", report.p99_us as f64);
     r.metric("cache_hit_rate", report.hit_rate);
     r.metric("hit_mean_us", report.hit_mean_us);
@@ -500,6 +555,47 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         return Err(format!("{} request(s) failed during the load run", report.errors));
     }
     Ok(())
+}
+
+/// Enables span recording for the duration of a profiled command and
+/// prints the rendered tree (plus the fpras.* counters) when dropped.
+/// Profiling never touches RNG streams, so the printed digits are
+/// bit-identical to an unprofiled run.
+struct ProfileGuard {
+    root: Option<pqe_obs::span::Span>,
+}
+
+impl ProfileGuard {
+    fn start(enabled: bool, root: &'static str) -> ProfileGuard {
+        if !enabled {
+            return ProfileGuard { root: None };
+        }
+        pqe_obs::span::set_enabled(true);
+        ProfileGuard { root: Some(pqe_obs::span::span(root)) }
+    }
+}
+
+impl Drop for ProfileGuard {
+    fn drop(&mut self) {
+        let Some(root) = self.root.take() else { return };
+        drop(root); // close the root span before snapshotting
+        pqe_obs::span::set_enabled(false);
+        let snap = pqe_obs::span::snapshot();
+        println!("\n--- profile: phase totals (summed across threads) ---");
+        print!("{}", pqe_obs::span::render(&snap));
+        let metrics = pqe_obs::metrics::snapshot();
+        let fpras: Vec<_> = metrics
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with("fpras."))
+            .collect();
+        if !fpras.is_empty() {
+            println!("--- counters ---");
+            for (name, value) in fpras {
+                println!("{name:<42} {value:>12}");
+            }
+        }
+    }
 }
 
 fn run() -> Result<(), String> {

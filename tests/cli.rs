@@ -196,6 +196,97 @@ fn errors_use_exit_code_2_and_name_the_problem() {
 }
 
 #[test]
+fn profile_prints_phase_tree() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--method", "fpras", "--profile"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The estimate itself still prints first…
+    assert!(stdout.contains("Pr(Q) ≈"), "{stdout}");
+    // …followed by the span tree with the compile/execute split and the
+    // FPRAS sample counters.
+    assert!(stdout.contains("profile: phase totals"), "{stdout}");
+    for phase in ["estimate", "compile", "execute", "count.nfta", "100.0%"] {
+        assert!(stdout.contains(phase), "missing {phase:?} in: {stdout}");
+    }
+    assert!(stdout.contains("fpras.samples"), "{stdout}");
+}
+
+#[test]
+fn profile_does_not_change_the_estimate() {
+    let db = write_db(TWO_PATH_DB);
+    let run = |profile: bool| {
+        let mut cmd = pqe();
+        cmd.args(["estimate", "--db"])
+            .arg(&db.0)
+            .args(["--query", "R(x,y), S(y,z)", "--method", "fpras", "--seed", "7"]);
+        if profile {
+            cmd.arg("--profile");
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success());
+        // First line is `Pr(Q) ≈ VALUE   [FPRAS, …, Nms]`; the wall-clock
+        // tail varies run to run, so compare the value token only.
+        String::from_utf8_lossy(&out.stdout)
+            .split('≈')
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_owned()
+    };
+    assert_eq!(run(false), run(true), "profiling perturbed the estimate");
+}
+
+#[test]
+fn bad_threads_values_are_rejected_with_clear_messages() {
+    let db = write_db(TWO_PATH_DB);
+    let run = |threads: &str| {
+        let out = pqe()
+            .args(["estimate", "--db"])
+            .arg(&db.0)
+            .args(["--query", "R(x,y), S(y,z)", "--threads", threads])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "--threads {threads}");
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    assert!(run("-3").contains("non-negative"));
+    assert!(run("99999999999999999999").contains("overflows"));
+    assert!(run("9000").contains("implausibly large"));
+    assert!(run("abc").contains("non-negative integer"));
+    // And each message spells out the 0 = auto sentinel.
+    for bad in ["-3", "abc"] {
+        assert!(run(bad).contains("0 for auto") || run(bad).contains("0 = auto"));
+    }
+    // --threads 0 itself is the documented auto sentinel, not an error.
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--threads", "0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn help_documents_threads_sentinel_and_profile() {
+    let out = pqe().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("--threads 0"), "{stdout}");
+    assert!(stdout.contains("PQE_THREADS"), "{stdout}");
+    assert!(stdout.contains("--profile"), "{stdout}");
+    assert!(stdout.contains("PQE_LOG"), "{stdout}");
+}
+
+#[test]
 fn help_prints_usage() {
     let out = pqe().arg("help").output().unwrap();
     assert!(out.status.success());

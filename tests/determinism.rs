@@ -142,6 +142,56 @@ fn single_threaded_values_are_pinned() {
 }
 
 #[test]
+fn profiling_is_invisible_to_the_estimate() {
+    // Observability must be deterministic-by-construction: spans, counters
+    // and event logging never touch the RNG streams, so the golden digits
+    // come out unchanged with profiling on — at one thread and at four.
+    let (q, h) = fixture();
+    pqe_obs::span::reset();
+    pqe_obs::span::set_enabled(true);
+    pqe_obs::log::set_filter(Some(pqe_obs::log::Level::Debug));
+    let _root = pqe_obs::span::span("test_root");
+    for threads in [1usize, 4] {
+        let cfg = FprasConfig::with_epsilon(0.3)
+            .with_seed(0x5EED)
+            .with_threads(threads);
+        let pqe = pqe_estimate(&q, &h, &cfg).unwrap();
+        assert_eq!(
+            pqe.probability.to_string(),
+            "8.589671e-1",
+            "threads={threads} with profiling on"
+        );
+        let db = h.database().clone();
+        let cfg = FprasConfig::with_epsilon(0.3)
+            .with_seed(0xBEEF)
+            .with_threads(threads);
+        let ur = ur_estimate(&q, &db, &cfg).unwrap();
+        assert_eq!(
+            ur.reliability.to_string(),
+            "8.829016e5",
+            "threads={threads} with profiling on"
+        );
+    }
+    drop(_root);
+    // The instrumented run actually recorded the phase tree.
+    let snap = pqe_obs::span::snapshot();
+    pqe_obs::span::set_enabled(false);
+    pqe_obs::log::set_filter(None);
+    let root = snap
+        .iter()
+        .find(|n| n.name == "test_root")
+        .expect("root span recorded");
+    assert!(
+        root.children.iter().any(|c| c.name == "compile"),
+        "compile phase recorded under the root"
+    );
+    assert!(
+        root.children.iter().any(|c| c.name == "execute"),
+        "execute phase recorded under the root"
+    );
+}
+
+#[test]
 fn different_seeds_are_actually_different_streams() {
     // Guard against a seed that is accepted but ignored.
     let (q, h) = fixture();

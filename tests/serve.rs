@@ -210,6 +210,56 @@ fn stats_and_classify_round_trip() {
 }
 
 #[test]
+fn metrics_op_reports_latency_histograms_and_cache_counters() {
+    let db = write_db(PATH3_DB);
+    let server = ServerProc::start(&db, &[]);
+    let mut c = server.connect();
+
+    // Generate some traffic: one estimate miss, one hit.
+    let req = r#"{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","epsilon":0.25,"seed":7}"#;
+    assert!(roundtrip(&mut c, req).contains("\"ok\":true"));
+    assert!(roundtrip(&mut c, req).contains("\"ok\":true"));
+
+    let resp = roundtrip(&mut c, r#"{"op":"metrics"}"#);
+    assert!(resp.contains("\"ok\":true"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "op"), "metrics");
+    // Request-latency histograms with percentiles.
+    for key in [
+        "\"serve.request_us.estimate\":{",
+        "\"serve.read_us\":{",
+        "\"serve.eval_us\":{",
+        "\"serve.write_us\":{",
+        "\"p50\":",
+        "\"p95\":",
+        "\"p99\":",
+    ] {
+        assert!(resp.contains(key), "missing {key} in: {resp}");
+    }
+    // The two estimate requests are both in the per-op histogram.
+    assert!(
+        resp.contains("\"serve.request_us.estimate\":{\"count\":2"),
+        "response: {resp}"
+    );
+    // Cache and admission counters: 1 miss then 1 hit; the two estimates
+    // passed admission (stats/metrics ops are not admission-gated).
+    assert!(resp.contains("\"cache\":{"), "response: {resp}");
+    assert!(resp.contains("\"hits\":1"), "response: {resp}");
+    assert!(resp.contains("\"misses\":1"), "response: {resp}");
+    assert!(resp.contains("\"serve.admitted\":2"), "response: {resp}");
+    assert!(
+        resp.contains("\"serve.admission_rejected\":0"),
+        "response: {resp}"
+    );
+    // Satellite: stats carries version + uptime.
+    let stats = roundtrip(&mut c, r#"{"op":"stats"}"#);
+    assert_eq!(json_str_field(&stats, "version"), env!("CARGO_PKG_VERSION"));
+    assert!(stats.contains("\"uptime_s\":"), "response: {stats}");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
 fn unknown_option_suggests_the_intended_flag() {
     let out = pqe()
         .args(["estimate", "--db", "/dev/null", "--query", "R(x)", "--thread", "2"])
