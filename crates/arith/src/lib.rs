@@ -31,11 +31,13 @@
 mod bigfloat;
 mod bigint;
 mod biguint;
+mod fixuint;
 mod rational;
 
 pub use bigfloat::BigFloat;
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
+pub use fixuint::{set_slow_path, slow_path_forced, FixUint};
 pub use rational::Rational;
 
 /// Error returned when parsing a number from a string fails.

@@ -36,6 +36,7 @@
 mod alphabet;
 mod augmented;
 pub mod config;
+mod forest_reg;
 mod multiplier;
 mod multiplier_nfa;
 mod nfa;
@@ -44,6 +45,7 @@ mod nfta;
 mod nfta_exact;
 mod nfta_fpras;
 mod nfta_run_estimator;
+mod scratch;
 mod union_mc;
 
 pub use alphabet::{Alphabet, SymbolId};

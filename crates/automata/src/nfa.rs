@@ -148,6 +148,39 @@ impl Nfa {
         states.iter().any(|s| self.accepting.contains(s))
     }
 
+    /// Allocation-free equivalent of
+    /// `accepts_from(BTreeSet::from([q]), word)` using caller-provided
+    /// frontier buffers — the FPRAS membership oracle's hot path. Frontier
+    /// sets of the PQE-reduction automata are tiny, so a sorted vector
+    /// beats a fresh `BTreeSet` per step.
+    pub(crate) fn accepts_from_state_buf(
+        &self,
+        q: StateId,
+        word: &[SymbolId],
+        cur: &mut Vec<StateId>,
+        next: &mut Vec<StateId>,
+    ) -> bool {
+        cur.clear();
+        cur.push(q);
+        for &sym in word {
+            if cur.is_empty() {
+                return false;
+            }
+            next.clear();
+            for &s in cur.iter() {
+                for &(a, t) in &self.from[s.index()] {
+                    if a == sym {
+                        next.push(t);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            std::mem::swap(cur, next);
+        }
+        cur.iter().any(|s| self.accepting.contains(s))
+    }
+
     /// Exact number of *accepting paths* of length `n` (one per run, not
     /// per string): `Σ_{q∈I} P(q,n)` with
     /// `P(q,0) = [q ∈ F]`, `P(q,i) = Σ_{(a,q')∈δ(q)} P(q',i−1)`.

@@ -13,9 +13,10 @@
 //! fan out over the `pqe-par` pool with per-sample-index randomness, so a
 //! fixed seed gives bit-identical estimates at any thread count.
 
+use crate::scratch::{pick_index_last, with_scratch, Scratch};
 use crate::union_mc::{adaptive_mean, TAG_NFA_GROUP, TAG_NFA_TOP};
 use crate::{FprasConfig, Nfa, StateId, SymbolId};
-use pqe_arith::{BigFloat, BigUint};
+use pqe_arith::{BigFloat, FixUint};
 use pqe_par::ShardedMap;
 use pqe_rand::rngs::StdRng;
 use pqe_rand::{mix_seed, Rng};
@@ -57,7 +58,7 @@ struct NfaCounter<'a> {
     groups_cache: Vec<Vec<(SymbolId, Vec<StateId>)>>,
     /// Exact accepting-path counts per `(state, length)`, powering the SIR
     /// string sampler (mirrors the NFTA counter's `RunTables`).
-    path_counts: ShardedMap<(StateId, usize), BigUint>,
+    path_counts: ShardedMap<(StateId, usize), FixUint>,
 }
 
 impl<'a> NfaCounter<'a> {
@@ -87,18 +88,18 @@ impl<'a> NfaCounter<'a> {
     }
 
     /// Exact number of accepting paths of length `i` from `q` (memoized).
-    fn path_count(&self, q: StateId, i: usize) -> BigUint {
+    fn path_count(&self, q: StateId, i: usize) -> FixUint {
         if let Some(v) = self.path_counts.get(&(q, i)) {
             return v;
         }
         let v = if i == 0 {
             if self.nfa.accepting_states().contains(&q) {
-                BigUint::one()
+                FixUint::one()
             } else {
-                BigUint::zero()
+                FixUint::zero()
             }
         } else {
-            let mut acc = BigUint::zero();
+            let mut acc = FixUint::zero();
             for &(_, t) in self.nfa.transitions_from(q) {
                 acc += self.path_count(t, i - 1);
             }
@@ -108,75 +109,86 @@ impl<'a> NfaCounter<'a> {
     }
 
     /// Samples an accepting path (run) of length `i` from `q`, uniformly
-    /// among paths, returning its string. `None` iff no path exists.
-    fn sample_path<R: Rng + ?Sized>(&self, q: StateId, i: usize, rng: &mut R) -> Option<Vec<SymbolId>> {
+    /// among paths, appending its string to `s.syms`. `None` iff no path
+    /// exists. Per-step choices go through the scratch stacks
+    /// (`choice_pairs` ∥ `weights`) — no per-step allocation.
+    fn sample_path_into<R: Rng + ?Sized>(
+        &self,
+        q: StateId,
+        i: usize,
+        rng: &mut R,
+        s: &mut Scratch,
+    ) -> Option<()> {
         if self.path_count(q, i).is_zero() {
             return None;
         }
-        let mut out = Vec::with_capacity(i);
         let mut cur = q;
         for step in 0..i {
             let remaining = i - step - 1;
-            let choices: Vec<((SymbolId, StateId), BigUint)> = self
-                .nfa
-                .transitions_from(cur)
-                .iter()
-                .map(|&(a, t)| ((a, t), self.path_count(t, remaining)))
-                .filter(|(_, c)| !c.is_zero())
-                .collect();
-            debug_assert!(!choices.is_empty());
-            let total: BigFloat = choices
-                .iter()
-                .map(|(_, c)| BigFloat::from_biguint(c))
-                .sum();
-            let u: f64 = rng.random();
-            let threshold = total * u;
-            let mut acc = BigFloat::zero();
-            let mut picked = choices.len() - 1;
-            for (ci, (_, c)) in choices.iter().enumerate() {
-                acc = acc + BigFloat::from_biguint(c);
-                if threshold < acc {
-                    picked = ci;
-                    break;
+            let wbase = s.weights.len();
+            let pbase = s.choice_pairs.len();
+            for &(a, t) in self.nfa.transitions_from(cur) {
+                let c = self.path_count(t, remaining);
+                if !c.is_zero() {
+                    s.choice_pairs.push((a, t));
+                    s.weights.push(c.to_bigfloat());
                 }
             }
-            let ((a, t), _) = choices[picked].clone();
-            out.push(a);
+            debug_assert!(s.choice_pairs.len() > pbase);
+            let total: BigFloat = s.weights[wbase..].iter().copied().sum();
+            let picked = pick_index_last(&s.weights[wbase..], total, rng);
+            let (a, t) = s.choice_pairs[pbase + picked];
+            s.weights.truncate(wbase);
+            s.choice_pairs.truncate(pbase);
+            s.syms.push(a);
             cur = t;
         }
-        Some(out)
+        Some(())
     }
 
     /// `M(x)`: the number of accepting runs of `x` from `q` (exact
-    /// count-weighted subset simulation).
-    fn runs_of_string(&self, q: StateId, x: &[SymbolId]) -> BigUint {
-        let mut cur: BTreeMap<StateId, BigUint> = BTreeMap::from([(q, BigUint::one())]);
+    /// count-weighted subset simulation over a sorted-vec frontier; `cur`
+    /// and `next` are reusable buffers).
+    fn runs_of_string(
+        &self,
+        q: StateId,
+        x: &[SymbolId],
+        cur: &mut Vec<(StateId, FixUint)>,
+        next: &mut Vec<(StateId, FixUint)>,
+    ) -> FixUint {
+        cur.clear();
+        next.clear();
+        cur.push((q, FixUint::one()));
         for &sym in x {
-            let mut next: BTreeMap<StateId, BigUint> = BTreeMap::new();
-            for (s, count) in &cur {
+            next.clear();
+            for (s, count) in cur.iter() {
                 for &(a, t) in self.nfa.transitions_from(*s) {
                     if a == sym {
-                        let e = next.entry(t).or_insert_with(BigUint::zero);
-                        *e += count;
+                        match next.binary_search_by_key(&t, |e| e.0) {
+                            Ok(pos) => next[pos].1 += count,
+                            Err(pos) => next.insert(pos, (t, count.clone())),
+                        }
                     }
                 }
             }
-            cur = next;
+            std::mem::swap(cur, next);
             if cur.is_empty() {
                 break;
             }
         }
-        cur.into_iter()
-            .filter(|(s, _)| self.nfa.accepting_states().contains(s))
-            .fold(BigUint::zero(), |acc, (_, c)| &acc + &c)
+        let mut acc = FixUint::zero();
+        for (s, c) in cur.iter() {
+            if self.nfa.accepting_states().contains(s) {
+                acc += c;
+            }
+        }
+        acc
     }
 
     fn count(&self, n: usize) -> BigFloat {
         let parts: Vec<StateId> = self.nfa.initial_states().iter().copied().collect();
         let useed = mix_seed(&[self.seed, TAG_NFA_TOP, n as u64]);
-        self.union_estimate(&parts, n, useed, |x, q| {
-            self.nfa.accepts_from(BTreeSet::from([q]), x)
-        })
+        self.union_estimate(&parts, n, useed)
     }
 
     /// Size estimate of `L(q, i)`, memoized.
@@ -214,33 +226,32 @@ impl<'a> NfaCounter<'a> {
             return v;
         }
         let useed = mix_seed(&[self.seed, TAG_NFA_GROUP, q.0 as u64, a.0 as u64, i as u64]);
-        let v = self.union_estimate(targets, i - 1, useed, |x, t| {
-            self.nfa.accepts_from(BTreeSet::from([t]), x)
-        });
+        let v = self.union_estimate(targets, i - 1, useed);
         self.group_memo.insert((q, a, i), v)
     }
 
-    /// The Karp–Luby union estimator over parts `L(t, len)` with membership
-    /// oracle `member(x, t)`, sampling from the streams rooted at `useed`.
-    fn union_estimate(
-        &self,
-        parts: &[StateId],
-        len: usize,
-        useed: u64,
-        member: impl Fn(&[SymbolId], StateId) -> bool + Sync,
-    ) -> BigFloat {
-        let sized: Vec<(StateId, BigFloat)> = parts
-            .iter()
-            .map(|&t| (t, self.state_est(t, len)))
-            .filter(|(_, s)| !s.is_zero())
-            .collect();
-        match sized.len() {
+    /// The Karp–Luby union estimator over parts `L(t, len)`, sampling from
+    /// the streams rooted at `useed`. Membership of a sampled string in a
+    /// part is the boolean subset simulation `accepts_from_state_buf`, run
+    /// over reusable scratch frontiers.
+    fn union_estimate(&self, parts: &[StateId], len: usize, useed: u64) -> BigFloat {
+        // Struct-of-arrays part table (states ∥ nonzero size estimates).
+        let mut p_states: Vec<StateId> = Vec::with_capacity(parts.len());
+        let mut p_ws: Vec<BigFloat> = Vec::with_capacity(parts.len());
+        for &t in parts {
+            let w = self.state_est(t, len);
+            if !w.is_zero() {
+                p_states.push(t);
+                p_ws.push(w);
+            }
+        }
+        match p_states.len() {
             0 => BigFloat::zero(),
-            1 => sized[0].1,
+            1 => p_ws[0],
             m => {
                 // Adaptive Karp–Luby estimation (the shared parallel loop
                 // in `union_mc`).
-                let total: BigFloat = sized.iter().map(|(_, s)| *s).sum();
+                let total: BigFloat = p_ws.iter().copied().sum();
                 let cap = self.cfg.union_samples(m);
                 let floor = self.cfg.union_sample_floor.min(cap);
                 let (taken, mean) = adaptive_mean(
@@ -250,14 +261,26 @@ impl<'a> NfaCounter<'a> {
                     self.cfg.local_epsilon(),
                     useed,
                     |rng: &mut StdRng| {
-                        let t = self.pick_part(&sized, total, rng);
-                        let x = self.sample_string(t, len, rng)?;
-                        let n_holding = sized
-                            .iter()
-                            .filter(|(t2, _)| member(&x, *t2))
-                            .count()
-                            .max(1);
-                        Some(1.0 / n_holding as f64)
+                        let t = p_states[pick_index_last(&p_ws, total, rng)];
+                        with_scratch(|s| {
+                            s.begin_sample();
+                            let (start, end) = self.sample_string_into(t, len, rng, s)?;
+                            let Scratch { syms, member_cur, member_next, .. } = &mut *s;
+                            let x = &syms[start as usize..end as usize];
+                            let n_holding = p_states
+                                .iter()
+                                .filter(|&&t2| {
+                                    self.nfa.accepts_from_state_buf(
+                                        t2,
+                                        x,
+                                        member_cur,
+                                        member_next,
+                                    )
+                                })
+                                .count()
+                                .max(1);
+                            Some(1.0 / n_holding as f64)
+                        })
                     },
                 );
                 if taken == 0 {
@@ -268,24 +291,6 @@ impl<'a> NfaCounter<'a> {
         }
     }
 
-    fn pick_part<R: Rng + ?Sized>(
-        &self,
-        sized: &[(StateId, BigFloat)],
-        total: BigFloat,
-        rng: &mut R,
-    ) -> StateId {
-        let u: f64 = rng.random();
-        let threshold = total * u;
-        let mut acc = BigFloat::zero();
-        for (t, s) in sized {
-            acc = acc + *s;
-            if threshold < acc {
-                return *t;
-            }
-        }
-        sized.last().unwrap().0
-    }
-
     /// Draws an (approximately uniform) string from `L(q, i)` by
     /// sampling-importance-resampling over exact path samples: each of
     /// `sir_candidates` accepting paths (drawn uniformly via the exact
@@ -293,31 +298,51 @@ impl<'a> NfaCounter<'a> {
     /// string's run multiplicity `M(x)`, and one is resampled by weight —
     /// cost `O(candidates · i)` regardless of depth, unlike nested
     /// rejection (see DESIGN.md §2.5).
-    fn sample_string<R: Rng + ?Sized>(
+    ///
+    /// Candidate strings live side by side in `s.syms`; the chosen one is
+    /// returned as a `(start, end)` span (it stays valid until the next
+    /// `begin_sample`).
+    fn sample_string_into<R: Rng + ?Sized>(
         &self,
         q: StateId,
         i: usize,
         rng: &mut R,
-    ) -> Option<Vec<SymbolId>> {
+        s: &mut Scratch,
+    ) -> Option<(u32, u32)> {
         if self.path_count(q, i).is_zero() {
             return None;
         }
         let k = self.cfg.sir_candidates.max(1);
-        let mut candidates: Vec<(Vec<SymbolId>, f64)> = Vec::with_capacity(k);
+        let spbase = s.str_spans.len();
+        let swbase = s.str_weights.len();
         for _ in 0..k {
-            let x = self.sample_path(q, i, rng)?;
-            let m = self.runs_of_string(q, &x).to_f64().max(1.0);
-            candidates.push((x, 1.0 / m));
+            let start = s.syms.len() as u32;
+            if self.sample_path_into(q, i, rng, s).is_none() {
+                s.str_spans.truncate(spbase);
+                s.str_weights.truncate(swbase);
+                return None;
+            }
+            let end = s.syms.len() as u32;
+            let m = {
+                let Scratch { syms, runs_cur, runs_next, .. } = &mut *s;
+                self.runs_of_string(q, &syms[start as usize..end as usize], runs_cur, runs_next)
+            };
+            s.str_spans.push((start, end));
+            s.str_weights.push(1.0 / m.to_f64().max(1.0));
         }
-        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
+        let total: f64 = s.str_weights[swbase..].iter().sum();
         let mut threshold: f64 = rng.random::<f64>() * total;
-        for (x, w) in candidates.drain(..) {
+        let mut picked = None;
+        for (ci, &w) in s.str_weights[swbase..].iter().enumerate() {
             threshold -= w;
             if threshold <= 0.0 {
-                return Some(x);
+                picked = Some(s.str_spans[spbase + ci]);
+                break;
             }
         }
-        unreachable!("weights are positive")
+        s.str_spans.truncate(spbase);
+        s.str_weights.truncate(swbase);
+        Some(picked.expect("weights are positive"))
     }
 }
 

@@ -1,7 +1,8 @@
 //! Top-down non-deterministic finite tree automata (paper §2).
 
 use crate::{Alphabet, StateId, SymbolId};
-use std::collections::{BTreeSet, HashMap};
+use pqe_par::FxHashMap;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// A labelled tree `t ∈ Trees_k[Σ]`: a node label plus an ordered list of
@@ -88,7 +89,7 @@ pub struct Nfta {
     transitions: Vec<Transition>,
     by_src: Vec<Vec<usize>>,
     /// Transitions indexed by `(symbol, arity)` for bottom-up runs.
-    by_symbol_arity: HashMap<(SymbolId, usize), Vec<usize>>,
+    by_symbol_arity: FxHashMap<(SymbolId, usize), Vec<usize>>,
     initial: StateId,
 }
 
@@ -100,7 +101,7 @@ impl Nfta {
             num_states: 1,
             transitions: Vec::new(),
             by_src: vec![Vec::new()],
-            by_symbol_arity: HashMap::new(),
+            by_symbol_arity: FxHashMap::default(),
             initial: StateId(0),
         }
     }
@@ -224,7 +225,7 @@ impl Nfta {
     /// cheaper than a bottom-up pass over every same-symbol transition.
     pub fn accepts_from(&self, q: StateId, t: &Tree) -> bool {
         let it = IndexedTree::new(t);
-        let mut memo = HashMap::new();
+        let mut memo = FxHashMap::default();
         self.accepted_at(q, &it, 0, &mut memo)
     }
 
@@ -236,23 +237,24 @@ impl Nfta {
         q: StateId,
         it: &IndexedTree,
         node: usize,
-        memo: &mut HashMap<(u32, u32), bool>,
+        memo: &mut FxHashMap<(u32, u32), bool>,
     ) -> bool {
         if let Some(&v) = memo.get(&(q.0, node as u32)) {
             return v;
         }
-        let arity = it.children[node].len();
+        let children = it.children(node);
+        let label = it.label(node);
         let mut ok = false;
         for &ti in &self.by_src[q.index()] {
             let tr = &self.transitions[ti];
-            if tr.symbol != it.labels[node] || tr.children.len() != arity {
+            if tr.symbol != label || tr.children.len() != children.len() {
                 continue;
             }
             if tr
                 .children
                 .iter()
-                .zip(it.children[node].iter())
-                .all(|(&cq, &cn)| self.accepted_at(cq, it, cn, memo))
+                .zip(children.iter())
+                .all(|(&cq, &cn)| self.accepted_at(cq, it, cn as usize, memo))
             {
                 ok = true;
                 break;
@@ -263,36 +265,110 @@ impl Nfta {
     }
 }
 
-/// A preorder-indexed view of a [`Tree`] for repeated acceptance checks:
-/// node 0 is the root, `children[i]` lists the node ids of node `i`'s
-/// children.
+/// A flat, arena-style tree store for the sampling hot paths: labels,
+/// child-id spans, and child ids live in three parallel vectors
+/// (struct-of-arrays), so building a tree is a handful of `Vec` pushes
+/// into reusable buffers instead of one heap allocation per node.
+///
+/// Doubles as the preorder-indexed view of a [`Tree`] for repeated
+/// acceptance checks ([`IndexedTree::new`]), and as the samplers' scratch
+/// arena — `clear` + `new_node`/`set_child` build candidate trees in
+/// place, and only a winner is ever converted back into a [`Tree`]
+/// ([`IndexedTree::to_tree`]).
+#[derive(Default)]
 pub struct IndexedTree {
-    /// Label per node, preorder.
-    pub labels: Vec<SymbolId>,
-    /// Child node ids per node.
-    pub children: Vec<Vec<usize>>,
+    labels: Vec<SymbolId>,
+    /// Per node: `(start, arity)` span into `child_ids`.
+    spans: Vec<(u32, u32)>,
+    child_ids: Vec<u32>,
 }
 
+/// A sentinel for a child slot reserved by [`IndexedTree::new_node`] but
+/// not yet wired by [`IndexedTree::set_child`].
+const UNSET_CHILD: u32 = u32::MAX;
+
 impl IndexedTree {
-    /// Flattens `t` in preorder.
+    /// An empty arena (fill with [`IndexedTree::push_tree`] or
+    /// [`IndexedTree::new_node`]).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Flattens `t` in preorder (node 0 is the root).
     pub fn new(t: &Tree) -> Self {
-        let mut it = IndexedTree {
-            labels: Vec::with_capacity(t.size()),
-            children: Vec::with_capacity(t.size()),
-        };
-        it.add(t);
+        let mut it = Self::empty();
+        it.push_tree(t);
         it
     }
 
-    fn add(&mut self, t: &Tree) -> usize {
-        let id = self.labels.len();
-        self.labels.push(t.label);
-        self.children.push(Vec::with_capacity(t.children.len()));
-        for c in &t.children {
-            let cid = self.add(c);
-            self.children[id].push(cid);
+    /// Drops all nodes, keeping the buffers for reuse.
+    pub fn clear(&mut self) {
+        self.labels.clear();
+        self.spans.clear();
+        self.child_ids.clear();
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` iff the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The label of `node`.
+    #[inline]
+    pub fn label(&self, node: usize) -> SymbolId {
+        self.labels[node]
+    }
+
+    /// The child node ids of `node`, in order.
+    #[inline]
+    pub fn children(&self, node: usize) -> &[u32] {
+        let (start, arity) = self.spans[node];
+        &self.child_ids[start as usize..(start + arity) as usize]
+    }
+
+    /// Allocates a node with `arity` unset child slots; returns its id.
+    pub fn new_node(&mut self, label: SymbolId, arity: usize) -> u32 {
+        let id = self.labels.len() as u32;
+        self.labels.push(label);
+        self.spans.push((self.child_ids.len() as u32, arity as u32));
+        self.child_ids
+            .extend(std::iter::repeat(UNSET_CHILD).take(arity));
+        id
+    }
+
+    /// Wires child slot `k` of `node` to `child`.
+    pub fn set_child(&mut self, node: u32, k: usize, child: u32) {
+        let (start, arity) = self.spans[node as usize];
+        debug_assert!((k as u32) < arity);
+        self.child_ids[start as usize + k] = child;
+    }
+
+    /// Copies `t` into the arena (preorder); returns the root's id.
+    pub fn push_tree(&mut self, t: &Tree) -> u32 {
+        let id = self.new_node(t.label, t.children.len());
+        for (k, c) in t.children.iter().enumerate() {
+            let cid = self.push_tree(c);
+            self.set_child(id, k, cid);
         }
         id
+    }
+
+    /// Materializes the subtree rooted at `node` as a [`Tree`].
+    pub fn to_tree(&self, node: u32) -> Tree {
+        let children = self
+            .children(node as usize)
+            .iter()
+            .map(|&c| {
+                debug_assert_ne!(c, UNSET_CHILD, "to_tree on partially built node");
+                self.to_tree(c)
+            })
+            .collect();
+        Tree::node(self.label(node as usize), children)
     }
 }
 
@@ -350,6 +426,39 @@ mod tests {
         let t = Tree::node(a, vec![Tree::leaf(b), Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b)])]);
         assert_eq!(t.size(), 5);
         assert_eq!(t.labels_preorder(), vec![a, b, a, b, b]);
+    }
+
+    #[test]
+    fn indexed_tree_roundtrips_and_reuses_buffers() {
+        let (_, a, b) = full_binary();
+        let t = Tree::node(a, vec![Tree::leaf(b), Tree::node(a, vec![Tree::leaf(b), Tree::leaf(b)])]);
+        // Tree -> arena -> Tree roundtrip preserves structure.
+        let it = IndexedTree::new(&t);
+        assert_eq!(it.len(), 5);
+        assert_eq!(it.to_tree(0), t);
+        assert_eq!(it.label(0), a);
+        assert_eq!(it.children(0).len(), 2);
+        // In-place construction (the samplers' path: parent allocated with
+        // unset slots, children wired as they are drawn) agrees with
+        // push_tree's preorder result.
+        let mut arena = IndexedTree::empty();
+        let root = arena.new_node(a, 2);
+        let left = arena.new_node(b, 0);
+        arena.set_child(root, 0, left);
+        let right = arena.new_node(a, 2);
+        arena.set_child(root, 1, right);
+        for k in 0..2 {
+            let leaf = arena.new_node(b, 0);
+            arena.set_child(right, k, leaf);
+        }
+        assert_eq!(arena.to_tree(root), t);
+        // clear() empties the arena but the next build still works and is
+        // unaffected by the previous occupant.
+        arena.clear();
+        assert!(arena.is_empty());
+        let lone = arena.new_node(b, 0);
+        assert_eq!(lone, 0, "node ids restart after clear");
+        assert_eq!(arena.to_tree(lone), Tree::leaf(b));
     }
 
     #[test]

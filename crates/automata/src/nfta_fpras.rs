@@ -26,12 +26,14 @@
 //! sample index via jump-split xoshiro streams (see `union_mc`), so for a
 //! fixed seed the estimate is bit-identical at any thread count.
 
+use crate::forest_reg::EMPTY_FOREST;
+use crate::scratch::{pick_index_last, with_scratch, Scratch};
 use crate::union_mc::{adaptive_mean, TAG_NFTA_GROUP};
 use crate::{FprasConfig, Nfta, RunTables, StateId, SymbolId, Tree};
 use pqe_arith::BigFloat;
 use pqe_par::ShardedMap;
 use pqe_rand::{mix_seed, Rng};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 /// Sampling diagnostics, published through the `pqe-obs` metrics registry
@@ -90,7 +92,9 @@ pub struct NftaCounter<'a> {
     /// environment).
     threads: usize,
     tree_memo: ShardedMap<(StateId, usize), BigFloat>,
-    forest_memo: ShardedMap<(Vec<StateId>, usize), BigFloat>,
+    /// Forest estimates keyed by interned forest id (see `forest_reg`) —
+    /// memo probes on the sampling hot path never allocate.
+    forest_memo: ShardedMap<(u32, usize), BigFloat>,
     /// Memoized per-group union estimates, keyed by
     /// `(state, group index, size)`. Without this, every sampling step
     /// would re-run the union estimator recursively — exponential work.
@@ -190,23 +194,27 @@ impl<'a> NftaCounter<'a> {
     }
 
     fn group_est_uncached(&self, group: &[usize], n: usize, useed: u64) -> BigFloat {
-        let sized: Vec<(usize, BigFloat)> = group
-            .iter()
-            .map(|&ti| {
-                let tr = &self.nfta.transitions()[ti];
-                (ti, self.forest_est(&tr.children, n - 1))
-            })
-            .filter(|(_, s)| !s.is_zero())
-            .collect();
-        match sized.len() {
+        // Struct-of-arrays part table: transition ids and their (nonzero)
+        // estimated sizes in parallel vectors, so the per-sample pick scans
+        // a dense `BigFloat` slice.
+        let mut part_tis: Vec<usize> = Vec::with_capacity(group.len());
+        let mut part_ws: Vec<BigFloat> = Vec::with_capacity(group.len());
+        for &ti in group {
+            let w = self.forest_est_f(self.runs.reg().transition_forest(ti), n - 1);
+            if !w.is_zero() {
+                part_tis.push(ti);
+                part_ws.push(w);
+            }
+        }
+        match part_tis.len() {
             0 => BigFloat::zero(),
-            1 => sized[0].1,
+            1 => part_ws[0],
             m => {
                 // Adaptive Karp–Luby estimation: draw until the standard
                 // error of the mean of 1/N falls below the per-union
                 // budget, capped by `union_samples(m)` — the shared
                 // parallel loop in `union_mc`.
-                let total: BigFloat = sized.iter().map(|(_, s)| *s).sum();
+                let total: BigFloat = part_ws.iter().copied().sum();
                 let cap = self.cfg.union_samples(m);
                 let floor = self.cfg.union_sample_floor.min(cap);
                 let (taken, mean) = adaptive_mean(
@@ -217,11 +225,15 @@ impl<'a> NftaCounter<'a> {
                     useed,
                     |rng| {
                         cnt_samples().inc();
-                        let ti = self.pick_weighted(&sized, total, rng);
+                        let ti = part_tis[pick_index_last(&part_ws, total, rng)];
                         let tr = &self.nfta.transitions()[ti];
-                        let forest = self.sample_forest(&tr.children, n - 1, rng)?;
-                        let tree = Tree::node(tr.symbol, forest);
-                        Some(1.0 / self.membership_count(&sized, &tree) as f64)
+                        let fid = self.runs.reg().transition_forest(ti);
+                        with_scratch(|s| {
+                            s.begin_sample();
+                            let root = s.tree.new_node(tr.symbol, tr.children.len());
+                            self.sample_forest_into(fid, n - 1, rng, s, root, 0)?;
+                            Some(1.0 / self.membership_count(&part_tis, s, root) as f64)
+                        })
                     },
                 );
                 if taken == 0 {
@@ -232,48 +244,48 @@ impl<'a> NftaCounter<'a> {
         }
     }
 
-    /// In how many of the group's parts does `tree` lie? (≥ 1 for sampled
-    /// trees.) One shared tree index and memo across all candidates.
-    fn membership_count(&self, sized: &[(usize, BigFloat)], tree: &Tree) -> usize {
+    /// In how many of the group's parts does the arena tree at `root` lie?
+    /// (≥ 1 for sampled trees.) The scratch arena's shared acceptance memo
+    /// carries over node-id-keyed results across parts.
+    fn membership_count(&self, part_tis: &[usize], s: &mut Scratch, root: u32) -> usize {
         cnt_member().inc();
-        let it = crate::IndexedTree::new(tree);
-        let mut memo = HashMap::new();
-        sized
+        let Scratch { tree, accept_memo, .. } = s;
+        let label = tree.label(root as usize);
+        let children = tree.children(root as usize);
+        part_tis
             .iter()
-            .filter(|&&(ti, _)| {
+            .filter(|&&ti| {
                 let tr = &self.nfta.transitions()[ti];
-                tr.symbol == tree.label
-                    && tr.children.len() == it.children[0].len()
+                tr.symbol == label
+                    && tr.children.len() == children.len()
                     && tr
                         .children
                         .iter()
-                        .zip(it.children[0].iter())
-                        .all(|(&cq, &cn)| self.nfta.accepted_at(cq, &it, cn, &mut memo))
+                        .zip(children.iter())
+                        .all(|(&cq, &cn)| {
+                            self.nfta.accepted_at(cq, tree, cn as usize, accept_memo)
+                        })
             })
             .count()
             .max(1)
     }
 
     /// Estimated `|Forest(states, m)|` — exact sum-product over the
-    /// first-tree size, given tree estimates.
+    /// first-tree size, given tree estimates. Arbitrary state lists are
+    /// accepted; registered transition suffixes (every forest the
+    /// estimator itself recurses on) hit the id-keyed memo.
     pub fn forest_est(&self, states: &[StateId], m: usize) -> BigFloat {
-        if states.is_empty() {
-            return if m == 0 {
-                BigFloat::one()
-            } else {
-                BigFloat::zero()
-            };
+        if let Some(fid) = self.runs.reg().resolve(states) {
+            return self.forest_est_f(fid, m);
         }
+        // Unregistered (caller-supplied) forest: one unmemoized split, the
+        // recursion re-enters through suffixes which may themselves be
+        // registered.
         if m < states.len() {
             return BigFloat::zero();
         }
-        // Unary forests are just trees: skip the size-split loop.
         if states.len() == 1 {
             return self.tree_est(states[0], m);
-        }
-        let key = (states.to_vec(), m);
-        if let Some(v) = self.forest_memo.get(&key) {
-            return v;
         }
         let (first, rest) = states.split_first().unwrap();
         let mut total = BigFloat::zero();
@@ -282,10 +294,44 @@ impl<'a> NftaCounter<'a> {
             if t.is_zero() {
                 continue;
             }
-            let f = self.forest_est(rest, m - j);
+            total = total + t * self.forest_est(rest, m - j);
+        }
+        total
+    }
+
+    /// [`NftaCounter::forest_est`] over an interned forest id, memoized.
+    fn forest_est_f(&self, fid: u32, m: usize) -> BigFloat {
+        if fid == EMPTY_FOREST {
+            return if m == 0 {
+                BigFloat::one()
+            } else {
+                BigFloat::zero()
+            };
+        }
+        let reg = self.runs.reg();
+        let len = reg.len(fid);
+        if m < len {
+            return BigFloat::zero();
+        }
+        let head = reg.head(fid);
+        // Unary forests are just trees: skip the size-split loop.
+        if len == 1 {
+            return self.tree_est(head, m);
+        }
+        if let Some(v) = self.forest_memo.get(&(fid, m)) {
+            return v;
+        }
+        let tail = reg.tail(fid);
+        let mut total = BigFloat::zero();
+        for j in 1..=(m - (len - 1)) {
+            let t = self.tree_est(head, j);
+            if t.is_zero() {
+                continue;
+            }
+            let f = self.forest_est_f(tail, m - j);
             total = total + t * f;
         }
-        self.forest_memo.insert(key, total)
+        self.forest_memo.insert((fid, m), total)
     }
 
     /// Samples an (approximately uniform) tree from `Trees(q, n)` by
@@ -300,6 +346,26 @@ impl<'a> NftaCounter<'a> {
     /// All randomness comes from the caller's `rng` — the counter holds no
     /// stream of its own. `None` iff no accepting run of size `n` exists.
     pub fn sample_tree<R: Rng + ?Sized>(&self, q: StateId, n: usize, rng: &mut R) -> Option<Tree> {
+        with_scratch(|s| {
+            s.begin_sample();
+            let node = self.sample_tree_into(q, n, rng, s)?;
+            Some(s.tree.to_tree(node))
+        })
+    }
+
+    /// Flat-arena SIR tree sampler (see [`NftaCounter::sample_tree`]): the
+    /// drawn tree is built in `s.tree` and its root id returned. Candidate
+    /// runs live side by side in the arena; losing candidates are simply
+    /// abandoned (reclaimed by the next `begin_sample`), and the run-count
+    /// DP memo is shared across candidates — node ids are unique within an
+    /// arena generation, so entries never collide.
+    fn sample_tree_into<R: Rng + ?Sized>(
+        &self,
+        q: StateId,
+        n: usize,
+        rng: &mut R,
+        s: &mut Scratch,
+    ) -> Option<u32> {
         if self.runs.tree_runs(q, n).is_zero() {
             return None;
         }
@@ -310,85 +376,91 @@ impl<'a> NftaCounter<'a> {
             // one run-sample is exactly uniform.
             1
         };
-        let first = self.runs.sample_run(q, n, rng)?;
+        let first = self.runs.sample_run_into(q, n, rng, s)?;
         cnt_tries().inc();
         if k == 1 {
             return Some(first);
         }
-        let m_first = self.runs.runs_of_tree(q, &first);
-        let mut candidates: Vec<(Tree, f64)> = Vec::with_capacity(k);
-        let m0 = m_first.to_f64().max(1.0);
-        candidates.push((first, 1.0 / m0));
+        let cbase = s.cand_nodes.len();
+        let m0 = {
+            let Scratch { tree, runs_memo, .. } = &mut *s;
+            self.runs.runs_at(q, tree, first as usize, runs_memo)
+        };
+        s.cand_nodes.push(first);
+        s.cand_weights.push(1.0 / m0.to_f64().max(1.0));
         for _ in 1..k {
             cnt_tries().inc();
-            let t = self.runs.sample_run(q, n, rng)?;
-            let m = self.runs.runs_of_tree(q, &t).to_f64().max(1.0);
-            candidates.push((t, 1.0 / m));
+            let Some(t) = self.runs.sample_run_into(q, n, rng, s) else {
+                s.cand_nodes.truncate(cbase);
+                s.cand_weights.truncate(cbase);
+                return None;
+            };
+            let m = {
+                let Scratch { tree, runs_memo, .. } = &mut *s;
+                self.runs.runs_at(q, tree, t as usize, runs_memo)
+            };
+            s.cand_nodes.push(t);
+            s.cand_weights.push(1.0 / m.to_f64().max(1.0));
         }
-        let total: f64 = candidates.iter().map(|(_, w)| w).sum();
+        let total: f64 = s.cand_weights[cbase..].iter().sum();
         let mut threshold: f64 = rng.random::<f64>() * total;
-        for (t, w) in candidates.drain(..) {
+        let mut picked = None;
+        for (i, &w) in s.cand_weights[cbase..].iter().enumerate() {
             threshold -= w;
             if threshold <= 0.0 {
-                return Some(t);
+                picked = Some(s.cand_nodes[cbase + i]);
+                break;
             }
         }
-        unreachable!("weights are positive")
+        s.cand_nodes.truncate(cbase);
+        s.cand_weights.truncate(cbase);
+        Some(picked.expect("weights are positive"))
     }
 
-    /// Samples a forest from `Forest(states, m)`: first-tree size
-    /// proportional to its share, then independent components.
-    fn sample_forest<R: Rng + ?Sized>(
+    /// Samples a forest from `Forest(states, m)` into the arena: first-tree
+    /// size proportional to its share, then independent components, each
+    /// installed as a child of `parent` starting at `slot`.
+    fn sample_forest_into<R: Rng + ?Sized>(
         &self,
-        states: &[StateId],
+        fid: u32,
         m: usize,
         rng: &mut R,
-    ) -> Option<Vec<Tree>> {
-        if states.is_empty() {
-            return (m == 0).then(Vec::new);
+        s: &mut Scratch,
+        parent: u32,
+        slot: usize,
+    ) -> Option<()> {
+        if fid == EMPTY_FOREST {
+            return (m == 0).then_some(());
         }
-        if self.forest_est(states, m).is_zero() {
+        if self.forest_est_f(fid, m).is_zero() {
             return None;
         }
-        if states.len() == 1 {
-            return self.sample_tree(states[0], m, rng).map(|t| vec![t]);
+        let reg = self.runs.reg();
+        let head = reg.head(fid);
+        if reg.len(fid) == 1 {
+            let c = self.sample_tree_into(head, m, rng, s)?;
+            s.tree.set_child(parent, slot, c);
+            return Some(());
         }
-        let (first, rest) = states.split_first().unwrap();
-        let options: Vec<(usize, BigFloat)> = (1..=(m - rest.len()))
-            .map(|j| {
-                let w = self.tree_est(*first, j) * self.forest_est(rest, m - j);
-                (j, w)
-            })
-            .filter(|(_, w)| !w.is_zero())
-            .collect();
-        let total: BigFloat = options.iter().map(|(_, w)| *w).sum();
-        let j = self.pick_weighted(&options, total, rng);
-        let head = self.sample_tree(*first, j, rng)?;
-        let mut tail = self.sample_forest(rest, m - j, rng)?;
-        let mut forest = Vec::with_capacity(1 + tail.len());
-        forest.push(head);
-        forest.append(&mut tail);
-        Some(forest)
-    }
-
-    /// Draws a key from `(key, weight)` pairs proportionally to weight.
-    fn pick_weighted<K: Copy, R: Rng + ?Sized>(
-        &self,
-        weighted: &[(K, BigFloat)],
-        total: BigFloat,
-        rng: &mut R,
-    ) -> K {
-        debug_assert!(!weighted.is_empty());
-        let u: f64 = rng.random();
-        let threshold = total * u;
-        let mut acc = BigFloat::zero();
-        for (k, w) in weighted {
-            acc = acc + *w;
-            if threshold < acc {
-                return *k;
+        let tail = reg.tail(fid);
+        // Nonzero split sizes and weights, in the shared stack buffers
+        // (`keys` ∥ `weights`), truncated back before recursing.
+        let wbase = s.weights.len();
+        let kbase = s.keys.len();
+        for j in 1..=(m - (reg.len(fid) - 1)) {
+            let w = self.tree_est(head, j) * self.forest_est_f(tail, m - j);
+            if !w.is_zero() {
+                s.keys.push(j as u32);
+                s.weights.push(w);
             }
         }
-        weighted.last().unwrap().0
+        let total: BigFloat = s.weights[wbase..].iter().copied().sum();
+        let j = s.keys[kbase + pick_index_last(&s.weights[wbase..], total, rng)] as usize;
+        s.weights.truncate(wbase);
+        s.keys.truncate(kbase);
+        let c = self.sample_tree_into(head, j, rng, s)?;
+        s.tree.set_child(parent, slot, c);
+        self.sample_forest_into(tail, m - j, rng, s, parent, slot + 1)
     }
 }
 

@@ -18,24 +18,32 @@
 //! (simple & unbiased vs. hierarchical variance control) is exactly the gap
 //! between this estimator and the ACJR construction; the `ablation` bench
 //! measures it.
+//!
+//! Run counts are carried as [`FixUint`] — `u128` until overflow, then
+//! `BigUint` — and samples are drawn straight into a flat [`IndexedTree`]
+//! arena via the internal `*_into` entry points (see `scratch.rs`); the
+//! `Tree`-returning public API wraps them.
 
-use crate::{Nfta, StateId, Tree};
-use pqe_arith::{BigFloat, BigUint};
-use pqe_par::ShardedMap;
+use crate::forest_reg::{ForestReg, EMPTY_FOREST};
+use crate::scratch::{pick_index_nonzero, with_scratch, Scratch};
+use crate::{IndexedTree, Nfta, StateId, Tree};
+use pqe_arith::{BigFloat, FixUint};
+use pqe_par::{FxHashMap, ShardedMap};
 use pqe_rand::rngs::StdRng;
 use pqe_rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Exact run-count tables for an NFTA, reusable across samples.
 ///
 /// The tables are filled lazily through `&self` (sharded interior
 /// mutability): every entry is an exact DP value — a pure function of its
 /// key — so concurrent duplicate computation by parallel samplers is
-/// idempotent, and no lock is ever held across the recursion.
+/// idempotent, and no lock is ever held across the recursion. Forests are
+/// keyed by interned ids (see `forest_reg`), so memo probes never allocate.
 pub struct RunTables<'a> {
     nfta: &'a Nfta,
-    tree_runs: ShardedMap<(StateId, usize), BigUint>,
-    forest_runs: ShardedMap<(Vec<StateId>, usize), BigUint>,
+    reg: ForestReg,
+    tree_runs: ShardedMap<(StateId, usize), FixUint>,
+    forest_runs: ShardedMap<(u32, usize), FixUint>,
 }
 
 impl<'a> RunTables<'a> {
@@ -43,51 +51,58 @@ impl<'a> RunTables<'a> {
     pub fn new(nfta: &'a Nfta) -> Self {
         RunTables {
             nfta,
+            reg: ForestReg::new(nfta),
             tree_runs: ShardedMap::new(),
             forest_runs: ShardedMap::new(),
         }
     }
 
+    /// The forest interning table (shared with `NftaCounter`).
+    pub(crate) fn reg(&self) -> &ForestReg {
+        &self.reg
+    }
+
     /// `R(q, n)`: accepting runs from `q` over size-`n` trees.
-    pub fn tree_runs(&self, q: StateId, n: usize) -> BigUint {
+    pub fn tree_runs(&self, q: StateId, n: usize) -> FixUint {
         if n == 0 {
-            return BigUint::zero();
+            return FixUint::zero();
         }
         if let Some(v) = self.tree_runs.get(&(q, n)) {
             return v;
         }
-        let mut total = BigUint::zero();
+        let mut total = FixUint::zero();
         for &ti in self.nfta.transitions_from(q) {
-            total += self.forest_runs(&self.nfta.transitions()[ti].children, n - 1);
+            total += self.forest_runs(self.reg.transition_forest(ti), n - 1);
         }
         self.tree_runs.insert((q, n), total)
     }
 
-    fn forest_runs(&self, states: &[StateId], m: usize) -> BigUint {
-        if states.is_empty() {
-            return if m == 0 { BigUint::one() } else { BigUint::zero() };
+    fn forest_runs(&self, fid: u32, m: usize) -> FixUint {
+        if fid == EMPTY_FOREST {
+            return if m == 0 { FixUint::one() } else { FixUint::zero() };
         }
-        if m < states.len() {
-            return BigUint::zero();
+        let len = self.reg.len(fid);
+        if m < len {
+            return FixUint::zero();
         }
+        let head = self.reg.head(fid);
         // Unary forests are trees.
-        if states.len() == 1 {
-            return self.tree_runs(states[0], m);
+        if len == 1 {
+            return self.tree_runs(head, m);
         }
-        let key = (states.to_vec(), m);
-        if let Some(v) = self.forest_runs.get(&key) {
+        if let Some(v) = self.forest_runs.get(&(fid, m)) {
             return v;
         }
-        let (first, rest) = states.split_first().unwrap();
-        let mut total = BigUint::zero();
-        for j in 1..=(m - rest.len()) {
-            let t = self.tree_runs(*first, j);
+        let tail = self.reg.tail(fid);
+        let mut total = FixUint::zero();
+        for j in 1..=(m - (len - 1)) {
+            let t = self.tree_runs(head, j);
             if t.is_zero() {
                 continue;
             }
-            total += &t * &self.forest_runs(rest, m - j);
+            total += &t * &self.forest_runs(tail, m - j);
         }
-        self.forest_runs.insert(key, total)
+        self.forest_runs.insert((fid, m), total)
     }
 
     /// Samples a run (and its tree) uniformly among accepting runs from
@@ -98,80 +113,114 @@ impl<'a> RunTables<'a> {
         n: usize,
         rng: &mut R,
     ) -> Option<Tree> {
+        with_scratch(|s| {
+            s.begin_sample();
+            let node = self.sample_run_into(q, n, rng, s)?;
+            Some(s.tree.to_tree(node))
+        })
+    }
+
+    /// Flat-arena run sampler: the drawn tree is built in `s.tree` and its
+    /// root id returned. Draw-for-draw identical to [`RunTables::sample_run`].
+    pub(crate) fn sample_run_into<R: Rng + ?Sized>(
+        &self,
+        q: StateId,
+        n: usize,
+        rng: &mut R,
+        s: &mut Scratch,
+    ) -> Option<u32> {
         let total = self.tree_runs(q, n);
         if total.is_zero() {
             return None;
         }
         // Pick a transition ∝ its forest run count.
         let tis = self.nfta.transitions_from(q);
-        let weights: Vec<BigUint> = tis
-            .iter()
-            .map(|&ti| self.forest_runs(&self.nfta.transitions()[ti].children, n - 1))
-            .collect();
-        let pick = pick_weighted_biguint(&weights, rng);
-        let tr = &self.nfta.transitions()[tis[pick]];
-        let forest = self.sample_forest_run(&tr.children, n - 1, rng)?;
-        Some(Tree::node(tr.symbol, forest))
+        let wbase = s.weights.len();
+        for &ti in tis {
+            let w = self.forest_runs(self.reg.transition_forest(ti), n - 1);
+            s.weights.push(w.to_bigfloat());
+        }
+        let pick = pick_index_nonzero(&s.weights[wbase..], rng);
+        s.weights.truncate(wbase);
+        let ti = tis[pick];
+        let tr = &self.nfta.transitions()[ti];
+        let node = s.tree.new_node(tr.symbol, tr.children.len());
+        self.sample_forest_run_into(self.reg.transition_forest(ti), n - 1, rng, s, node, 0)?;
+        Some(node)
     }
 
-    fn sample_forest_run<R: Rng + ?Sized>(
+    fn sample_forest_run_into<R: Rng + ?Sized>(
         &self,
-        states: &[StateId],
+        fid: u32,
         m: usize,
         rng: &mut R,
-    ) -> Option<Vec<Tree>> {
-        if states.is_empty() {
-            return (m == 0).then(Vec::new);
+        s: &mut Scratch,
+        parent: u32,
+        slot: usize,
+    ) -> Option<()> {
+        if fid == EMPTY_FOREST {
+            return (m == 0).then_some(());
         }
-        if states.len() == 1 {
-            return self.sample_run(states[0], m, rng).map(|t| vec![t]);
+        let head = self.reg.head(fid);
+        let len = self.reg.len(fid);
+        if len == 1 {
+            let c = self.sample_run_into(head, m, rng, s)?;
+            s.tree.set_child(parent, slot, c);
+            return Some(());
         }
-        let (first, rest) = states.split_first().unwrap();
-        let sizes: Vec<usize> = (1..=(m - rest.len())).collect();
-        let weights: Vec<BigUint> = sizes
-            .iter()
-            .map(|&j| &self.tree_runs(*first, j) * &self.forest_runs(rest, m - j))
-            .collect();
-        if weights.iter().all(BigUint::is_zero) {
+        let tail = self.reg.tail(fid);
+        // Weight per first-tree size j ∈ 1..=(m − (len−1)), zeros kept
+        // (the nonzero-fallback pick skips them), exactly as the historical
+        // `pick_weighted_biguint` scan.
+        let wbase = s.weights.len();
+        for j in 1..=(m - (len - 1)) {
+            let w = &self.tree_runs(head, j) * &self.forest_runs(tail, m - j);
+            s.weights.push(w.to_bigfloat());
+        }
+        if s.weights[wbase..].iter().all(BigFloat::is_zero) {
+            s.weights.truncate(wbase);
             return None;
         }
-        let j = sizes[pick_weighted_biguint(&weights, rng)];
-        let head = self.sample_run(*first, j, rng)?;
-        let mut tail = self.sample_forest_run(rest, m - j, rng)?;
-        let mut out = Vec::with_capacity(1 + tail.len());
-        out.push(head);
-        out.append(&mut tail);
-        Some(out)
+        let j = 1 + pick_index_nonzero(&s.weights[wbase..], rng);
+        s.weights.truncate(wbase);
+        let c = self.sample_run_into(head, j, rng, s)?;
+        s.tree.set_child(parent, slot, c);
+        self.sample_forest_run_into(tail, m - j, rng, s, parent, slot + 1)
     }
 
     /// `M(t)`: the number of accepting runs of `T` over the fixed tree `t`
     /// starting from `q` (exact DP over `(state, node)` pairs).
-    pub fn runs_of_tree(&self, q: StateId, t: &Tree) -> BigUint {
-        let it = crate::IndexedTree::new(t);
-        let mut memo: HashMap<(u32, u32), BigUint> = HashMap::new();
+    pub fn runs_of_tree(&self, q: StateId, t: &Tree) -> FixUint {
+        let it = IndexedTree::new(t);
+        let mut memo: FxHashMap<(u32, u32), FixUint> = FxHashMap::default();
         self.runs_at(q, &it, 0, &mut memo)
     }
 
-    fn runs_at(
+    /// [`RunTables::runs_of_tree`] over a node already in a flat arena,
+    /// with a caller-owned memo. Node ids are unique within an arena
+    /// generation and the DP is pure, so one memo may be shared across all
+    /// candidates of a sample.
+    pub(crate) fn runs_at(
         &self,
         q: StateId,
-        it: &crate::IndexedTree,
+        it: &IndexedTree,
         node: usize,
-        memo: &mut HashMap<(u32, u32), BigUint>,
-    ) -> BigUint {
+        memo: &mut FxHashMap<(u32, u32), FixUint>,
+    ) -> FixUint {
         if let Some(v) = memo.get(&(q.0, node as u32)) {
             return v.clone();
         }
-        let arity = it.children[node].len();
-        let mut total = BigUint::zero();
+        let children = it.children(node);
+        let label = it.label(node);
+        let mut total = FixUint::zero();
         for &ti in self.nfta.transitions_from(q) {
             let tr = &self.nfta.transitions()[ti];
-            if tr.symbol != it.labels[node] || tr.children.len() != arity {
+            if tr.symbol != label || tr.children.len() != children.len() {
                 continue;
             }
-            let mut prod = BigUint::one();
-            for (&cq, &cn) in tr.children.iter().zip(it.children[node].iter()) {
-                prod = &prod * &self.runs_at(cq, it, cn, memo);
+            let mut prod = FixUint::one();
+            for (&cq, &cn) in tr.children.iter().zip(children.iter()) {
+                prod = &prod * &self.runs_at(cq, it, cn as usize, memo);
                 if prod.is_zero() {
                     break;
                 }
@@ -181,24 +230,6 @@ impl<'a> RunTables<'a> {
         memo.insert((q.0, node as u32), total.clone());
         total
     }
-}
-
-fn pick_weighted_biguint<R: Rng + ?Sized>(weights: &[BigUint], rng: &mut R) -> usize {
-    let total: BigFloat = weights.iter().map(BigFloat::from_biguint).sum();
-    debug_assert!(!total.is_zero());
-    let u: f64 = rng.random();
-    let threshold = total * u;
-    let mut acc = BigFloat::zero();
-    for (i, w) in weights.iter().enumerate() {
-        acc = acc + BigFloat::from_biguint(w);
-        if threshold < acc {
-            return i;
-        }
-    }
-    weights
-        .iter()
-        .rposition(|w| !w.is_zero())
-        .expect("some weight positive")
 }
 
 /// The run-based importance estimator of `|L_n(T)|`:
@@ -230,17 +261,21 @@ pub fn count_nfta_run_based(nfta: &Nfta, n: usize, samples: usize, seed: u64) ->
         range
             .map(|i| {
                 let mut rng = rngs[i].clone();
-                let t = tables
-                    .sample_run(nfta.initial(), n, &mut rng)
-                    .expect("R > 0 implies a run exists");
-                let m = tables.runs_of_tree(nfta.initial(), &t);
-                debug_assert!(!m.is_zero());
-                1.0 / m.to_f64()
+                with_scratch(|s| {
+                    s.begin_sample();
+                    let t = tables
+                        .sample_run_into(nfta.initial(), n, &mut rng, s)
+                        .expect("R > 0 implies a run exists");
+                    let Scratch { tree, runs_memo, .. } = s;
+                    let m = tables.runs_at(nfta.initial(), tree, t as usize, runs_memo);
+                    debug_assert!(!m.is_zero());
+                    1.0 / m.to_f64()
+                })
             })
             .collect()
     });
     let inv_sum: f64 = invs.iter().sum();
-    BigFloat::from_biguint(&total_runs) * (inv_sum / samples as f64)
+    total_runs.to_bigfloat() * (inv_sum / samples as f64)
 }
 
 #[cfg(test)]

@@ -1,0 +1,220 @@
+//! Reusable per-sample scratch state for the FPRAS sampling hot paths.
+//!
+//! Every Karp–Luby sample used to allocate its working state from
+//! scratch: a `Tree` node per sampled node, a weight `Vec` per sampling
+//! decision, a fresh memo table per membership check. This module replaces
+//! all of that with a thread-local **pool** of [`Scratch`] arenas:
+//!
+//! * the sampled tree is built directly in a flat [`IndexedTree`] arena
+//!   (struct-of-arrays — see `nfta.rs`), converted to a real [`Tree`] only
+//!   if it escapes to a public API;
+//! * weight lists for proportional picks live in shared stack-disciplined
+//!   buffers (`weights`/`keys`): a recursion level records the stack base,
+//!   pushes its options, picks, and truncates back — no allocation once
+//!   the high-water mark is reached;
+//! * memo tables (`accept_memo`, `runs_memo`) are cleared, never dropped.
+//!
+//! ## Why a pool, not a single thread-local cell
+//!
+//! Union estimation nests: a sample closure may call `tree_est`, which may
+//! trigger a nested union estimate whose sample loop runs *inline on the
+//! same thread* (see `pqe_par::in_worker`). A single `RefCell<Scratch>`
+//! would double-borrow; a pool simply hands the nested level its own
+//! arena. The pool never shrinks, so steady state is one arena per nesting
+//! level per worker thread.
+//!
+//! ## Determinism
+//!
+//! Scratch reuse is invisible by construction: buffers are either cleared
+//! (`begin_sample`) or stack-disciplined, and nothing read by the sampler
+//! survives from a previous sample. The workspace equivalence suite pins
+//! this with back-to-back and fresh-pool comparisons.
+
+use crate::IndexedTree;
+use crate::{StateId, SymbolId};
+use pqe_arith::{BigFloat, FixUint};
+use pqe_par::FxHashMap;
+use pqe_rand::Rng;
+use std::cell::RefCell;
+
+/// Per-sample working state (see module docs). One instance supports one
+/// sampling call tree; nested union estimates take their own from the
+/// pool.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// Flat arena the candidate/sample trees are built into.
+    pub tree: IndexedTree,
+    /// Stack of proportional-pick weights (shared across recursion levels
+    /// via base/truncate discipline).
+    pub weights: Vec<BigFloat>,
+    /// Stack of pick keys parallel to `weights` (forest split sizes).
+    pub keys: Vec<u32>,
+    /// SIR candidate roots (tree sampler).
+    pub cand_nodes: Vec<u32>,
+    /// SIR candidate weights, parallel to `cand_nodes`.
+    pub cand_weights: Vec<f64>,
+    /// Memo for the membership oracle (`accepted_at`), keyed `(state, node)`.
+    pub accept_memo: FxHashMap<(u32, u32), bool>,
+    /// Memo for run-count DPs over the arena, keyed `(state, node)`.
+    pub runs_memo: FxHashMap<(u32, u32), FixUint>,
+    /// Flat symbol buffer for string candidates (NFA sampler).
+    pub syms: Vec<SymbolId>,
+    /// SIR candidate spans `(start, end)` into `syms`.
+    pub str_spans: Vec<(u32, u32)>,
+    /// SIR candidate weights, parallel to `str_spans`.
+    pub str_weights: Vec<f64>,
+    /// Per-step `(symbol, target)` choices of the path sampler.
+    pub choice_pairs: Vec<(SymbolId, StateId)>,
+    /// Frontier buffers for the run-count subset simulation.
+    pub runs_cur: Vec<(StateId, FixUint)>,
+    /// Second frontier buffer (swapped with `runs_cur` per step).
+    pub runs_next: Vec<(StateId, FixUint)>,
+    /// Frontier buffers for the boolean membership simulation.
+    pub member_cur: Vec<StateId>,
+    /// Second membership frontier buffer.
+    pub member_next: Vec<StateId>,
+}
+
+impl Scratch {
+    /// Resets all per-sample state (arena, memos, candidate buffers) while
+    /// keeping the allocations. Stack-disciplined buffers are cleared too:
+    /// an aborted sample (`None` mid-recursion) may leave partial frames.
+    pub fn begin_sample(&mut self) {
+        self.tree.clear();
+        self.accept_memo.clear();
+        self.runs_memo.clear();
+        self.weights.clear();
+        self.keys.clear();
+        self.cand_nodes.clear();
+        self.cand_weights.clear();
+        self.syms.clear();
+        self.str_spans.clear();
+        self.str_weights.clear();
+        self.choice_pairs.clear();
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Vec<Box<Scratch>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a pooled [`Scratch`], returning the arena to the
+/// thread-local pool afterwards. Nested calls (inline nested union
+/// estimates) receive distinct arenas.
+pub(crate) fn with_scratch<T>(f: impl FnOnce(&mut Scratch) -> T) -> T {
+    let mut s = POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut s);
+    POOL.with(|p| p.borrow_mut().push(s));
+    out
+}
+
+/// Draws an index from `weights` proportionally, falling back to the
+/// **last** entry if accumulated rounding leaves the threshold unmet —
+/// the exact scan the estimators have always used for pre-filtered
+/// (all-nonzero) weight lists.
+#[inline]
+pub(crate) fn pick_index_last<R: Rng + ?Sized>(
+    weights: &[BigFloat],
+    total: BigFloat,
+    rng: &mut R,
+) -> usize {
+    debug_assert!(!weights.is_empty());
+    let u: f64 = rng.random();
+    let threshold = total * u;
+    let mut acc = BigFloat::zero();
+    for (i, w) in weights.iter().enumerate() {
+        acc = acc + *w;
+        if threshold < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Draws an index from `weights` (which may contain zeros) proportionally,
+/// falling back to the last **nonzero** entry — the exact scan of the
+/// run-sampler's historical `pick_weighted_biguint`.
+#[inline]
+pub(crate) fn pick_index_nonzero<R: Rng + ?Sized>(
+    weights: &[BigFloat],
+    rng: &mut R,
+) -> usize {
+    let total: BigFloat = weights.iter().copied().sum();
+    debug_assert!(!total.is_zero());
+    let u: f64 = rng.random();
+    let threshold = total * u;
+    let mut acc = BigFloat::zero();
+    for (i, w) in weights.iter().enumerate() {
+        acc = acc + *w;
+        if threshold < acc {
+            return i;
+        }
+    }
+    weights
+        .iter()
+        .rposition(|w| !w.is_zero())
+        .expect("some weight positive")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pqe_rand::rngs::StdRng;
+    use pqe_rand::SeedableRng;
+
+    #[test]
+    fn pool_hands_out_distinct_arenas_when_nested() {
+        with_scratch(|outer| {
+            outer.weights.push(BigFloat::one());
+            with_scratch(|inner| {
+                assert!(inner.weights.is_empty(), "nested arena must be its own");
+                inner.weights.push(BigFloat::one());
+            });
+            assert_eq!(outer.weights.len(), 1);
+            outer.weights.clear();
+        });
+    }
+
+    #[test]
+    fn begin_sample_clears_everything() {
+        with_scratch(|s| {
+            s.weights.push(BigFloat::one());
+            s.keys.push(3);
+            s.cand_nodes.push(0);
+            s.cand_weights.push(1.0);
+            s.accept_memo.insert((0, 0), true);
+            s.runs_memo.insert((0, 0), FixUint::one());
+            s.syms.push(SymbolId(1));
+            s.str_spans.push((0, 1));
+            s.str_weights.push(1.0);
+            s.choice_pairs.push((SymbolId(1), StateId(0)));
+            s.begin_sample();
+            assert!(s.weights.is_empty() && s.keys.is_empty());
+            assert!(s.cand_nodes.is_empty() && s.cand_weights.is_empty());
+            assert!(s.accept_memo.is_empty() && s.runs_memo.is_empty());
+            assert!(s.syms.is_empty() && s.str_spans.is_empty() && s.str_weights.is_empty());
+            assert!(s.choice_pairs.is_empty());
+            assert!(s.tree.is_empty());
+        });
+    }
+
+    #[test]
+    fn pick_scans_agree_on_nonzero_lists() {
+        // On all-nonzero lists both pick variants draw identically.
+        let weights: Vec<BigFloat> = [1.0, 2.5, 0.5, 4.0]
+            .iter()
+            .map(|&w| BigFloat::from_f64(w))
+            .collect();
+        let total: BigFloat = weights.iter().copied().sum();
+        for seed in 0..50u64 {
+            let mut a = StdRng::seed_from_u64(seed);
+            let mut b = StdRng::seed_from_u64(seed);
+            assert_eq!(
+                pick_index_last(&weights, total, &mut a),
+                pick_index_nonzero(&weights, &mut b)
+            );
+        }
+    }
+}

@@ -22,6 +22,15 @@
 //!    loop stops at the same sample index whatever the batch shape;
 //!    samples speculatively computed past the stop index are discarded.
 //!
+//! The fold itself lives in [`WelfordFold`] — one shared implementation,
+//! so the sequential fast path, the parallel batcher, and the in-tree
+//! reference loop ([`adaptive_mean_reference`], kept for the differential
+//! suite) cannot drift apart operation-by-operation. The single-thread
+//! path (also taken inside a worker) derives one RNG stream at a time and
+//! never allocates; the parallel path pre-fills a reused block of
+//! per-index streams — "batched RNG draws" — in index order before fanning
+//! out.
+//!
 //! Each union gets its own seed via [`pqe_rand::mix_seed`] over
 //! `(run seed, domain tag, union key…)`, making every memoized estimate a
 //! pure function of its key and the run seed — which in turn is what lets
@@ -38,6 +47,52 @@ pub(crate) const SAMPLE_CHUNK: usize = 4;
 pub(crate) const TAG_NFTA_GROUP: u64 = 0x7e4a_0001;
 pub(crate) const TAG_NFA_GROUP: u64 = 0x7e4a_0002;
 pub(crate) const TAG_NFA_TOP: u64 = 0x7e4a_0003;
+
+/// The ordered Welford mean/variance fold with the adaptive early stop.
+///
+/// Exactly one implementation of the accumulation order exists: every
+/// sample loop pushes per-index results through this struct in index
+/// order. The operation sequence per accepted value — `delta = x − mean`,
+/// `mean += delta / taken`, `m2 += delta · (x − mean)`, then the
+/// standard-error test — is pinned by `fold_is_pinned_at_every_worker_count`
+/// below; changing it changes every golden digit in the workspace.
+pub(crate) struct WelfordFold {
+    floor: usize,
+    eps_loc: f64,
+    taken: usize,
+    mean: f64,
+    m2: f64,
+}
+
+impl WelfordFold {
+    pub(crate) fn new(floor: usize, eps_loc: f64) -> Self {
+        WelfordFold { floor, eps_loc, taken: 0, mean: 0.0, m2: 0.0 }
+    }
+
+    /// Folds one per-index result; returns the final `(taken, mean)` when
+    /// the early stop fires at this index.
+    #[inline]
+    pub(crate) fn push(&mut self, v: Option<f64>) -> Option<(usize, f64)> {
+        let x = v?;
+        self.taken += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.taken as f64;
+        self.m2 += delta * (x - self.mean);
+        if self.taken >= self.floor && self.mean > 0.0 {
+            let t = self.taken as f64;
+            let sem = (self.m2 / (t * (t - 1.0))).sqrt() / self.mean;
+            if sem < self.eps_loc {
+                return Some((self.taken, self.mean));
+            }
+        }
+        None
+    }
+
+    /// The result when the cap is reached without an early stop.
+    pub(crate) fn finish(self) -> (usize, f64) {
+        (self.taken, self.mean)
+    }
+}
 
 /// Runs the adaptive sample loop: up to `cap` draws of `sample`, Welford
 /// mean/variance over the `Some` results in index order, stopping once at
@@ -63,6 +118,68 @@ where
     let _span = pqe_obs::span::span("union_mc");
     let threads = if pqe_par::in_worker() { 1 } else { threads };
     let mut head = StdRng::seed_from_u64(useed); // stream 0 == split_n(useed, 0)
+    let mut fold = WelfordFold::new(floor, eps_loc);
+    if threads <= 1 {
+        // Sequential fast path: the stream of index `i` is `head` before
+        // its `i`-th jump — no per-iteration allocation at all.
+        for _ in 0..cap {
+            let mut rng = head.clone();
+            head.jump();
+            if let Some(done) = fold.push(sample(&mut rng)) {
+                return done;
+            }
+        }
+        return fold.finish();
+    }
+    // Parallel path: pre-fill a block of per-index streams in index order
+    // (batched RNG derivation), evaluate the block on the worker pool, and
+    // fold the results in index order. The block buffer is reused across
+    // batches.
+    let mut rngs: Vec<StdRng> = Vec::with_capacity(threads * SAMPLE_CHUNK);
+    let mut drawn = 0usize;
+    while drawn < cap {
+        let want = (threads * SAMPLE_CHUNK).min(cap - drawn);
+        rngs.clear();
+        rngs.extend((0..want).map(|_| {
+            let r = head.clone();
+            head.jump();
+            r
+        }));
+        let vals = pqe_par::map_chunks(threads, want, SAMPLE_CHUNK, |range| {
+            range
+                .map(|k| {
+                    let mut rng = rngs[k].clone();
+                    sample(&mut rng)
+                })
+                .collect()
+        });
+        drawn += want;
+        for v in vals {
+            if let Some(done) = fold.push(v) {
+                return done;
+            }
+        }
+    }
+    fold.finish()
+}
+
+/// The pre-optimization reference loop: per-iteration `Vec` of streams,
+/// same index-keyed streams, same ordered fold. Kept in-tree so the
+/// differential tests can assert the production loop never drifts from it.
+#[cfg(test)]
+pub(crate) fn adaptive_mean_reference<F>(
+    threads: usize,
+    cap: usize,
+    floor: usize,
+    eps_loc: f64,
+    useed: u64,
+    sample: F,
+) -> (usize, f64)
+where
+    F: Fn(&mut StdRng) -> Option<f64> + Sync,
+{
+    let threads = if pqe_par::in_worker() { 1 } else { threads };
+    let mut head = StdRng::seed_from_u64(useed);
     let (mut taken, mut mean, mut m2) = (0usize, 0.0f64, 0.0f64);
     let mut drawn = 0usize;
     while drawn < cap {
@@ -71,7 +188,6 @@ where
         } else {
             (threads * SAMPLE_CHUNK).min(cap - drawn)
         };
-        // Stream for index drawn + k is `head` advanced k more jumps.
         let rngs: Vec<StdRng> = (0..want)
             .map(|_| {
                 let r = head.clone();
@@ -123,6 +239,58 @@ mod tests {
                 adaptive_mean(threads, 500, 24, 0.05, 0x1234, &sample),
                 baseline,
                 "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation_at_every_worker_count() {
+        // The production loop (sequential fast path + batched parallel
+        // path) must be bit-identical to the in-tree reference loop for
+        // the same seed, at every worker count and across early-stop and
+        // cap-bound regimes.
+        let sample = |rng: &mut StdRng| {
+            let u: f64 = rng.random();
+            (u > 0.07).then_some(1.0 / (1.0 + (u * 5.0) as u64 as f64))
+        };
+        for (cap, floor, eps) in [(500, 24, 0.05), (64, 64, 0.0), (37, 8, 0.2)] {
+            for threads in [1usize, 2, 4, 8] {
+                for seed in [0x1234u64, 7, 0xDEAD] {
+                    let got = adaptive_mean(threads, cap, floor, eps, seed, &sample);
+                    let want = adaptive_mean_reference(threads, cap, floor, eps, seed, &sample);
+                    assert_eq!(
+                        got, want,
+                        "threads={threads} cap={cap} floor={floor} eps={eps} seed={seed:#x}"
+                    );
+                    assert_eq!(
+                        got.1.to_bits(),
+                        want.1.to_bits(),
+                        "mean bits differ at threads={threads} seed={seed:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fold_is_pinned_at_every_worker_count() {
+        // Regression pin for the Welford reduction order: a fixed draw
+        // sequence must produce these exact bits at every worker count.
+        // If this fails, the fold order changed — which silently re-pins
+        // every golden digit in the workspace. Don't update the constants;
+        // fix the fold.
+        let sample = |rng: &mut StdRng| {
+            let u: f64 = rng.random();
+            (u > 0.25).then_some(1.0 / (1.0 + (u * 4.0) as u64 as f64))
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let (taken, mean) = adaptive_mean(threads, 200, 16, 0.08, 0xFEED_5EED, &sample);
+            assert_eq!(taken, 16, "threads={threads}");
+            assert_eq!(
+                mean.to_bits(),
+                0x3fd7000000000000u64,
+                "threads={threads}: mean={mean:.17} bits={:#x}",
+                mean.to_bits()
             );
         }
     }

@@ -27,7 +27,6 @@
 //! otherwise [`std::thread::available_parallelism`].
 
 use std::cell::Cell;
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
@@ -156,15 +155,93 @@ where
     map_chunks(threads, total, chunk, |r| r.map(&f).collect())
 }
 
+/// The multiply-rotate hash step of the rustc/Firefox "Fx" hasher. Not
+/// DoS-resistant — for internal memo tables keyed by small integers, where
+/// hashing sits on the sampling hot path and SipHash is measurable.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast non-cryptographic [`Hasher`] (the classic FxHash recurrence).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] — drop-in for hot memo tables.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
 /// A concurrent memo table: `HashMap` split across power-of-two mutex
-/// shards, locked per operation.
+/// shards, locked per operation. Keys are hashed once with [`FxHasher`]:
+/// the shard index takes the top bits, the inner maps reuse the same
+/// hasher.
 ///
 /// Designed for idempotent fills: when the value for a key is a pure
 /// function of the key (true for every memo in this workspace — estimates
 /// are keyed by `(state, size)` plus the run seed), concurrent duplicate
 /// computation is harmless and the first insert wins.
 pub struct ShardedMap<K, V> {
-    shards: Vec<Mutex<HashMap<K, V>>>,
+    shards: Vec<Mutex<FxHashMap<K, V>>>,
     mask: u64,
 }
 
@@ -178,15 +255,17 @@ impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
     pub fn with_shards(n: usize) -> Self {
         let n = n.max(1).next_power_of_two();
         ShardedMap {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| Mutex::new(FxHashMap::default())).collect(),
             mask: (n - 1) as u64,
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
-        let mut h = DefaultHasher::new();
+    fn shard(&self, key: &K) -> &Mutex<FxHashMap<K, V>> {
+        let mut h = FxHasher::default();
         key.hash(&mut h);
-        &self.shards[(h.finish() & self.mask) as usize]
+        // Top bits: the low bits are what the inner map's bucket index
+        // uses, and Fx mixes the final word into high bits best.
+        &self.shards[((h.finish() >> 48) & self.mask) as usize]
     }
 
     /// A clone of the value for `key`, if present.

@@ -17,6 +17,27 @@ PQE_THREADS=1 cargo test -q --offline --test determinism
 PQE_THREADS=4 cargo test -q --offline --test determinism
 PQE_LOG=debug cargo test -q --offline --test determinism
 
+# The inner-loop contract: the fixed-width/arena fast path is
+# bit-identical to the historical BigUint-only arithmetic. Run the
+# differential equivalence suite both ways, then the golden-digit suite
+# with the escape hatch forced — if the fast path ever drifts, the
+# pinned digits in tests/determinism.rs differ and this fails.
+cargo test -q --offline --test equivalence
+PQE_SLOW_PATH=1 cargo test -q --offline --test determinism
+
+# Bench smoke mode: the fpras thread-scaling bench must run end to end
+# and emit its JSON artifact (the file re-committed as BENCH_fpras.json).
+echo "bench smoke test:"
+BENCH_DIR=$(mktemp -d)
+PQE_BENCH_SAMPLES=1 PQE_BENCH_MIN_SAMPLE_MS=1 PQE_BENCH_JSON_DIR="$BENCH_DIR" \
+    cargo bench -q --offline -p pqe-bench --bench thread_scaling > /dev/null
+test -s "$BENCH_DIR/BENCH_fpras.json" || {
+    echo "  FAIL: bench smoke run emitted no BENCH_fpras.json" >&2; exit 1; }
+grep -q '"suite":"fpras"' "$BENCH_DIR/BENCH_fpras.json"
+grep -q 'e7_fpras_threads/1' "$BENCH_DIR/BENCH_fpras.json"
+rm -rf "$BENCH_DIR"
+echo "  ok: thread_scaling smoke run emitted BENCH_fpras.json"
+
 # Serve smoke test, fully offline: a release server on an ephemeral port,
 # one NDJSON session (classify + estimate + stats + shutdown) over bash's
 # /dev/tcp, and a clean exit.

@@ -192,6 +192,44 @@ fn profiling_is_invisible_to_the_estimate() {
 }
 
 #[test]
+fn golden_digits_survive_profiling_and_debug_logging_at_every_thread_count() {
+    // The inner-loop rework (arena scratch reuse, fixed-width arithmetic,
+    // batched RNG blocks) must be invisible under every observability and
+    // scheduling combination at once: profiling spans on, the `PQE_LOG`
+    // filter at debug, and 1/2/4/8 workers — the golden digits of
+    // `single_threaded_values_are_pinned` come out unchanged everywhere.
+    let (q, h) = fixture();
+    let db = h.database().clone();
+    std::env::set_var(pqe_obs::log::LOG_ENV, "debug");
+    pqe_obs::span::reset();
+    pqe_obs::span::set_enabled(true);
+    pqe_obs::log::set_filter(Some(pqe_obs::log::Level::Debug));
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = FprasConfig::with_epsilon(0.3)
+            .with_seed(0x5EED)
+            .with_threads(threads);
+        let pqe = pqe_estimate(&q, &h, &cfg).unwrap();
+        assert_eq!(
+            pqe.probability.to_string(),
+            "8.589671e-1",
+            "pqe golden digits, threads={threads}, profile+debug log"
+        );
+        let cfg = FprasConfig::with_epsilon(0.3)
+            .with_seed(0xBEEF)
+            .with_threads(threads);
+        let ur = ur_estimate(&q, &db, &cfg).unwrap();
+        assert_eq!(
+            ur.reliability.to_string(),
+            "8.829016e5",
+            "ur golden digits, threads={threads}, profile+debug log"
+        );
+    }
+    pqe_obs::span::set_enabled(false);
+    pqe_obs::log::set_filter(None);
+    std::env::remove_var(pqe_obs::log::LOG_ENV);
+}
+
+#[test]
 fn different_seeds_are_actually_different_streams() {
     // Guard against a seed that is accepted but ignored.
     let (q, h) = fixture();
