@@ -1,47 +1,31 @@
 //! E8 — the served-query path: throughput, tail latency, and the
 //! compiled-plan cache's effect under a hot/cold request mix.
 //!
-//! Starts an in-process `pqe-serve` server on an ephemeral port and drives
-//! it with the load generator over a bounded-width non-safe query (the
-//! triangle `R1(x,y), R2(y,z), R3(z,x)` — width 2, #P-hard exactly). Hot
-//! requests repeat one query at a fixed `(ε, seed)`, so after warmup they
-//! hit both the plan cache and the per-plan result memo; cold requests are
-//! unique variable renamings that force the full compile + count path.
-//! The headline metric is `hit_speedup`: mean cold-compile latency over
-//! mean cache-hit latency (the E8 acceptance bar is ≥ 5×).
+//! Starts an in-process `pqe-serve` server (sharded workers, bounded
+//! queue) on an ephemeral port and drives it with the load generator over
+//! a bounded-width non-safe query (the triangle `R1(x,y), R2(y,z),
+//! R3(z,x)` — width 2, #P-hard exactly). Hot requests repeat one query at
+//! a fixed `(ε, seed)`, so after warmup they hit a worker's plan cache
+//! and per-plan result memo; cold requests are unique variable renamings
+//! that force the full compile + count path. The headline metric is
+//! `hit_speedup`: mean cold-compile latency over mean cache-hit latency
+//! (the E8 acceptance bar is ≥ 5×).
 //!
 //! Run with `PQE_BENCH_JSON_DIR=. cargo bench --bench serve_cache` to drop
-//! machine-readable `BENCH_serve.json` next to the invocation
-//! (equivalently: `pqe bench-serve`).
+//! machine-readable `BENCH_serve.json` next to the invocation. The full
+//! concurrency-axis sweep (1/4/16/64 connections) lives in
+//! `pqe bench-serve`, which persists the committed BENCH_serve.json.
 
-use pqe_rand::rngs::StdRng;
-use pqe_rand::{RngCore, SeedableRng};
+use pqe_serve::loadgen::synthetic_triangle_db;
 use pqe_serve::{run_load, LoadConfig, ServeConfig, Server};
 use pqe_testkit::bench::Runner;
 use std::io::{BufRead as _, BufReader, Write as _};
-
-/// A random graph instance over the triangle's three edge relations.
-fn triangle_db(nodes: usize, density_pct: u64, seed: u64) -> pqe_db::ProbDatabase {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut src = String::new();
-    for rel in ["R1", "R2", "R3"] {
-        for a in 0..nodes {
-            for b in 0..nodes {
-                if a != b && rng.next_u64() % 100 < density_pct {
-                    let num = 1 + rng.next_u64() % 3;
-                    src.push_str(&format!("{num}/4 {rel}(n{a},n{b})\n"));
-                }
-            }
-        }
-    }
-    pqe_db::io::load_str(&src).expect("generated db parses")
-}
 
 fn main() {
     let mut r = Runner::new("serve");
     r.start();
 
-    let h = triangle_db(6, 35, 0xE8);
+    let h = synthetic_triangle_db(6, 35, 0xE8);
     let server = Server::bind(ServeConfig::default(), h).expect("bind ephemeral");
     let addr = server.local_addr();
     let handle = std::thread::spawn(move || server.run());
@@ -60,10 +44,14 @@ fn main() {
 
     r.metric("requests", report.requests as f64);
     r.metric("errors", report.errors as f64);
+    r.metric("overloaded", report.overloaded as f64);
+    r.metric("timeouts", report.timeouts as f64);
     r.metric("throughput_rps", report.throughput_rps);
     r.metric("latency_p50_us", report.p50_us as f64);
     r.metric("latency_p95_us", report.p95_us as f64);
     r.metric("latency_p99_us", report.p99_us as f64);
+    r.metric("hit_p99_us", report.hit_p99_us as f64);
+    r.metric("connect_mean_us", report.connect_mean_us);
     r.metric("cache_hit_rate", report.hit_rate);
     r.metric("hit_mean_us", report.hit_mean_us);
     r.metric("cold_compile_mean_us", report.miss_mean_us);

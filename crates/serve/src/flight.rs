@@ -1,0 +1,130 @@
+//! Single-flight deduplication of in-flight evaluations.
+//!
+//! An estimate is a pure function of `(normalized query, method, ε, seed)`
+//! (threads only move wall-clock; see the determinism contract in
+//! DESIGN.md), so two concurrent requests with the same key *must* produce
+//! byte-identical answers — evaluating both is pure waste. The table makes
+//! the first arrival the **leader**; every later arrival with the same key
+//! while the leader is still computing is **coalesced**: its identity is
+//! parked in the leader's waiter list, and when the leader completes it
+//! fans the one response out to every waiter verbatim.
+//!
+//! Coalesced followers never occupy a worker: joining is a map insert, not
+//! a blocking wait, so a worker that lands on a duplicate moves straight
+//! to the next job. The leader is responsible for calling
+//! [`FlightTable::complete`] on **every** exit path (success, timeout,
+//! eval error) — waiters receive whatever the leader produced, which is
+//! exactly what their own evaluation would have produced.
+
+use pqe_par::FxHashMap;
+use std::sync::Mutex;
+
+/// Outcome of [`FlightTable::join`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Flight {
+    /// No evaluation with this key was in flight; the caller must compute
+    /// and then call [`FlightTable::complete`].
+    Leader,
+    /// An evaluation is already in flight; the caller's identity was
+    /// parked and the leader will deliver its response.
+    Coalesced,
+}
+
+/// The in-flight evaluation registry (see module docs). `W` is the waiter
+/// identity the leader needs for fan-out delivery.
+pub struct FlightTable<W> {
+    flights: Mutex<FxHashMap<String, Vec<W>>>,
+}
+
+impl<W> FlightTable<W> {
+    /// An empty table.
+    pub fn new() -> Self {
+        FlightTable { flights: Mutex::new(FxHashMap::default()) }
+    }
+
+    /// Claims `key`: the first caller becomes [`Flight::Leader`] (and
+    /// `waiter` is dropped — the leader delivers to itself directly);
+    /// later callers are [`Flight::Coalesced`] and `waiter` is parked.
+    pub fn join(&self, key: &str, waiter: W) -> Flight {
+        let mut g = self.flights.lock().expect("flight table poisoned");
+        match g.get_mut(key) {
+            Some(waiters) => {
+                waiters.push(waiter);
+                Flight::Coalesced
+            }
+            None => {
+                g.insert(key.to_owned(), Vec::new());
+                Flight::Leader
+            }
+        }
+    }
+
+    /// Ends the flight for `key`, returning every parked waiter. Further
+    /// `join`s with the same key start a fresh flight (they will typically
+    /// hit the result memo the leader just populated).
+    pub fn complete(&self, key: &str) -> Vec<W> {
+        self.flights
+            .lock()
+            .expect("flight table poisoned")
+            .remove(key)
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flight table poisoned").len()
+    }
+}
+
+impl<W> Default for FlightTable<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_is_leader_rest_coalesce() {
+        let t: FlightTable<u32> = FlightTable::new();
+        assert_eq!(t.join("k", 0), Flight::Leader);
+        assert_eq!(t.join("k", 1), Flight::Coalesced);
+        assert_eq!(t.join("k", 2), Flight::Coalesced);
+        assert_eq!(t.in_flight(), 1);
+        assert_eq!(t.complete("k"), vec![1, 2]);
+        assert_eq!(t.in_flight(), 0);
+        // The key is reusable after completion.
+        assert_eq!(t.join("k", 3), Flight::Leader);
+        assert_eq!(t.complete("k"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let t: FlightTable<&str> = FlightTable::new();
+        assert_eq!(t.join("a", "x"), Flight::Leader);
+        assert_eq!(t.join("b", "y"), Flight::Leader);
+        assert_eq!(t.join("a", "z"), Flight::Coalesced);
+        assert_eq!(t.complete("b"), Vec::<&str>::new());
+        assert_eq!(t.complete("a"), vec!["z"]);
+    }
+
+    #[test]
+    fn concurrent_joins_elect_exactly_one_leader() {
+        let t: FlightTable<usize> = FlightTable::new();
+        let leaders: Vec<bool> = std::thread::scope(|s| {
+            (0..8)
+                .map(|i| {
+                    let t = &t;
+                    s.spawn(move || t.join("hot", i) == Flight::Leader)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(leaders.iter().filter(|&&l| l).count(), 1);
+        assert_eq!(t.complete("hot").len(), 7);
+    }
+}

@@ -4,35 +4,47 @@
 //!
 //! A long-lived, zero-dependency server wrapping the workspace's
 //! estimators: bind once over a probabilistic database, then answer
-//! `estimate` / `reliability` / `classify` / `stats` requests over a
-//! newline-delimited JSON protocol on `std::net::TcpListener`
+//! `estimate` / `reliability` / `classify` / `stats` / `metrics` requests
+//! over a newline-delimited JSON protocol on `std::net::TcpListener`
 //! ([`protocol`] documents the wire format).
 //!
 //! The service exists because of the compilation/execution split
 //! formalized in `pqe_core::plan`: for a fixed `(Q, H)` the expensive
 //! reduction chain (decomposition → classification → NFTA construction →
 //! multiplier translation) is independent of `(ε, seed, threads)`, so the
-//! server memoizes it in a sharded LRU **compiled-plan cache** ([`cache`])
-//! and reuses it across requests. Since execution is a pure function of
-//! plan + config and the seed travels with each request, a served estimate
-//! is bit-identical to the same CLI invocation — cache hit or not.
+//! server memoizes it across requests. Since execution is a pure function
+//! of plan + config and the seed travels with each request, a served
+//! estimate is bit-identical to the same CLI invocation — cache hit,
+//! miss, or coalesced.
 //!
-//! Overload policy is *rejection, not queueing*: at most
-//! [`ServeConfig::max_inflight`] heavy requests compute at once, and
-//! excess requests get an immediate structured `overloaded` error;
-//! per-request deadlines turn runaway work into `timeout` errors
-//! ([`server`]). [`loadgen`] drives a server with a reproducible hot/cold
-//! query mix and measures throughput, tail latency, and the cache-hit
-//! speedup (`pqe bench-serve` persists it as `BENCH_serve.json`).
+//! Execution is **sharded**: a single connection-multiplexing I/O loop
+//! feeds a bounded MPMC work [`queue`], drained by a fixed pool of worker
+//! shards that each own a private compiled-plan cache ([`cache`]) — the
+//! hot path takes no cache lock. Concurrent identical requests are
+//! deduplicated by a single-[`flight`] table: one evaluation runs, and
+//! its response fans out verbatim to every coalesced request.
+//!
+//! Overload policy is *rejection, not queueing*: a heavy request arriving
+//! at a full work queue gets an immediate structured `overloaded` error
+//! (the queue depth is the backpressure signal); per-request deadlines
+//! turn runaway work into `timeout` errors ([`server`]). [`loadgen`]
+//! drives a server with a reproducible hot/cold query mix across a
+//! concurrency axis and measures throughput, tail latency, the cache-hit
+//! speedup, and an error-kind breakdown (`pqe bench-serve` persists it as
+//! `BENCH_serve.json`).
 
 pub mod cache;
+pub mod flight;
 pub mod json;
 pub mod loadgen;
 pub mod protocol;
+pub mod queue;
 pub mod server;
 
-pub use cache::{CacheStats, PlanCache};
+pub use cache::{CacheStats, ShardCache};
+pub use flight::{Flight, FlightTable};
 pub use json::Json;
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use protocol::{ErrorKind, Request};
+pub use queue::Queue;
 pub use server::{ServeConfig, ServedPlan, Server};

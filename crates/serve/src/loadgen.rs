@@ -3,18 +3,25 @@
 //! Drives `connections` concurrent NDJSON clients against a running
 //! server, each issuing `requests` estimate calls drawn from a query mix:
 //! with probability `repeat_ratio` the shared **hot** query (second and
-//! later arrivals hit the compiled-plan cache), otherwise a **cold**
+//! later arrivals hit a compiled-plan cache), otherwise a **cold**
 //! variant — the same query shape under a unique variable renaming, so it
 //! is semantically identical and costs the same to compile, but normalizes
 //! to a distinct cache key and forces the full reduction chain.
 //!
 //! The mix decision stream is seeded (`pqe-rand`, one stream per
-//! connection), so a load run is reproducible. Per-request latency is
-//! measured client-side around the full round trip and bucketed by the
-//! server's own `"cache":"hit"|"miss"` response tag; latencies feed a
-//! `pqe-obs` log-linear histogram, so the report carries real p50/p95/p99
-//! percentiles (not just means), per-bucket means, and the hot/cold
-//! speedup that `pqe bench-serve` persists to `BENCH_serve.json`.
+//! connection), so a load run is reproducible. All connections are
+//! established first and released together through a barrier — TCP
+//! connect time is reported separately (`connect_mean_us`) and never
+//! pollutes the request-latency histograms, and the throughput clock
+//! starts at the barrier release. Per-request latency is measured
+//! client-side around the full round trip and bucketed by the server's
+//! own `"cache":"hit"|"miss"` response tag; latencies feed `pqe-obs`
+//! log-linear histograms, so the report carries real p50/p95/p99
+//! percentiles (not just means), the hit-path p99, per-bucket means, and
+//! the hot/cold speedup that `pqe bench-serve` persists to
+//! `BENCH_serve.json`. Failures are broken down by kind
+//! (`overloaded` / `timeout` / `eval_error` / other) so a saturation run
+//! distinguishes backpressure from genuine evaluation failures.
 
 use crate::json::Json;
 use pqe_obs::metrics::Histogram;
@@ -23,6 +30,7 @@ use pqe_rand::rngs::StdRng;
 use pqe_rand::{RngCore, SeedableRng};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 /// Parameters of one load run.
@@ -61,12 +69,29 @@ impl Default for LoadConfig {
     }
 }
 
+/// How the server answered, as observed by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RespKind {
+    Ok,
+    Overloaded,
+    Timeout,
+    EvalError,
+    /// `bad_request`, unparseable bytes, or anything else.
+    Other,
+}
+
 /// One request's client-side observation.
 #[derive(Debug, Clone, Copy)]
 struct Sample {
     latency_us: u64,
     hit: bool,
-    ok: bool,
+    kind: RespKind,
+}
+
+/// What one connection thread brings home.
+struct ConnResult {
+    connect_us: u64,
+    samples: Vec<Sample>,
 }
 
 /// Aggregated result of a load run.
@@ -74,16 +99,27 @@ struct Sample {
 pub struct LoadReport {
     /// Requests issued (across all connections).
     pub requests: u64,
-    /// Responses with `"ok":false` (or unparseable).
+    /// Responses that were not `"ok":true` (sum of the breakdown below).
     pub errors: u64,
+    /// Structured `overloaded` rejections (queue-full backpressure).
+    pub overloaded: u64,
+    /// Structured `timeout` errors (deadline exceeded).
+    pub timeouts: u64,
+    /// Structured `eval_error` responses.
+    pub eval_errors: u64,
+    /// `bad_request`, unparseable, or otherwise unclassified failures.
+    pub other_errors: u64,
     /// Responses tagged `"cache":"hit"`.
     pub hits: u64,
     /// Responses tagged `"cache":"miss"`.
     pub misses: u64,
-    /// Wall clock of the whole run.
+    /// Wall clock of the request phase (connect excluded).
     pub elapsed: Duration,
     /// Completed requests per second.
     pub throughput_rps: f64,
+    /// Mean TCP connect time per connection, microseconds (reported
+    /// separately — never mixed into the latency percentiles).
+    pub connect_mean_us: f64,
     /// Median round-trip latency, microseconds (histogram percentile:
     /// log-linear buckets, ≤ 9.4 % relative error).
     pub p50_us: u64,
@@ -91,6 +127,8 @@ pub struct LoadReport {
     pub p95_us: u64,
     /// 99th-percentile round-trip latency, microseconds.
     pub p99_us: u64,
+    /// 99th-percentile latency of the cache-hit path alone.
+    pub hit_p99_us: u64,
     /// Mean latency of cache hits, microseconds (0 when none).
     pub hit_mean_us: f64,
     /// Mean latency of cache misses (cold compiles), microseconds.
@@ -112,6 +150,26 @@ pub fn cold_variant(q: &ConjunctiveQuery, tag: u64) -> ConjunctiveQuery {
     ConjunctiveQuery::new(q.atoms().to_vec(), renamed)
 }
 
+/// A seeded random graph instance over three edge relations `R1 R2 R3`
+/// (the triangle query's vocabulary) — the default database for
+/// `pqe bench-serve` and the serve benchmarks, here so every driver
+/// measures against the same instance.
+pub fn synthetic_triangle_db(nodes: usize, density_pct: u64, seed: u64) -> pqe_db::ProbDatabase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = String::new();
+    for rel in ["R1", "R2", "R3"] {
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a != b && rng.next_u64() % 100 < density_pct {
+                    let num = 1 + rng.next_u64() % 3;
+                    src.push_str(&format!("{num}/4 {rel}(n{a},n{b})\n"));
+                }
+            }
+        }
+    }
+    pqe_db::io::load_str(&src).expect("generated db parses")
+}
+
 fn estimate_line(query: &str, cfg: &LoadConfig, seed: u64) -> String {
     Json::obj([
         ("op", Json::str("estimate")),
@@ -123,14 +181,44 @@ fn estimate_line(query: &str, cfg: &LoadConfig, seed: u64) -> String {
     .to_string()
 }
 
-fn drive_connection(cfg: &LoadConfig, conn_idx: usize) -> std::io::Result<Vec<Sample>> {
-    let hot = pqe_query::parse(&cfg.query)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
-    let stream = TcpStream::connect(&cfg.addr)?;
-    stream.set_nodelay(true).ok();
+fn classify_resp(v: Option<&Json>) -> RespKind {
+    let Some(v) = v else { return RespKind::Other };
+    if v.get("ok").and_then(Json::as_bool) == Some(true) {
+        return RespKind::Ok;
+    }
+    match v.get("error").and_then(Json::as_str) {
+        Some("overloaded") => RespKind::Overloaded,
+        Some("timeout") => RespKind::Timeout,
+        Some("eval_error") => RespKind::EvalError,
+        _ => RespKind::Other,
+    }
+}
+
+fn drive_connection(
+    cfg: &LoadConfig,
+    conn_idx: usize,
+    start_line: &Barrier,
+) -> std::io::Result<ConnResult> {
+    // Setup (parse + connect) happens before the barrier so that every
+    // connection is live when the first request is sent — connect time
+    // must not leak into request latencies or the throughput clock.
+    let connect_started = Instant::now();
+    let setup = (|| -> std::io::Result<(ConjunctiveQuery, TcpStream)> {
+        let hot = pqe_query::parse(&cfg.query)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let stream = TcpStream::connect(&cfg.addr)?;
+        stream.set_nodelay(true).ok();
+        Ok((hot, stream))
+    })();
+    let connect_us = connect_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    // Every thread reaches the barrier, error or not — a failed connect
+    // must not deadlock its siblings.
+    start_line.wait();
+    let (hot, stream) = setup?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ (conn_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut samples = Vec::with_capacity(cfg.requests);
     let mut resp = String::new();
     for i in 0..cfg.requests {
@@ -150,54 +238,79 @@ fn drive_connection(cfg: &LoadConfig, conn_idx: usize) -> std::io::Result<Vec<Sa
         reader.read_line(&mut resp)?;
         let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let v = Json::parse(resp.trim()).ok();
-        let ok = v
-            .as_ref()
-            .and_then(|v| v.get("ok"))
-            .and_then(Json::as_bool)
-            .unwrap_or(false);
+        let kind = classify_resp(v.as_ref());
         let hit = v
             .as_ref()
             .and_then(|v| v.get("cache"))
             .and_then(Json::as_str)
             == Some("hit");
-        samples.push(Sample { latency_us, hit, ok });
+        samples.push(Sample { latency_us, hit, kind });
     }
-    Ok(samples)
+    Ok(ConnResult { connect_us, samples })
 }
 
 /// Runs the load described by `cfg` against a live server and aggregates
 /// the client-side observations.
 pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
-    let start = Instant::now();
-    let samples: Vec<Sample> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..cfg.connections.max(1))
-            .map(|t| s.spawn(move || drive_connection(cfg, t)))
+    let connections = cfg.connections.max(1);
+    // +1: the coordinating thread joins the barrier so the throughput
+    // clock starts exactly when the connections are released.
+    let start_line = Barrier::new(connections + 1);
+    let (elapsed, results) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|t| {
+                let start_line = &start_line;
+                s.spawn(move || drive_connection(cfg, t, start_line))
+            })
             .collect();
-        let mut all = Vec::new();
-        let mut first_err = None;
-        for h in handles {
-            match h.join().expect("load connection panicked") {
-                Ok(mut v) => all.append(&mut v),
-                Err(e) => first_err = Some(e),
+        start_line.wait();
+        let start = Instant::now();
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("load connection panicked"))
+            .collect();
+        (start.elapsed(), results)
+    });
+    let mut connects = Vec::new();
+    let mut samples = Vec::new();
+    let mut first_err = None;
+    for r in results {
+        match r {
+            Ok(mut c) => {
+                connects.push(c.connect_us);
+                samples.append(&mut c.samples);
             }
+            Err(e) => first_err = Some(e),
         }
-        match first_err {
-            Some(e) if all.is_empty() => Err(e),
-            _ => Ok(all),
+    }
+    if let Some(e) = first_err {
+        if samples.is_empty() {
+            return Err(e);
         }
-    })?;
-    let elapsed = start.elapsed();
+    }
 
-    // Percentiles come from a pqe-obs log-linear histogram — the same
+    // Percentiles come from pqe-obs log-linear histograms — the same
     // machinery the server's own `metrics` op reports from.
     let hist = Histogram::default();
+    let hit_hist = Histogram::default();
     for s in &samples {
         hist.record(s.latency_us);
+        if s.hit && s.kind == RespKind::Ok {
+            hit_hist.record(s.latency_us);
+        }
     }
     let hsnap = hist.snapshot();
-    let hits: Vec<u64> = samples.iter().filter(|s| s.hit && s.ok).map(|s| s.latency_us).collect();
-    let misses: Vec<u64> =
-        samples.iter().filter(|s| !s.hit && s.ok).map(|s| s.latency_us).collect();
+    let hit_snap = hit_hist.snapshot();
+    let hits: Vec<u64> = samples
+        .iter()
+        .filter(|s| s.hit && s.kind == RespKind::Ok)
+        .map(|s| s.latency_us)
+        .collect();
+    let misses: Vec<u64> = samples
+        .iter()
+        .filter(|s| !s.hit && s.kind == RespKind::Ok)
+        .map(|s| s.latency_us)
+        .collect();
     let mean = |v: &[u64]| {
         if v.is_empty() {
             0.0
@@ -205,13 +318,18 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
             v.iter().sum::<u64>() as f64 / v.len() as f64
         }
     };
+    let count = |k: RespKind| samples.iter().filter(|s| s.kind == k).count() as u64;
     let hit_mean_us = mean(&hits);
     let miss_mean_us = mean(&misses);
     let total = samples.len() as u64;
     let observed = (hits.len() + misses.len()) as u64;
     Ok(LoadReport {
         requests: total,
-        errors: samples.iter().filter(|s| !s.ok).count() as u64,
+        errors: total - count(RespKind::Ok),
+        overloaded: count(RespKind::Overloaded),
+        timeouts: count(RespKind::Timeout),
+        eval_errors: count(RespKind::EvalError),
+        other_errors: count(RespKind::Other),
         hits: hits.len() as u64,
         misses: misses.len() as u64,
         elapsed,
@@ -220,9 +338,11 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         } else {
             0.0
         },
+        connect_mean_us: mean(&connects),
         p50_us: hsnap.p50,
         p95_us: hsnap.p95,
         p99_us: hsnap.p99,
+        hit_p99_us: hit_snap.p99,
         hit_mean_us,
         miss_mean_us,
         hit_speedup: if hit_mean_us > 0.0 && miss_mean_us > 0.0 {
@@ -255,7 +375,15 @@ mod tests {
     }
 
     #[test]
-    fn load_run_reports_hits_and_misses() {
+    fn synthetic_db_is_deterministic() {
+        let a = synthetic_triangle_db(6, 35, 0xE8);
+        let b = synthetic_triangle_db(6, 35, 0xE8);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() > 0, "density 35% over 30 pairs must yield facts");
+    }
+
+    #[test]
+    fn load_run_reports_hits_misses_and_error_kinds() {
         let h = pqe_db::io::load_str("1/2 R1(a,b)\n1/3 R2(b,c)\n1/5 R2(b,d)\n").unwrap();
         let server = Server::bind(ServeConfig::default(), h).unwrap();
         let addr = server.local_addr();
@@ -274,12 +402,18 @@ mod tests {
         let report = run_load(&cfg).unwrap();
         assert_eq!(report.requests, 20);
         assert_eq!(report.errors, 0);
+        assert_eq!(
+            report.overloaded + report.timeouts + report.eval_errors + report.other_errors,
+            report.errors,
+            "breakdown must sum to the error total"
+        );
         assert!(report.hits > 0, "hot queries should hit after warmup");
-        assert!(report.misses > 0, "cold variants and first hot miss");
+        assert!(report.misses > 0, "cold variants and first hot misses");
         assert_eq!(report.hits + report.misses, 20);
         assert!(report.p50_us > 0, "p50 must be measured");
         assert!(report.p95_us >= report.p50_us && report.p99_us >= report.p95_us);
         assert!(report.throughput_rps > 0.0);
+        assert!(report.connect_mean_us > 0.0, "connect time is measured separately");
 
         // Shut the server down cleanly.
         let mut c = TcpStream::connect(addr).unwrap();

@@ -1,0 +1,223 @@
+//! The bounded MPMC work queue between the connection-multiplexing I/O
+//! loop and the worker shards.
+//!
+//! Producers never block: [`Queue::try_push`] fails immediately when the
+//! queue is at capacity, which is the server's backpressure signal — the
+//! I/O loop turns it into a structured `overloaded` response instead of
+//! queueing unboundedly. Consumers block on a condvar until work arrives
+//! or the queue is closed, so idle workers cost nothing.
+//!
+//! The queue also tracks *active* consumers (popped but not yet
+//! [`Queue::done`]), which is what makes shutdown drain condvar-driven
+//! rather than a sleep-poll loop: [`Queue::wait_idle`] parks until every
+//! queued item has been popped **and** every popped item has been
+//! completed, woken by the `done` of the last in-flight job.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    /// Items popped but not yet marked [`Queue::done`].
+    active: usize,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue (see module docs).
+pub struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signaled on push and close: wakes blocked consumers.
+    work: Condvar,
+    /// Signaled whenever the queue may have become idle.
+    idle: Condvar,
+    capacity: usize,
+}
+
+impl<T> Queue<T> {
+    /// A queue admitting at most `capacity` pending items (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Queue {
+            inner: Mutex::new(Inner { items: VecDeque::new(), active: 0, closed: false }),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pending (not yet popped) items right now.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Enqueues `item`, or returns it when the queue is full or closed —
+    /// the caller owes the producer an `overloaded` answer. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        if g.closed || g.items.len() >= self.capacity {
+            return Err(item);
+        }
+        g.items.push_back(item);
+        let depth = g.items.len();
+        drop(g);
+        self.work.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available (marking the caller *active*) or
+    /// the queue is closed and empty (`None` — the worker should exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                g.active += 1;
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.work.wait(g).expect("queue poisoned");
+        }
+    }
+
+    /// Marks one popped item as fully processed (its response delivered).
+    pub fn done(&self) {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        debug_assert!(g.active > 0, "done() without a matching pop()");
+        g.active = g.active.saturating_sub(1);
+        let now_idle = g.items.is_empty() && g.active == 0;
+        drop(g);
+        if now_idle {
+            self.idle.notify_all();
+        }
+    }
+
+    /// `true` when nothing is queued and nothing is being processed.
+    pub fn is_idle(&self) -> bool {
+        let g = self.inner.lock().expect("queue poisoned");
+        g.items.is_empty() && g.active == 0
+    }
+
+    /// Parks until the queue is idle (condvar-driven — no sleep polling).
+    /// Producers must have stopped pushing for this to be meaningful.
+    pub fn wait_idle(&self) {
+        let mut g = self.inner.lock().expect("queue poisoned");
+        while !(g.items.is_empty() && g.active == 0) {
+            g = self.idle.wait(g).expect("queue poisoned");
+        }
+    }
+
+    /// [`Queue::wait_idle`] with an upper bound: returns `true` when the
+    /// queue went idle, `false` when `timeout` elapsed first (a wedged
+    /// job must not hold shutdown hostage forever).
+    pub fn wait_idle_for(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.inner.lock().expect("queue poisoned");
+        while !(g.items.is_empty() && g.active == 0) {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g2, _) = self
+                .idle
+                .wait_timeout(g, deadline - now)
+                .expect("queue poisoned");
+            g = g2;
+        }
+        true
+    }
+
+    /// Closes the queue: further pushes fail, and blocked/future `pop`
+    /// calls return `None` once the backlog is drained.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.work.notify_all();
+        self.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = Queue::new(4);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.done();
+        q.done();
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let q = Queue::new(2);
+        q.try_push('a').unwrap();
+        q.try_push('b').unwrap();
+        assert_eq!(q.try_push('c'), Err('c'));
+        assert_eq!(q.depth(), 2);
+        // Draining one slot re-admits.
+        assert_eq!(q.pop(), Some('a'));
+        q.try_push('c').unwrap();
+        assert_eq!(q.try_push('d'), Err('d'));
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_and_drains_pops() {
+        let q = Queue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8));
+        assert_eq!(q.pop(), Some(7)); // backlog still served
+        q.done();
+        assert_eq!(q.pop(), None); // then exit signal
+    }
+
+    #[test]
+    fn wait_idle_blocks_until_last_done() {
+        let q = Arc::new(Queue::new(8));
+        let processed = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let q = Arc::clone(&q);
+                let processed = Arc::clone(&processed);
+                s.spawn(move || {
+                    while let Some(v) = q.pop() {
+                        std::thread::sleep(std::time::Duration::from_millis(v));
+                        processed.fetch_add(1, Ordering::SeqCst);
+                        q.done();
+                    }
+                });
+            }
+            for v in [5u64, 10, 3, 8, 1, 2] {
+                q.try_push(v).unwrap();
+            }
+            // Producers stopped: wait_idle must see all six completions.
+            q.wait_idle();
+            assert_eq!(processed.load(Ordering::SeqCst), 6);
+            assert!(q.is_idle());
+            q.close();
+        });
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_close() {
+        let q = Arc::new(Queue::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

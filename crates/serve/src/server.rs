@@ -1,73 +1,155 @@
-//! The long-lived query service.
+//! The long-lived query service — sharded worker execution.
 //!
 //! One process serves one probabilistic database instance. Connections
-//! speak the NDJSON protocol of [`crate::protocol`]; per connection a
-//! cheap reader thread owns the socket, while the heavy work — plan
-//! compilation and the FPRAS counting phase — passes through **bounded
-//! admission** (at most `max_inflight` requests compute at once; the rest
-//! get a structured `overloaded` error immediately instead of queueing)
-//! and runs on the caller thread, fanning out across the shared `pqe-par`
-//! workers exactly as a CLI invocation would. Deadlines are enforced
-//! cooperatively at phase boundaries (post-admission, post-compile,
-//! post-execute): a request that blows its budget gets a `timeout` error.
+//! speak the NDJSON protocol of [`crate::protocol`]; a single
+//! **connection-multiplexing I/O loop** owns every socket (non-blocking
+//! accept + per-connection read/write buffers over `std::net`, zero
+//! dependencies), decodes complete request lines, answers light ops
+//! (`classify`/`stats`/`metrics`/`shutdown`) inline, and feeds heavy ops
+//! (`estimate`/`reliability`) into a bounded MPMC work queue
+//! ([`crate::queue`]). Backpressure is queue-depth-based: a push onto a
+//! full queue fails immediately and the client gets a structured
+//! `overloaded` error — rejection, never unbounded queueing.
 //!
-//! The compiled-plan cache (see [`crate::cache`]) is keyed by
-//! `op | method | normalized-query` — normalization is parse → print, so
-//! whitespace and atom formatting differences collapse onto one entry
-//! while variable renamings stay distinct. A hit skips the entire
-//! reduction chain (classification, hypertree decomposition, NFTA
-//! construction, multiplier translation) and goes straight to sampling
-//! with the request's own `(ε, seed, threads)`; because execution is a
-//! pure function of plan + config, a served estimate is **bit-identical**
-//! to the same CLI invocation, hit or miss.
+//! A fixed pool of N **worker shards** drains the queue. Each worker owns
+//! a private [`crate::cache::ShardCache`] of compiled plans plus per-plan
+//! result memos — single-owner state, so the hot path takes no cache lock
+//! at all (the old design's sharded-LRU cross-shard lock traffic is
+//! gone). Duplicate *concurrent* work is removed by **single-flight**
+//! deduplication ([`crate::flight`]): evaluations are keyed by
+//! `(op, method, normalized query, ε, seed, threads, delay)`, and a
+//! request whose key is already in flight parks its reply slot on the
+//! leader instead of recomputing — sound because an estimate is a pure
+//! function of that key, so the leader's response is byte-for-byte the
+//! one the follower would have computed.
+//!
+//! Responses are delivered through per-connection **mailboxes** keyed by
+//! request sequence number, so a connection that pipelines requests gets
+//! its responses in request order even when workers complete them out of
+//! order. Deadlines stay cooperative, checked at phase boundaries
+//! (post-queue, post-delay, post-compile, post-execute).
+//!
+//! The compiled-plan caches are keyed by `op | method | normalized-query`
+//! — normalization is parse → print, so whitespace and atom formatting
+//! differences collapse onto one entry while variable renamings stay
+//! distinct. A hit skips the entire reduction chain (classification,
+//! hypertree decomposition, NFTA construction, multiplier translation)
+//! and goes straight to sampling with the request's own `(ε, seed,
+//! threads)`; because execution is a pure function of plan + config, a
+//! served estimate is **bit-identical** to the same CLI invocation — hit,
+//! miss, or coalesced.
 
-use crate::cache::PlanCache;
+use crate::cache::{CacheStats, ShardCache};
+use crate::flight::{Flight, FlightTable};
 use crate::json::Json;
 use crate::protocol::{error_response, ErrorKind, Request};
+use crate::queue::Queue;
 use pqe_arith::Rational;
 use pqe_automata::FprasConfig;
 use pqe_core::baselines::lifted_pqe;
 use pqe_core::landscape::{self, Classification, Verdict};
 use pqe_core::{compile_pqe_plan, compile_ur_plan, PqePlan, UrPlan};
 use pqe_db::ProbDatabase;
-use pqe_query::{parse, ConjunctiveQuery};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::collections::HashMap;
 use pqe_obs::log::{event, Level};
-use pqe_obs::metrics::{Counter, Histogram};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use pqe_obs::metrics::{Counter, Gauge, Histogram};
+use pqe_par::FxHashMap;
+use pqe_query::{parse, ConjunctiveQuery};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Sleep between I/O poll passes when no byte moved (std has no portable
+/// readiness API, so the multiplex loop polls; 500 µs keeps idle CPU
+/// negligible while bounding added latency well under a sample loop).
+const POLL_IDLE: Duration = Duration::from_micros(500);
+
+/// A request line longer than this kills the connection (resync after an
+/// unbounded partial line is impossible; real requests are < 1 KiB).
+const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Handles into the `pqe-obs` metrics registry, resolved once at bind
 /// time; the per-request cost is a few relaxed atomic adds.
 struct ServeMetrics {
-    /// Time blocked reading one complete request line off the socket.
-    read_us: Arc<Histogram>,
-    /// Time decoding + evaluating a request (the dispatch call).
-    eval_us: Arc<Histogram>,
-    /// Time encoding + flushing the response line.
-    write_us: Arc<Histogram>,
-    /// End-to-end evaluation latency per heavy op.
+    /// Time a heavy request spent queued before a worker picked it up.
+    queue_wait_us: Arc<Histogram>,
+    /// End-to-end latency per heavy op (received → response built).
     estimate_us: Arc<Histogram>,
     reliability_us: Arc<Histogram>,
-    /// Admission outcomes (the bounded-admission counters).
-    admitted: Arc<Counter>,
-    admission_rejected: Arc<Counter>,
+    /// Queue admission outcomes (the backpressure counters).
+    enqueued: Arc<Counter>,
+    queue_rejected: Arc<Counter>,
+    /// Requests answered with another request's in-flight evaluation.
+    coalesced: Arc<Counter>,
+    /// Actual sampling executions (memo misses that ran `execute`).
+    executions: Arc<Counter>,
+    /// Pending items in the work queue, sampled at push/pop.
+    queue_depth: Arc<Gauge>,
+    /// Currently open client connections.
+    connections: Arc<Gauge>,
 }
 
 impl ServeMetrics {
     fn resolve() -> ServeMetrics {
-        use pqe_obs::metrics::{counter, histogram};
+        use pqe_obs::metrics::{counter, gauge, histogram};
         ServeMetrics {
-            read_us: histogram("serve.read_us"),
-            eval_us: histogram("serve.eval_us"),
-            write_us: histogram("serve.write_us"),
+            queue_wait_us: histogram("serve.queue_wait_us"),
             estimate_us: histogram("serve.request_us.estimate"),
             reliability_us: histogram("serve.request_us.reliability"),
-            admitted: counter("serve.admitted"),
-            admission_rejected: counter("serve.admission_rejected"),
+            enqueued: counter("serve.enqueued"),
+            queue_rejected: counter("serve.queue_rejected"),
+            coalesced: counter("serve.singleflight_coalesced"),
+            executions: counter("serve.executions"),
+            queue_depth: gauge("serve.queue_depth"),
+            connections: gauge("serve.connections"),
+        }
+    }
+}
+
+/// Per-shard observability: each worker mirrors its private cache
+/// counters here (it is the only writer of its own set, so the cost is
+/// uncontended relaxed stores) so `stats`/`metrics` can read them.
+///
+/// Two copies exist on purpose: the atomic fields are **per-server**
+/// truth (the `pqe-obs` registry is process-global, so a second server in
+/// the same process — e.g. under `cargo test` — must not see its
+/// neighbour's counts in `stats`), while the `obs_*` handles mirror the
+/// same numbers into the registry for the `metrics` dump and tracing.
+struct ShardMetrics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    memo_hits: AtomicU64,
+    /// Jobs this shard processed (occupancy attribution).
+    jobs: AtomicU64,
+    /// Plans currently resident in this shard's cache.
+    resident: AtomicU64,
+    obs_hits: Arc<Counter>,
+    obs_misses: Arc<Counter>,
+    obs_evictions: Arc<Counter>,
+    obs_memo_hits: Arc<Counter>,
+    obs_jobs: Arc<Counter>,
+    obs_resident: Arc<Gauge>,
+}
+
+impl ShardMetrics {
+    fn resolve(shard: usize) -> ShardMetrics {
+        use pqe_obs::metrics::{counter, gauge};
+        ShardMetrics {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+            obs_hits: counter(&format!("serve.shard{shard}.hits")),
+            obs_misses: counter(&format!("serve.shard{shard}.misses")),
+            obs_evictions: counter(&format!("serve.shard{shard}.evictions")),
+            obs_memo_hits: counter(&format!("serve.shard{shard}.memo_hits")),
+            obs_jobs: counter(&format!("serve.shard{shard}.jobs")),
+            obs_resident: gauge(&format!("serve.shard{shard}.resident")),
         }
     }
 }
@@ -77,15 +159,15 @@ impl ServeMetrics {
 pub struct ServeConfig {
     /// Listen address; port 0 binds an ephemeral port.
     pub addr: String,
-    /// Maximum estimate/reliability requests computing at once; further
-    /// requests receive `overloaded` (never unbounded queueing).
-    pub max_inflight: usize,
+    /// Worker shards draining the queue (each owns a private plan cache).
+    pub workers: usize,
+    /// Bounded work-queue capacity; a heavy request arriving at a full
+    /// queue receives `overloaded` (rejection, never unbounded queueing).
+    pub queue_depth: usize,
     /// Per-request wall-clock budget, enforced at phase boundaries.
     pub deadline_ms: u64,
-    /// Compiled-plan cache capacity (entries, across all shards).
+    /// Compiled-plan cache capacity (entries, across all worker shards).
     pub cache_capacity: usize,
-    /// Cache shard count (rounded up to a power of two).
-    pub cache_shards: usize,
     /// Default worker threads for requests that don't specify their own
     /// (`0` = auto: `PQE_THREADS`, else available parallelism). Never
     /// changes an estimate, only its wall-clock.
@@ -96,10 +178,10 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
-            max_inflight: 4,
+            workers: 4,
+            queue_depth: 64,
             deadline_ms: 30_000,
             cache_capacity: 256,
-            cache_shards: 8,
             threads: 0,
         }
     }
@@ -111,11 +193,11 @@ impl Default for ServeConfig {
 /// memo**: executed estimates keyed by `(ε, seed)`. An estimate is a pure
 /// function of plan + `(ε, seed)` — the thread count only changes
 /// wall-clock — so replaying a memoized result is bit-identical to
-/// recounting, and turns a repeat request into a cache lookup instead of
-/// a full sampling run.
+/// recounting, and turns a repeat request into a hash lookup instead of
+/// a full sampling run. Plans are worker-owned: no lock, plain fields.
 pub struct ServedPlan {
     kind: PlanKind,
-    memo: Mutex<HashMap<(u64, u64), String>>,
+    memo: FxHashMap<(u64, u64), String>,
 }
 
 enum PlanKind {
@@ -137,23 +219,7 @@ const MEMO_CAP: usize = 256;
 
 impl ServedPlan {
     fn new(kind: PlanKind) -> Self {
-        ServedPlan { kind, memo: Mutex::new(HashMap::new()) }
-    }
-
-    /// Returns the memoized result for `(ε, seed)`, or computes it with
-    /// `count`, stores it, and reports `false` for the memo flag.
-    fn memoized(&self, epsilon: f64, seed: u64, count: impl FnOnce() -> String) -> (String, bool) {
-        let key = (epsilon.to_bits(), seed);
-        if let Some(s) = self.memo.lock().expect("memo poisoned").get(&key) {
-            return (s.clone(), true);
-        }
-        let s = count();
-        let mut memo = self.memo.lock().expect("memo poisoned");
-        if memo.len() >= MEMO_CAP {
-            memo.clear();
-        }
-        memo.insert(key, s.clone());
-        (s, false)
+        ServedPlan { kind, memo: FxHashMap::default() }
     }
 }
 
@@ -169,17 +235,54 @@ pub struct ServerStats {
     bad_requests: AtomicU64,
     eval_errors: AtomicU64,
     memo_hits: AtomicU64,
+    coalesced: AtomicU64,
 }
+
+/// A per-connection reply slot map: workers deliver responses keyed by
+/// request sequence number; the I/O loop writes them out in order.
+struct Mailbox {
+    slots: Mutex<BTreeMap<u64, String>>,
+}
+
+impl Mailbox {
+    fn new() -> Arc<Mailbox> {
+        Arc::new(Mailbox { slots: Mutex::new(BTreeMap::new()) })
+    }
+
+    /// Parks `response` for the request with sequence number `seq`.
+    fn deliver(&self, seq: u64, response: String) {
+        self.slots.lock().expect("mailbox poisoned").insert(seq, response);
+    }
+
+    /// Removes and returns the response for `seq` if it has arrived.
+    fn pop_ready(&self, seq: u64) -> Option<String> {
+        self.slots.lock().expect("mailbox poisoned").remove(&seq)
+    }
+}
+
+/// One heavy request in the work queue.
+struct Job {
+    /// Always `Request::Estimate` or `Request::Reliability`.
+    op: Request,
+    mailbox: Arc<Mailbox>,
+    seq: u64,
+    /// When the complete request line was decoded (deadline base).
+    received: Instant,
+}
+
+/// The waiter identity parked on an in-flight evaluation.
+type Waiter = (Arc<Mailbox>, u64);
 
 struct ServerState {
     h: ProbDatabase,
     cfg: ServeConfig,
     addr: SocketAddr,
-    cache: PlanCache<ServedPlan>,
+    queue: Queue<Job>,
+    flights: FlightTable<Waiter>,
     stats: ServerStats,
     metrics: ServeMetrics,
-    inflight: AtomicUsize,
-    open_connections: AtomicUsize,
+    shard_metrics: Vec<ShardMetrics>,
+    per_shard_capacity: usize,
     shutdown: AtomicBool,
     started: Instant,
 }
@@ -189,35 +292,6 @@ struct ServerState {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
-}
-
-/// RAII admission permit: holds one in-flight slot.
-struct Permit<'a>(&'a AtomicUsize);
-
-impl<'a> Permit<'a> {
-    fn try_acquire(counter: &'a AtomicUsize, max: usize) -> Option<Permit<'a>> {
-        let mut current = counter.load(Ordering::Relaxed);
-        loop {
-            if current >= max {
-                return None;
-            }
-            match counter.compare_exchange_weak(
-                current,
-                current + 1,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return Some(Permit(counter)),
-                Err(seen) => current = seen,
-            }
-        }
-    }
-}
-
-impl Drop for Permit<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::AcqRel);
-    }
 }
 
 type ReqError = (ErrorKind, String);
@@ -237,20 +311,23 @@ impl Server {
     pub fn bind(cfg: ServeConfig, h: ProbDatabase) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let cache = PlanCache::new(cfg.cache_capacity, cfg.cache_shards);
+        let workers = cfg.workers.max(1);
+        let cfg = ServeConfig { workers, ..cfg };
+        let per_shard_capacity = (cfg.cache_capacity / workers).max(1);
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
                 h,
-                cfg,
                 addr,
-                cache,
+                queue: Queue::new(cfg.queue_depth),
+                flights: FlightTable::new(),
                 stats: ServerStats::default(),
                 metrics: ServeMetrics::resolve(),
-                inflight: AtomicUsize::new(0),
-                open_connections: AtomicUsize::new(0),
+                shard_metrics: (0..workers).map(ShardMetrics::resolve).collect(),
+                per_shard_capacity,
                 shutdown: AtomicBool::new(false),
                 started: Instant::now(),
+                cfg,
             }),
         })
     }
@@ -260,134 +337,432 @@ impl Server {
         self.state.addr
     }
 
-    /// Accept loop: one reader thread per connection, until a `shutdown`
-    /// request flips the flag. Returns once in-flight work has drained
-    /// (bounded wait).
+    /// Runs the service: spawns the worker shards, then multiplexes every
+    /// connection on the calling thread until a `shutdown` request flips
+    /// the flag. Returns once queued work has drained (condvar-notified,
+    /// bounded) and pending responses are flushed.
     pub fn run(self) -> std::io::Result<()> {
         let Server { listener, state } = self;
-        for conn in listener.incoming() {
-            if state.shutdown.load(Ordering::Acquire) {
+        listener.set_nonblocking(true)?;
+        let workers: Vec<_> = (0..state.cfg.workers)
+            .map(|shard| {
+                let st = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("pqe-serve-shard{shard}"))
+                    .spawn(move || worker_loop(st, shard))
+            })
+            .collect::<std::io::Result<_>>()?;
+
+        let mut conns: Vec<Conn> = Vec::new();
+        // Adaptive idle wait: right after progress the loop only yields,
+        // so a response sitting in a mailbox goes out in microseconds,
+        // not a full POLL_IDLE sleep — on a saturated server the loop
+        // effectively never sleeps. Only after HOT_SPINS quiet
+        // iterations does it back off to POLL_IDLE, so an idle server
+        // costs ~2k syscall-cheap iterations/s instead of a spin.
+        const HOT_SPINS: u32 = 256;
+        let mut quiet_iters: u32 = 0;
+        while !state.shutdown.load(Ordering::Acquire) {
+            let mut progress = false;
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(true).ok();
+                        stream.set_nodelay(true).ok();
+                        conns.push(Conn::new(stream));
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            for conn in conns.iter_mut() {
+                progress |= conn.pump_reads(&state);
+                progress |= conn.pump_writes();
+            }
+            let before = conns.len();
+            conns.retain(Conn::alive);
+            progress |= conns.len() != before;
+            state.metrics.connections.set(conns.len() as i64);
+            if progress {
+                quiet_iters = 0;
+            } else {
+                quiet_iters = quiet_iters.saturating_add(1);
+                if quiet_iters < HOT_SPINS {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(POLL_IDLE);
+                }
+            }
+        }
+
+        // Drain: wait (condvar-notified — no sleep-polling) for every
+        // queued job to finish; workers deliver into mailboxes meanwhile.
+        state.queue.wait_idle_for(Duration::from_secs(10));
+        // Flush the final responses (including the `shutdown` ack).
+        let flush_deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut pending = false;
+            for conn in conns.iter_mut() {
+                conn.pump_writes();
+                pending |= !conn.dead && !conn.flushed();
+            }
+            if !pending || Instant::now() >= flush_deadline {
                 break;
             }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let st = Arc::clone(&state);
-            st.open_connections.fetch_add(1, Ordering::AcqRel);
-            std::thread::Builder::new()
-                .name("pqe-serve-conn".to_owned())
-                .spawn(move || {
-                    let _ = handle_connection(&st, stream);
-                    st.open_connections.fetch_sub(1, Ordering::AcqRel);
-                })?;
+            std::thread::sleep(Duration::from_millis(1));
         }
-        // Drain: connections notice the flag via their read timeout.
-        let drain_deadline = Instant::now() + Duration::from_secs(10);
-        while state.open_connections.load(Ordering::Acquire) > 0
-            && Instant::now() < drain_deadline
-        {
-            std::thread::sleep(Duration::from_millis(5));
+        // Stop the shards: close wakes every blocked pop immediately.
+        state.queue.close();
+        for w in workers {
+            let _ = w.join();
         }
+        state.metrics.connections.set(0);
         Ok(())
     }
 }
 
-fn handle_connection(state: &Arc<ServerState>, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_nodelay(true).ok();
-    // A finite read timeout lets idle readers notice shutdown.
-    stream.set_read_timeout(Some(Duration::from_millis(200))).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        let read_start = Instant::now();
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(_) if !line.ends_with('\n') => continue, // partial line at timeout boundary
-            Ok(_) => {
-                // Only completed lines count: idle poll timeouts would
-                // otherwise swamp the read histogram.
-                state.metrics.read_us.record(elapsed_us(read_start));
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // `line` may hold a partial request; keep it for the next
-                // read_line call to finish.
-                if state.shutdown.load(Ordering::Acquire) {
-                    return Ok(());
+/// One multiplexed client connection (owned by the I/O loop).
+struct Conn {
+    stream: TcpStream,
+    /// Accumulates bytes until a complete `\n`-terminated line arrives.
+    rbuf: Vec<u8>,
+    /// Encoded responses not yet accepted by the socket.
+    wbuf: Vec<u8>,
+    mailbox: Arc<Mailbox>,
+    /// Sequence number assigned to the next decoded request.
+    next_seq: u64,
+    /// Sequence number whose response is written out next.
+    next_write: u64,
+    /// Peer closed its write half (no more requests will arrive).
+    eof: bool,
+    /// Unrecoverable socket error or protocol violation: drop silently.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+            mailbox: Mailbox::new(),
+            next_seq: 0,
+            next_write: 0,
+            eof: false,
+            dead: false,
+        }
+    }
+
+    /// Every accepted request has had its response written out.
+    fn flushed(&self) -> bool {
+        self.next_write == self.next_seq && self.wbuf.is_empty()
+    }
+
+    fn alive(&self) -> bool {
+        !self.dead && !(self.eof && self.flushed())
+    }
+
+    /// Reads whatever the socket has, splits complete lines, dispatches
+    /// them. Returns `true` when any byte or request moved.
+    fn pump_reads(&mut self, state: &Arc<ServerState>) -> bool {
+        if self.dead || self.eof {
+            return false;
+        }
+        let mut progress = false;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
                 }
-                continue;
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&buf[..n]);
+                    progress = true;
+                    if self.rbuf.len() > MAX_LINE_BYTES {
+                        // No way to resync a runaway partial line.
+                        self.dead = true;
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
             }
-            Err(e) => return Err(e),
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            line.clear();
-            continue;
+        while let Some(pos) = self.rbuf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.rbuf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line);
+            dispatch_line(state, self, line.trim());
+            progress = true;
+            if state.shutdown.load(Ordering::Acquire) {
+                break; // ignore anything pipelined after `shutdown`
+            }
         }
-        let eval_start = Instant::now();
-        let (response, shutdown) = {
-            let _s = pqe_obs::span::span("serve.eval");
-            dispatch(state, trimmed)
-        };
-        state.metrics.eval_us.record(elapsed_us(eval_start));
-        line.clear();
-        let write_start = Instant::now();
-        {
-            let _s = pqe_obs::span::span("serve.write");
-            writer.write_all(response.as_bytes())?;
-            writer.write_all(b"\n")?;
-            writer.flush()?;
+        progress
+    }
+
+    /// Moves in-order completed responses into the write buffer and
+    /// pushes bytes to the socket. Returns `true` when any byte moved.
+    fn pump_writes(&mut self) -> bool {
+        if self.dead {
+            return false;
         }
-        state.metrics.write_us.record(elapsed_us(write_start));
-        if shutdown {
-            state.shutdown.store(true, Ordering::Release);
-            // Wake the accept loop so `run` can observe the flag.
-            let _ = TcpStream::connect(state.addr);
-            return Ok(());
+        let mut progress = false;
+        while let Some(resp) = self.mailbox.pop_ready(self.next_write) {
+            self.wbuf.extend_from_slice(resp.as_bytes());
+            self.wbuf.push(b'\n');
+            self.next_write += 1;
+            progress = true;
         }
+        while !self.wbuf.is_empty() {
+            match self.stream.write(&self.wbuf) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.wbuf.drain(..n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progress
     }
 }
 
-/// Handles one request line; returns `(response_line, initiate_shutdown)`.
-fn dispatch(state: &Arc<ServerState>, line: &str) -> (String, bool) {
+/// Decodes one request line on the I/O thread and routes it: light ops
+/// are answered inline, heavy ops are enqueued (or rejected `overloaded`
+/// when the queue is full). Every path delivers exactly one response for
+/// the assigned sequence number.
+fn dispatch_line(state: &Arc<ServerState>, conn: &mut Conn, line: &str) {
+    if line.is_empty() {
+        return;
+    }
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
     state.stats.requests.fetch_add(1, Ordering::Relaxed);
     let request = match Request::decode(line) {
         Ok(r) => r,
         Err(msg) => {
             state.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            return (error_response(ErrorKind::BadRequest, msg), false);
+            conn.mailbox.deliver(seq, error_response(ErrorKind::BadRequest, msg));
+            return;
         }
     };
     match request {
-        Request::Estimate { query, epsilon, seed, method, threads, delay_ms } => {
-            state.stats.estimates.fetch_add(1, Ordering::Relaxed);
-            let start = Instant::now();
-            let r = estimate(state, &query, epsilon, seed, &method, threads, delay_ms);
-            state.metrics.estimate_us.record(elapsed_us(start));
-            (finish(state, r), false)
-        }
-        Request::Reliability { query, epsilon, seed, threads, delay_ms } => {
-            state.stats.reliabilities.fetch_add(1, Ordering::Relaxed);
-            let start = Instant::now();
-            let r = reliability(state, &query, epsilon, seed, threads, delay_ms);
-            state.metrics.reliability_us.record(elapsed_us(start));
-            (finish(state, r), false)
-        }
         Request::Classify { query } => {
             state.stats.classifies.fetch_add(1, Ordering::Relaxed);
             let r = classify_response(&query);
-            (finish(state, r), false)
+            conn.mailbox.deliver(seq, finish(state, r));
         }
-        Request::Stats => (stats_response(state).to_string(), false),
-        Request::Metrics => (metrics_response(state).to_string(), false),
+        Request::Stats => conn.mailbox.deliver(seq, stats_response(state).to_string()),
+        Request::Metrics => conn.mailbox.deliver(seq, metrics_response(state).to_string()),
         Request::Shutdown => {
-            (Json::obj([("ok", Json::Bool(true)), ("op", Json::str("shutdown"))]).to_string(), true)
+            conn.mailbox.deliver(
+                seq,
+                Json::obj([("ok", Json::Bool(true)), ("op", Json::str("shutdown"))]).to_string(),
+            );
+            state.shutdown.store(true, Ordering::Release);
+        }
+        heavy @ (Request::Estimate { .. } | Request::Reliability { .. }) => {
+            match heavy {
+                Request::Estimate { .. } => {
+                    state.stats.estimates.fetch_add(1, Ordering::Relaxed)
+                }
+                _ => state.stats.reliabilities.fetch_add(1, Ordering::Relaxed),
+            };
+            let job = Job {
+                op: heavy,
+                mailbox: Arc::clone(&conn.mailbox),
+                seq,
+                received: Instant::now(),
+            };
+            match state.queue.try_push(job) {
+                Ok(depth) => {
+                    state.metrics.enqueued.inc();
+                    state.metrics.queue_depth.set(depth as i64);
+                }
+                Err(job) => {
+                    state.metrics.queue_rejected.inc();
+                    state.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+                    event(Level::Debug, "serve", || {
+                        format!("queue full at depth {}", state.queue.capacity())
+                    });
+                    job.mailbox.deliver(
+                        seq,
+                        error_response(
+                            ErrorKind::Overloaded,
+                            format!(
+                                "work queue full ({} pending, capacity {}); retry later",
+                                state.queue.depth(),
+                                state.queue.capacity()
+                            ),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One worker shard: drains the queue with a private plan cache, mirrors
+/// its cache counters into `pqe-obs` after every job (it is the only
+/// writer of its shard's metric set).
+fn worker_loop(state: Arc<ServerState>, shard: usize) {
+    let mut cache: ShardCache<ServedPlan> = ShardCache::new(state.per_shard_capacity);
+    let mut mirrored = CacheStats::default();
+    let sm = &state.shard_metrics[shard];
+    while let Some(job) = state.queue.pop() {
+        state.metrics.queue_depth.set(state.queue.depth() as i64);
+        sm.jobs.fetch_add(1, Ordering::Relaxed);
+        sm.obs_jobs.inc();
+        {
+            let _s = pqe_obs::span::span("serve.eval");
+            process_job(&state, sm, &mut cache, job);
+        }
+        let s = cache.stats();
+        sm.obs_hits.add(s.hits - mirrored.hits);
+        sm.obs_misses.add(s.misses - mirrored.misses);
+        sm.obs_evictions.add(s.evictions - mirrored.evictions);
+        mirrored = s;
+        sm.hits.store(s.hits, Ordering::Relaxed);
+        sm.misses.store(s.misses, Ordering::Relaxed);
+        sm.evictions.store(s.evictions, Ordering::Relaxed);
+        sm.resident.store(cache.len() as u64, Ordering::Relaxed);
+        sm.obs_resident.set(cache.len() as i64);
+        state.queue.done();
+    }
+}
+
+fn process_job(
+    state: &ServerState,
+    sm: &ShardMetrics,
+    cache: &mut ShardCache<ServedPlan>,
+    job: Job,
+) {
+    let Job { op, mailbox, seq, received } = job;
+    state.metrics.queue_wait_us.record(elapsed_us(received));
+    match op {
+        Request::Estimate { query, epsilon, seed, method, threads, delay_ms } => {
+            let delivered = serve_heavy(
+                state,
+                &mailbox,
+                seq,
+                HeavyOp::Estimate { query, epsilon, seed, method, threads, delay_ms },
+                sm,
+                cache,
+                received,
+            );
+            if delivered {
+                state.metrics.estimate_us.record(elapsed_us(received));
+            }
+        }
+        Request::Reliability { query, epsilon, seed, threads, delay_ms } => {
+            let delivered = serve_heavy(
+                state,
+                &mailbox,
+                seq,
+                HeavyOp::Reliability { query, epsilon, seed, threads, delay_ms },
+                sm,
+                cache,
+                received,
+            );
+            if delivered {
+                state.metrics.reliability_us.record(elapsed_us(received));
+            }
+        }
+        other => unreachable!("light op {other:?} reached the work queue"),
+    }
+}
+
+/// A heavy op with its decoded parameters (the queue-side view).
+enum HeavyOp {
+    Estimate { query: String, epsilon: f64, seed: u64, method: String, threads: usize, delay_ms: u64 },
+    Reliability { query: String, epsilon: f64, seed: u64, threads: usize, delay_ms: u64 },
+}
+
+/// Runs one heavy op through parse → single-flight → compute, delivering
+/// to the caller and every coalesced waiter. Returns `false` when the
+/// request was coalesced (the leader owns delivery and latency
+/// attribution).
+fn serve_heavy(
+    state: &ServerState,
+    mailbox: &Arc<Mailbox>,
+    seq: u64,
+    op: HeavyOp,
+    sm: &ShardMetrics,
+    cache: &mut ShardCache<ServedPlan>,
+    received: Instant,
+) -> bool {
+    let (query, epsilon, seed, threads, delay_ms) = match &op {
+        HeavyOp::Estimate { query, epsilon, seed, threads, delay_ms, .. }
+        | HeavyOp::Reliability { query, epsilon, seed, threads, delay_ms } => {
+            (query, *epsilon, *seed, *threads, *delay_ms)
+        }
+    };
+    // Parse/normalize first: errors and deadline shedding need no flight.
+    let q = match parse_query(query) {
+        Ok(q) => q,
+        Err(e) => {
+            mailbox.deliver(seq, finish(state, Err(e)));
+            return true;
+        }
+    };
+    if let Err(e) = check_deadline(state, received, "queue") {
+        mailbox.deliver(seq, finish(state, Err(e)));
+        return true;
+    }
+    let resolved_threads = if threads != 0 { threads } else { state.cfg.threads };
+    let cache_key = match &op {
+        HeavyOp::Estimate { method, .. } => format!("estimate|{method}|{q}"),
+        HeavyOp::Reliability { .. } => format!("reliability|{q}"),
+    };
+    // The single-flight key pins every input the response depends on —
+    // the evaluation inputs (plan key, ε, seed) plus the reported thread
+    // count and the delay knob — so coalesced responses are exactly what
+    // the follower's own evaluation would have printed.
+    let flight_key = format!(
+        "{cache_key}|{:016x}|{seed}|{resolved_threads}|{delay_ms}",
+        epsilon.to_bits()
+    );
+    match state.flights.join(&flight_key, (Arc::clone(mailbox), seq)) {
+        Flight::Coalesced => {
+            state.metrics.coalesced.inc();
+            state.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Flight::Leader => {
+            let result = match &op {
+                HeavyOp::Estimate { method, .. } => estimate_compute(
+                    state, sm, cache, &q, &cache_key, epsilon, seed, method,
+                    resolved_threads, delay_ms, received,
+                ),
+                HeavyOp::Reliability { .. } => reliability_compute(
+                    state, sm, cache, &q, &cache_key, epsilon, seed,
+                    resolved_threads, delay_ms, received,
+                ),
+            };
+            let response = finish(state, result);
+            // Completing after computing (never before) guarantees every
+            // request that joined saw either the flight or the memo.
+            let waiters = state.flights.complete(&flight_key);
+            for (wmb, wseq) in &waiters {
+                wmb.deliver(*wseq, response.clone());
+            }
+            mailbox.deliver(seq, response);
+            true
         }
     }
 }
@@ -397,7 +772,7 @@ fn elapsed_us(start: Instant) -> u64 {
     start.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
-fn finish(state: &Arc<ServerState>, r: Result<Json, ReqError>) -> String {
+fn finish(state: &ServerState, r: Result<Json, ReqError>) -> String {
     match r {
         Ok(body) => body.to_string(),
         Err((kind, msg)) => {
@@ -434,71 +809,35 @@ fn check_deadline(state: &ServerState, start: Instant, phase: &str) -> Result<()
     Ok(())
 }
 
-fn admit<'a>(state: &'a ServerState) -> Result<Permit<'a>, ReqError> {
-    match Permit::try_acquire(&state.inflight, state.cfg.max_inflight) {
-        Some(permit) => {
-            state.metrics.admitted.inc();
-            Ok(permit)
-        }
-        None => {
-            state.metrics.admission_rejected.inc();
-            event(Level::Debug, "serve", || {
-                format!("admission rejected at max_inflight={}", state.cfg.max_inflight)
-            });
-            Err((
-                ErrorKind::Overloaded,
-                format!(
-                    "{} requests in flight (max {}); retry later",
-                    state.inflight.load(Ordering::Relaxed),
-                    state.cfg.max_inflight
-                ),
-            ))
-        }
-    }
-}
-
 fn apply_delay(delay_ms: u64) {
     if delay_ms > 0 {
         // Test/load-shaping knob; capped so a stray request can't wedge a
-        // permit for minutes.
+        // worker shard for minutes.
         std::thread::sleep(Duration::from_millis(delay_ms.min(60_000)));
     }
 }
 
-/// Looks up or compiles the plan for `key`, reporting whether it was a hit.
-fn plan_for<'a>(
-    state: &'a ServerState,
-    key: String,
-    compile: impl FnOnce() -> Result<ServedPlan, ReqError>,
-) -> Result<(Arc<ServedPlan>, bool), ReqError> {
-    if let Some(plan) = state.cache.get(&key) {
-        return Ok((plan, true));
-    }
-    let plan = Arc::new(compile()?);
-    state.cache.insert(key, Arc::clone(&plan));
-    Ok((plan, false))
-}
-
-fn estimate(
+#[allow(clippy::too_many_arguments)]
+fn estimate_compute(
     state: &ServerState,
-    query: &str,
+    sm: &ShardMetrics,
+    cache: &mut ShardCache<ServedPlan>,
+    q: &ConjunctiveQuery,
+    cache_key: &str,
     epsilon: f64,
     seed: u64,
     method: &str,
-    threads: usize,
+    resolved_threads: usize,
     delay_ms: u64,
+    received: Instant,
 ) -> Result<Json, ReqError> {
-    let q = parse_query(query)?;
-    let start = Instant::now();
-    let _permit = admit(state)?;
     apply_delay(delay_ms);
-    check_deadline(state, start, "admission")?;
+    check_deadline(state, received, "delay")?;
 
-    let key = format!("estimate|{method}|{q}");
-    let (plan, hit) = plan_for(state, key, || compile_estimate_plan(state, &q, method))?;
-    check_deadline(state, start, "compile")?;
+    let (plan, hit) =
+        cache.get_or_insert_with(cache_key, || compile_estimate_plan(state, q, method))?;
+    check_deadline(state, received, "compile")?;
 
-    let resolved_threads = if threads != 0 { threads } else { state.cfg.threads };
     let cfg = FprasConfig::with_epsilon(epsilon)
         .with_seed(seed)
         .with_threads(resolved_threads);
@@ -508,7 +847,8 @@ fn estimate(
         ("query", Json::str(q.to_string())),
         ("cache", Json::str(if hit { "hit" } else { "miss" })),
     ];
-    match &plan.kind {
+    let ServedPlan { kind, memo } = plan;
+    match kind {
         PlanKind::Lifted { classification, exact } => {
             fields.push(("method", Json::str("lifted")));
             fields.push(("probability", Json::str(format!("{:.6}", exact.to_f64()))));
@@ -517,13 +857,25 @@ fn estimate(
             fields.push(("states", Json::from(0usize)));
         }
         PlanKind::Fpras(p) => {
-            let (probability, memo_hit) = plan.memoized(epsilon, seed, || {
-                format!("{:.6}", p.execute(&cfg).probability.to_f64())
-            });
+            let memo_key = (epsilon.to_bits(), seed);
+            let (probability, memo_hit) = match memo.get(&memo_key) {
+                Some(s) => (s.clone(), true),
+                None => {
+                    state.metrics.executions.inc();
+                    let s = format!("{:.6}", p.execute(&cfg).probability.to_f64());
+                    if memo.len() >= MEMO_CAP {
+                        memo.clear();
+                    }
+                    memo.insert(memo_key, s.clone());
+                    (s, false)
+                }
+            };
             if memo_hit {
+                sm.memo_hits.fetch_add(1, Ordering::Relaxed);
+                sm.obs_memo_hits.inc();
                 state.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
             }
-            check_deadline(state, start, "execute")?;
+            check_deadline(state, received, "execute")?;
             fields.push(("method", Json::str("fpras")));
             fields.push(("probability", Json::str(probability)));
             fields.push(("memo", Json::str(if memo_hit { "hit" } else { "miss" })));
@@ -535,10 +887,7 @@ fn estimate(
         }
         PlanKind::Ur(_) => unreachable!("estimate key never maps to a UR plan"),
     }
-    fields.push((
-        "elapsed_us",
-        Json::from(start.elapsed().as_micros().min(u64::MAX as u128) as u64),
-    ));
+    fields.push(("elapsed_us", Json::from(elapsed_us(received))));
     Ok(Json::obj(fields))
 }
 
@@ -567,41 +916,55 @@ fn compile_estimate_plan(
     }
 }
 
-fn reliability(
+#[allow(clippy::too_many_arguments)]
+fn reliability_compute(
     state: &ServerState,
-    query: &str,
+    sm: &ShardMetrics,
+    cache: &mut ShardCache<ServedPlan>,
+    q: &ConjunctiveQuery,
+    cache_key: &str,
     epsilon: f64,
     seed: u64,
-    threads: usize,
+    resolved_threads: usize,
     delay_ms: u64,
+    received: Instant,
 ) -> Result<Json, ReqError> {
-    let q = parse_query(query)?;
-    let start = Instant::now();
-    let _permit = admit(state)?;
     apply_delay(delay_ms);
-    check_deadline(state, start, "admission")?;
+    check_deadline(state, received, "delay")?;
 
-    let key = format!("reliability|{q}");
-    let (plan, hit) = plan_for(state, key, || {
-        compile_ur_plan(&q, state.h.database())
+    let (plan, hit) = cache.get_or_insert_with(cache_key, || {
+        compile_ur_plan(q, state.h.database())
             .map(|p| ServedPlan::new(PlanKind::Ur(p)))
             .map_err(|e| (ErrorKind::EvalError, e.to_string()))
     })?;
-    check_deadline(state, start, "compile")?;
+    check_deadline(state, received, "compile")?;
 
-    let PlanKind::Ur(ur) = &plan.kind else {
-        unreachable!("reliability key never maps to an estimate plan");
-    };
-    let resolved_threads = if threads != 0 { threads } else { state.cfg.threads };
     let cfg = FprasConfig::with_epsilon(epsilon)
         .with_seed(seed)
         .with_threads(resolved_threads);
-    let (reliability, memo_hit) =
-        plan.memoized(epsilon, seed, || ur.execute(&cfg).reliability.to_string());
+    let ServedPlan { kind, memo } = plan;
+    let PlanKind::Ur(ur) = kind else {
+        unreachable!("reliability key never maps to an estimate plan");
+    };
+    let memo_key = (epsilon.to_bits(), seed);
+    let (reliability, memo_hit) = match memo.get(&memo_key) {
+        Some(s) => (s.clone(), true),
+        None => {
+            state.metrics.executions.inc();
+            let s = ur.execute(&cfg).reliability.to_string();
+            if memo.len() >= MEMO_CAP {
+                memo.clear();
+            }
+            memo.insert(memo_key, s.clone());
+            (s, false)
+        }
+    };
     if memo_hit {
+        sm.memo_hits.fetch_add(1, Ordering::Relaxed);
+        sm.obs_memo_hits.inc();
         state.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
     }
-    check_deadline(state, start, "execute")?;
+    check_deadline(state, received, "execute")?;
     Ok(Json::obj([
         ("ok", Json::Bool(true)),
         ("op", Json::str("reliability")),
@@ -613,10 +976,7 @@ fn reliability(
         ("epsilon", Json::from(epsilon)),
         ("seed", Json::from(seed)),
         ("threads", Json::from(cfg.effective_threads())),
-        (
-            "elapsed_us",
-            Json::from(start.elapsed().as_micros().min(u64::MAX as u128) as u64),
-        ),
+        ("elapsed_us", Json::from(elapsed_us(received))),
     ]))
 }
 
@@ -643,8 +1003,20 @@ fn classify_response(query: &str) -> Result<Json, ReqError> {
     ]))
 }
 
+/// Sums a per-shard counter across every shard.
+fn shard_sum(state: &ServerState, f: impl Fn(&ShardMetrics) -> u64) -> u64 {
+    state.shard_metrics.iter().map(f).sum()
+}
+
 fn stats_response(state: &ServerState) -> Json {
-    let cache = state.cache.stats();
+    let hits = shard_sum(state, |s| s.hits.load(Ordering::Relaxed));
+    let misses = shard_sum(state, |s| s.misses.load(Ordering::Relaxed));
+    let resident = state.shard_metrics.iter().map(|s| s.resident.load(Ordering::Relaxed)).sum::<u64>();
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
     Json::obj([
         ("ok", Json::Bool(true)),
         ("op", Json::str("stats")),
@@ -655,14 +1027,16 @@ fn stats_response(state: &ServerState) -> Json {
         ("estimates", Json::from(state.stats.estimates.load(Ordering::Relaxed))),
         ("reliabilities", Json::from(state.stats.reliabilities.load(Ordering::Relaxed))),
         ("classifies", Json::from(state.stats.classifies.load(Ordering::Relaxed))),
-        ("cache_hits", Json::from(cache.hits())),
-        ("cache_misses", Json::from(cache.misses())),
-        ("cache_evictions", Json::from(cache.evictions())),
-        ("cache_resident", Json::from(state.cache.len())),
-        ("cache_hit_rate", Json::from(cache.hit_rate())),
+        ("cache_hits", Json::from(hits)),
+        ("cache_misses", Json::from(misses)),
+        ("cache_evictions", Json::from(shard_sum(state, |s| s.evictions.load(Ordering::Relaxed)))),
+        ("cache_resident", Json::from(resident)),
+        ("cache_hit_rate", Json::from(hit_rate)),
         ("memo_hits", Json::from(state.stats.memo_hits.load(Ordering::Relaxed))),
-        ("inflight", Json::from(state.inflight.load(Ordering::Relaxed))),
-        ("max_inflight", Json::from(state.cfg.max_inflight)),
+        ("coalesced", Json::from(state.stats.coalesced.load(Ordering::Relaxed))),
+        ("workers", Json::from(state.cfg.workers)),
+        ("queue_depth", Json::from(state.queue.depth())),
+        ("queue_capacity", Json::from(state.queue.capacity())),
         ("deadline_ms", Json::from(state.cfg.deadline_ms)),
         ("facts", Json::from(state.h.len())),
         ("overloaded", Json::from(state.stats.overloaded.load(Ordering::Relaxed))),
@@ -672,10 +1046,11 @@ fn stats_response(state: &ServerState) -> Json {
     ])
 }
 
-/// The `metrics` op: the full `pqe-obs` registry snapshot plus the plan
-/// cache's own counters, encoded with the serve JSON machinery. Histogram
-/// entries carry count/min/max/mean and the p50/p95/p99 latency
-/// percentiles (log-linear buckets, ≤ 9.4 % relative error).
+/// The `metrics` op: the full `pqe-obs` registry snapshot, per-shard
+/// occupancy/hit-rate, queue state, and the aggregate cache counters,
+/// encoded with the serve JSON machinery. Histogram entries carry
+/// count/min/max/mean and the p50/p95/p99 latency percentiles (log-linear
+/// buckets, ≤ 9.4 % relative error).
 fn metrics_response(state: &ServerState) -> Json {
     let snap = pqe_obs::metrics::snapshot();
     let counters = Json::Obj(
@@ -706,7 +1081,38 @@ fn metrics_response(state: &ServerState) -> Json {
             })
             .collect(),
     );
-    let cache = state.cache.stats();
+    let shards = Json::Arr(
+        state
+            .shard_metrics
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let hits = s.hits.load(Ordering::Relaxed);
+                let misses = s.misses.load(Ordering::Relaxed);
+                let rate = if hits + misses == 0 {
+                    0.0
+                } else {
+                    hits as f64 / (hits + misses) as f64
+                };
+                Json::obj([
+                    ("shard", Json::from(i)),
+                    ("resident", Json::from(s.resident.load(Ordering::Relaxed))),
+                    ("hits", Json::from(hits)),
+                    ("misses", Json::from(misses)),
+                    ("memo_hits", Json::from(s.memo_hits.load(Ordering::Relaxed))),
+                    ("jobs", Json::from(s.jobs.load(Ordering::Relaxed))),
+                    ("hit_rate", Json::from(rate)),
+                ])
+            })
+            .collect(),
+    );
+    let hits = shard_sum(state, |s| s.hits.load(Ordering::Relaxed));
+    let misses = shard_sum(state, |s| s.misses.load(Ordering::Relaxed));
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
     Json::obj([
         ("ok", Json::Bool(true)),
         ("op", Json::str("metrics")),
@@ -715,14 +1121,32 @@ fn metrics_response(state: &ServerState) -> Json {
         ("counters", counters),
         ("gauges", gauges),
         ("histograms", histograms),
+        ("shards", shards),
+        (
+            "queue",
+            Json::obj([
+                ("depth", Json::from(state.queue.depth())),
+                ("capacity", Json::from(state.queue.capacity())),
+                ("rejected", Json::from(state.metrics.queue_rejected.get())),
+            ]),
+        ),
         (
             "cache",
             Json::obj([
-                ("hits", Json::from(cache.hits())),
-                ("misses", Json::from(cache.misses())),
-                ("evictions", Json::from(cache.evictions())),
-                ("resident", Json::from(state.cache.len())),
-                ("hit_rate", Json::from(cache.hit_rate())),
+                ("hits", Json::from(hits)),
+                ("misses", Json::from(misses)),
+                ("evictions", Json::from(shard_sum(state, |s| s.evictions.load(Ordering::Relaxed)))),
+                (
+                    "resident",
+                    Json::from(
+                        state
+                            .shard_metrics
+                            .iter()
+                            .map(|s| s.resident.load(Ordering::Relaxed))
+                            .sum::<u64>(),
+                    ),
+                ),
+                ("hit_rate", Json::from(hit_rate)),
             ]),
         ),
     ])
@@ -745,113 +1169,185 @@ mod tests {
         (addr, handle)
     }
 
-    fn roundtrip(stream: &mut TcpStream, line: &str) -> Json {
-        let mut reader = BufReader::new(stream.try_clone().unwrap());
-        stream.write_all(line.as_bytes()).unwrap();
-        stream.write_all(b"\n").unwrap();
-        stream.flush().unwrap();
-        let mut resp = String::new();
-        reader.read_line(&mut resp).unwrap();
-        Json::parse(resp.trim()).unwrap()
+    /// A test client holding one persistent reader — pipelined responses
+    /// buffered by the `BufReader` are not lost between reads.
+    struct Client {
+        stream: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            Client { stream, reader }
+        }
+
+        fn send(&mut self, line: &str) {
+            self.stream.write_all(line.as_bytes()).unwrap();
+            self.stream.write_all(b"\n").unwrap();
+            self.stream.flush().unwrap();
+        }
+
+        fn read_json(&mut self) -> Json {
+            let mut resp = String::new();
+            self.reader.read_line(&mut resp).unwrap();
+            Json::parse(resp.trim()).unwrap()
+        }
+
+        fn roundtrip(&mut self, line: &str) -> Json {
+            self.send(line);
+            self.read_json()
+        }
     }
 
     #[test]
     fn full_session_and_clean_shutdown() {
-        let (addr, handle) = start(ServeConfig::default());
-        let mut c = TcpStream::connect(addr).unwrap();
+        // One worker shard: cache hit/miss counts are deterministic.
+        let (addr, handle) = start(ServeConfig { workers: 1, ..Default::default() });
+        let mut c = Client::connect(addr);
 
-        let v = roundtrip(&mut c, r#"{"op":"classify","query":"R1(x,y), R2(y,z)"}"#);
+        let v = c.roundtrip(r#"{"op":"classify","query":"R1(x,y), R2(y,z)"}"#);
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("safe").and_then(Json::as_bool), Some(true));
 
-        let v = roundtrip(
-            &mut c,
-            r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","epsilon":0.2,"seed":9}"#,
+        let v = c.roundtrip(r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","epsilon":0.2,"seed":9}"#,
         );
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
         let first = v.get("probability").and_then(Json::as_str).unwrap().to_owned();
 
         // Same request again: a hit, same digits (per-request seed).
-        let v = roundtrip(
-            &mut c,
-            r#"{"op":"estimate","query":"R1(x,y),   R2(y,z)","method":"fpras","epsilon":0.2,"seed":9}"#,
+        let v = c.roundtrip(r#"{"op":"estimate","query":"R1(x,y),   R2(y,z)","method":"fpras","epsilon":0.2,"seed":9}"#,
         );
         assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
         assert_eq!(v.get("probability").and_then(Json::as_str), Some(first.as_str()));
 
-        let v = roundtrip(&mut c, r#"{"op":"stats"}"#);
+        let v = c.roundtrip(r#"{"op":"stats"}"#);
         assert_eq!(v.get("cache_hits").and_then(Json::as_u64), Some(1));
         assert_eq!(v.get("cache_misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("workers").and_then(Json::as_u64), Some(1));
 
-        let v = roundtrip(&mut c, r#"{"op":"shutdown"}"#);
+        let v = c.roundtrip(r#"{"op":"shutdown"}"#);
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         handle.join().unwrap().unwrap();
     }
 
     #[test]
-    fn overload_returns_structured_error() {
-        let (addr, handle) = start(ServeConfig { max_inflight: 1, ..Default::default() });
-        let mut slow = TcpStream::connect(addr).unwrap();
-        let mut fast = TcpStream::connect(addr).unwrap();
+    fn pipelined_requests_respond_in_request_order() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut c = Client::connect(addr);
+        // A heavy request followed by two light ones, written in one
+        // burst: the light ops complete inline while the estimate is
+        // still in a worker, but responses must come back in order.
+        c.send(r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","delay_ms":200}"#,
+        );
+        c.send(r#"{"op":"classify","query":"R1(x,y)"}"#);
+        c.send(r#"{"op":"stats"}"#);
+        let first = c.read_json();
+        let second = c.read_json();
+        let third = c.read_json();
+        assert_eq!(first.get("op").and_then(Json::as_str), Some("estimate"));
+        assert_eq!(second.get("op").and_then(Json::as_str), Some("classify"));
+        assert_eq!(third.get("op").and_then(Json::as_str), Some("stats"));
+        c.roundtrip(r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
 
-        // Occupy the only slot with an artificial 1500ms execution.
-        slow.write_all(
-            br#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","delay_ms":1500}"#,
-        )
-        .unwrap();
-        slow.write_all(b"\n").unwrap();
-        slow.flush().unwrap();
-        std::thread::sleep(Duration::from_millis(300));
+    #[test]
+    fn full_queue_returns_structured_overload() {
+        // One worker, queue of one: a running job + a queued job saturate
+        // the service; the third request must be rejected immediately.
+        let (addr, handle) =
+            start(ServeConfig { workers: 1, queue_depth: 1, ..Default::default() });
+        let mut busy = Client::connect(addr);
+        let mut queued = Client::connect(addr);
+        let mut fast = Client::connect(addr);
 
-        let v = roundtrip(
-            &mut fast,
-            r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras"}"#,
+        // Occupy the only worker with an artificial 1500ms execution
+        // (distinct seeds: these three must not coalesce).
+        busy.send(r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","seed":1,"delay_ms":1500}"#,
+        );
+        std::thread::sleep(Duration::from_millis(400));
+        // Fill the single queue slot.
+        queued.send(r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","seed":2,"delay_ms":100}"#,
+        );
+        std::thread::sleep(Duration::from_millis(200));
+
+        let v = fast.roundtrip(r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","seed":3}"#,
         );
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(v.get("error").and_then(Json::as_str), Some("overloaded"));
 
-        // The slow request still completes normally.
-        let mut reader = BufReader::new(slow.try_clone().unwrap());
-        let mut resp = String::new();
-        reader.read_line(&mut resp).unwrap();
-        let v = Json::parse(resp.trim()).unwrap();
+        // The occupied and queued requests still complete normally.
+        let v = busy.read_json();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let v = queued.read_json();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
 
-        roundtrip(&mut fast, r#"{"op":"shutdown"}"#);
+        let v = fast.roundtrip(r#"{"op":"stats"}"#);
+        assert_eq!(v.get("overloaded").and_then(Json::as_u64), Some(1));
+
+        fast.roundtrip(r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_onto_one_flight() {
+        let (addr, handle) = start(ServeConfig { workers: 2, ..Default::default() });
+        let mut a = Client::connect(addr);
+        let mut b = Client::connect(addr);
+
+        // Byte-identical requests; the delay keeps the leader in flight
+        // long enough for the follower to join deterministically.
+        let req = r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","seed":5,"delay_ms":400}"#;
+        a.send(req);
+        std::thread::sleep(Duration::from_millis(150));
+        b.send(req);
+
+        let va = a.read_json();
+        let vb = b.read_json();
+        assert_eq!(va.to_string(), vb.to_string(), "coalesced response must be verbatim");
+        assert_eq!(va.get("ok").and_then(Json::as_bool), Some(true));
+
+        let v = a.roundtrip(r#"{"op":"stats"}"#);
+        assert_eq!(v.get("coalesced").and_then(Json::as_u64), Some(1));
+        // Only the leader evaluated: one cache miss, no hit.
+        assert_eq!(v.get("cache_misses").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("cache_hits").and_then(Json::as_u64), Some(0));
+
+        a.roundtrip(r#"{"op":"shutdown"}"#);
         handle.join().unwrap().unwrap();
     }
 
     #[test]
     fn deadline_returns_timeout_error() {
         let (addr, handle) = start(ServeConfig { deadline_ms: 100, ..Default::default() });
-        let mut c = TcpStream::connect(addr).unwrap();
-        let v = roundtrip(
-            &mut c,
-            r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","delay_ms":300}"#,
+        let mut c = Client::connect(addr);
+        let v = c.roundtrip(r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","delay_ms":300}"#,
         );
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(v.get("error").and_then(Json::as_str), Some("timeout"));
 
-        let v = roundtrip(&mut c, r#"{"op":"stats"}"#);
+        let v = c.roundtrip(r#"{"op":"stats"}"#);
         assert_eq!(v.get("timeouts").and_then(Json::as_u64), Some(1));
 
-        roundtrip(&mut c, r#"{"op":"shutdown"}"#);
+        c.roundtrip(r#"{"op":"shutdown"}"#);
         handle.join().unwrap().unwrap();
     }
 
     #[test]
     fn bad_requests_are_reported_not_dropped() {
         let (addr, handle) = start(ServeConfig::default());
-        let mut c = TcpStream::connect(addr).unwrap();
-        let v = roundtrip(&mut c, "this is not json");
+        let mut c = Client::connect(addr);
+        let v = c.roundtrip("this is not json");
         assert_eq!(v.get("error").and_then(Json::as_str), Some("bad_request"));
         // Self-join: engine-level refusal, connection stays usable.
-        let v = roundtrip(&mut c, r#"{"op":"estimate","query":"R(x,y), R(y,z)","method":"fpras"}"#);
+        let v = c.roundtrip(r#"{"op":"estimate","query":"R(x,y), R(y,z)","method":"fpras"}"#);
         assert_eq!(v.get("error").and_then(Json::as_str), Some("eval_error"));
-        let v = roundtrip(&mut c, r#"{"op":"classify","query":"R1(x,y)"}"#);
+        let v = c.roundtrip(r#"{"op":"classify","query":"R1(x,y)"}"#);
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
-        roundtrip(&mut c, r#"{"op":"shutdown"}"#);
+        c.roundtrip(r#"{"op":"shutdown"}"#);
         handle.join().unwrap().unwrap();
     }
 }

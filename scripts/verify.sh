@@ -96,3 +96,86 @@ echo "$resp" | grep -q '"ok":true'
 exec 3>&- 3<&-
 wait "$SERVE_PID"
 echo "  ok: classify/estimate/stats/shutdown round-tripped, clean exit"
+
+# Concurrency smoke: the multiplexed server handles 4 simultaneous
+# connections (distinct seeds — no single-flight sharing), still offline
+# over bash's /dev/tcp.
+echo "serve concurrency smoke test:"
+./target/release/pqe serve --db "$SMOKE_DIR/smoke.pdb" --addr 127.0.0.1:0 \
+    --workers 4 > "$SMOKE_DIR/serve2.log" &
+SERVE_PID=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^pqe-serve listening on //p' "$SMOKE_DIR/serve2.log")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "  FAIL: no announce" >&2; kill "$SERVE_PID"; exit 1; }
+port=${addr##*:}
+for fd in 4 5 6 7; do
+    eval "exec $fd<>'/dev/tcp/127.0.0.1/$port'"
+    printf '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","epsilon":0.3,"seed":%d}\n' "$fd" >&"$fd"
+done
+for fd in 4 5 6 7; do
+    IFS= read -r resp <&"$fd"
+    echo "$resp" | grep -q '"ok":true' || {
+        echo "  FAIL: concurrent request on fd $fd failed: $resp" >&2; exit 1; }
+    eval "exec $fd>&- $fd<&-"
+done
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+send '{"op":"stats"}'
+echo "$resp" | grep -q '"estimates":4'
+send '{"op":"shutdown"}'
+exec 3>&- 3<&-
+wait "$SERVE_PID"
+echo "  ok: 4 concurrent connections served, clean exit"
+
+# Backpressure smoke: one worker, queue depth 1 — a third concurrent
+# request must be rejected with a structured overloaded error.
+echo "serve overload smoke test:"
+./target/release/pqe serve --db "$SMOKE_DIR/smoke.pdb" --addr 127.0.0.1:0 \
+    --workers 1 --queue-depth 1 > "$SMOKE_DIR/serve3.log" &
+SERVE_PID=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^pqe-serve listening on //p' "$SMOKE_DIR/serve3.log")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "  FAIL: no announce" >&2; kill "$SERVE_PID"; exit 1; }
+port=${addr##*:}
+exec 4<>"/dev/tcp/127.0.0.1/$port"
+exec 5<>"/dev/tcp/127.0.0.1/$port"
+exec 6<>"/dev/tcp/127.0.0.1/$port"
+# Occupy the only worker, then the only queue slot (distinct seeds).
+printf '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","seed":1,"delay_ms":2000}\n' >&4
+sleep 0.5
+printf '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","seed":2,"delay_ms":200}\n' >&5
+sleep 0.3
+printf '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","seed":3}\n' >&6
+IFS= read -r resp <&6
+echo "$resp" | grep -q '"error":"overloaded"' || {
+    echo "  FAIL: saturated queue did not reject: $resp" >&2; exit 1; }
+IFS= read -r resp <&4
+echo "$resp" | grep -q '"ok":true'
+IFS= read -r resp <&5
+echo "$resp" | grep -q '"ok":true'
+printf '{"op":"shutdown"}\n' >&6
+IFS= read -r resp <&6
+exec 4>&- 4<&- 5>&- 5<&- 6>&- 6<&-
+wait "$SERVE_PID"
+echo "  ok: full queue rejected with structured overloaded error"
+
+# bench-serve smoke: the concurrency axis lands in BENCH_serve.json.
+echo "bench-serve smoke test:"
+BENCH_DIR=$(mktemp -d)
+PQE_BENCH_JSON_DIR="$BENCH_DIR" ./target/release/pqe bench-serve \
+    --requests 8 --epsilon 0.3 --method fpras > /dev/null
+test -s "$BENCH_DIR/BENCH_serve.json" || {
+    echo "  FAIL: bench-serve emitted no BENCH_serve.json" >&2; exit 1; }
+grep -q '"c1.throughput_rps"' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"c16.throughput_rps"' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"c64.throughput_rps"' "$BENCH_DIR/BENCH_serve.json"
+grep -q '"c16.hit_p99_us"' "$BENCH_DIR/BENCH_serve.json"
+rm -rf "$BENCH_DIR"
+echo "  ok: bench-serve swept the 1/4/16/64 concurrency axis"

@@ -38,10 +38,20 @@ USAGE:
   pqe marginals   --db FILE --query Q [--samples N] [--seed N]
   pqe influence   --db FILE --query Q [--epsilon E] [--seed N]
   pqe lineage     --db FILE --query Q [--materialize LIMIT]
-  pqe serve       --db FILE [--addr HOST:PORT] [--max-inflight N] [--deadline-ms N]
-                  [--cache-capacity N] [--cache-shards N] [--threads N]
-  pqe bench-serve --db FILE [--query Q] [--connections N] [--requests N]
+  pqe serve       --db FILE [--addr HOST:PORT] [--workers N] [--queue-depth N]
+                  [--deadline-ms N] [--cache-capacity N] [--threads N]
+  pqe bench-serve [--db FILE] [--query Q] [--connections N] [--requests N]
                   [--repeat-ratio R] [--epsilon E] [--seed N] [--method M]
+                  [--workers N]
+
+SERVE CONCURRENCY:
+  --workers N      worker shards draining the request queue; each owns a
+                   private compiled-plan cache (default 4)
+  --queue-depth N  bounded work-queue capacity; heavy requests arriving at
+                   a full queue get a structured `overloaded` error
+                   (default 64; --max-inflight is a legacy alias)
+  bench-serve sweeps 1/4/16/64 connections by default; --connections pins
+  a single point, --requests is the total budget per point.
 
 THREADS:
   --threads N sets the FPRAS worker count for the command (and the server
@@ -430,10 +440,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     args.check_known(&[
         "db",
         "addr",
-        "max-inflight",
+        "workers",
+        "queue-depth",
+        "max-inflight", // legacy alias for --queue-depth
         "deadline-ms",
         "cache-capacity",
-        "cache-shards",
         "threads",
     ])?;
     let h = load_db(args)?;
@@ -444,12 +455,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     };
     let defaults = ServeConfig::default();
+    // --max-inflight predates the sharded-worker rework; it bounded the
+    // number of concurrently computing requests, which is now the role of
+    // the work queue, so it survives as an alias for --queue-depth.
+    let queue_depth = match args.opt("queue-depth") {
+        Some(_) => parse_opt("queue-depth", defaults.queue_depth)?,
+        None => parse_opt("max-inflight", defaults.queue_depth)?,
+    };
     let cfg = ServeConfig {
         addr: args.opt("addr").unwrap_or("127.0.0.1:7431").to_owned(),
-        max_inflight: parse_opt("max-inflight", defaults.max_inflight)?.max(1),
+        workers: parse_opt("workers", defaults.workers)?.max(1),
+        queue_depth: queue_depth.max(1),
         deadline_ms: parse_opt("deadline-ms", defaults.deadline_ms as usize)? as u64,
         cache_capacity: parse_opt("cache-capacity", defaults.cache_capacity)?.max(1),
-        cache_shards: parse_opt("cache-shards", defaults.cache_shards)?,
         threads: args.threads()?,
     };
     let server = Server::bind(cfg, h).map_err(|e| format!("bind: {e}"))?;
@@ -473,8 +491,15 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         "seed",
         "method",
         "threads",
+        "workers",
     ])?;
-    let h = load_db(args)?;
+    // --db is optional here: without it the bench runs over the seeded
+    // synthetic triangle-graph instance, so `pqe bench-serve` needs no
+    // fixture file and every machine measures the same database.
+    let h = match args.opt("db") {
+        Some(_) => load_db(args)?,
+        None => pqe::serve::loadgen::synthetic_triangle_db(6, 35, 0xE8),
+    };
     let parse_opt = |name: &str, default: usize| -> Result<usize, String> {
         match args.opt(name) {
             None => Ok(default),
@@ -491,10 +516,19 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
             r
         }
     };
-    let load = LoadConfig {
-        addr: String::new(), // filled in once the server is bound
-        connections: parse_opt("connections", 4)?.max(1),
-        requests: parse_opt("requests", 50)?.max(1),
+    // --connections pins a single point; the default sweeps the axis so
+    // BENCH_serve.json carries throughput at every concurrency level.
+    let axis: Vec<usize> = match args.opt("connections") {
+        Some(_) => vec![parse_opt("connections", 4)?.max(1)],
+        None => vec![1, 4, 16, 64],
+    };
+    // --requests is the total budget per axis point (split across the
+    // point's connections), so every point costs about the same.
+    let total_requests = parse_opt("requests", 192)?.max(1);
+    let base = LoadConfig {
+        addr: String::new(), // bound per axis point
+        connections: 1,
+        requests: 1,
         repeat_ratio,
         query: args
             .opt("query")
@@ -504,55 +538,86 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         seed: args.seed()?,
         method: args.opt("method").unwrap_or("auto").to_owned(),
     };
-
-    // In-process server on an ephemeral port: the bench measures the full
-    // wire round trip without needing a second process.
-    let serve_cfg = ServeConfig {
-        max_inflight: load.connections.max(4),
-        threads: args.threads()?,
-        ..ServeConfig::default()
-    };
-    let server = Server::bind(serve_cfg, h).map_err(|e| format!("bind: {e}"))?;
-    let addr = server.local_addr();
-    let handle = std::thread::spawn(move || server.run());
-    let load = LoadConfig {
-        addr: addr.to_string(),
-        ..load
-    };
-
-    println!(
-        "bench-serve: {} connections × {} requests, repeat ratio {}, query {:?}",
-        load.connections, load.requests, load.repeat_ratio, load.query
-    );
-    let report = run_load(&load).map_err(|e| format!("load run: {e}"))?;
+    let workers = parse_opt("workers", ServeConfig::default().workers)?.max(1);
 
     let mut r = Runner::new("serve");
     r.start();
-    r.metric("requests", report.requests as f64);
-    r.metric("errors", report.errors as f64);
-    r.metric("throughput_rps", report.throughput_rps);
-    r.metric("latency_p50_us", report.p50_us as f64);
-    r.metric("latency_p95_us", report.p95_us as f64);
-    r.metric("latency_p99_us", report.p99_us as f64);
-    r.metric("cache_hit_rate", report.hit_rate);
-    r.metric("hit_mean_us", report.hit_mean_us);
-    r.metric("cold_compile_mean_us", report.miss_mean_us);
-    r.metric("hit_speedup", report.hit_speedup);
+    let headline = axis.iter().copied().find(|&c| c == 16).unwrap_or(*axis.last().unwrap());
+    let mut total_errors = 0u64;
+    for &conns in &axis {
+        // A fresh in-process server per point: cold caches at every
+        // concurrency level, so the points are comparable.
+        let serve_cfg = ServeConfig {
+            workers,
+            threads: args.threads()?,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(serve_cfg, h.clone()).map_err(|e| format!("bind: {e}"))?;
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        let load = LoadConfig {
+            addr: addr.to_string(),
+            connections: conns,
+            requests: (total_requests / conns).max(3),
+            ..base.clone()
+        };
+        println!(
+            "bench-serve: {} connections × {} requests, repeat ratio {}, query {:?}",
+            load.connections, load.requests, load.repeat_ratio, load.query
+        );
+        let report = run_load(&load).map_err(|e| format!("load run: {e}"))?;
+        println!(
+            "  c{conns}: {:.1} rps, p50 {}us, p99 {}us, hit p99 {}us, {} errors",
+            report.throughput_rps, report.p50_us, report.p99_us, report.hit_p99_us, report.errors
+        );
+
+        let p = format!("c{conns}.");
+        r.metric(&format!("{p}requests"), report.requests as f64);
+        r.metric(&format!("{p}errors"), report.errors as f64);
+        r.metric(&format!("{p}overloaded"), report.overloaded as f64);
+        r.metric(&format!("{p}timeouts"), report.timeouts as f64);
+        r.metric(&format!("{p}eval_errors"), report.eval_errors as f64);
+        r.metric(&format!("{p}throughput_rps"), report.throughput_rps);
+        r.metric(&format!("{p}latency_p50_us"), report.p50_us as f64);
+        r.metric(&format!("{p}latency_p95_us"), report.p95_us as f64);
+        r.metric(&format!("{p}latency_p99_us"), report.p99_us as f64);
+        r.metric(&format!("{p}hit_p99_us"), report.hit_p99_us as f64);
+        r.metric(&format!("{p}connect_mean_us"), report.connect_mean_us);
+        r.metric(&format!("{p}cache_hit_rate"), report.hit_rate);
+        r.metric(&format!("{p}hit_mean_us"), report.hit_mean_us);
+        r.metric(&format!("{p}cold_compile_mean_us"), report.miss_mean_us);
+        r.metric(&format!("{p}hit_speedup"), report.hit_speedup);
+        if conns == headline {
+            // Unprefixed legacy names: dashboards tracking the old
+            // single-point report keep working off the headline point.
+            r.metric("requests", report.requests as f64);
+            r.metric("errors", report.errors as f64);
+            r.metric("throughput_rps", report.throughput_rps);
+            r.metric("latency_p50_us", report.p50_us as f64);
+            r.metric("latency_p95_us", report.p95_us as f64);
+            r.metric("latency_p99_us", report.p99_us as f64);
+            r.metric("cache_hit_rate", report.hit_rate);
+            r.metric("hit_mean_us", report.hit_mean_us);
+            r.metric("cold_compile_mean_us", report.miss_mean_us);
+            r.metric("hit_speedup", report.hit_speedup);
+        }
+        total_errors += report.errors;
+
+        // Shut the point's server down over the wire.
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let mut c = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        c.write_all(b"{\"op\":\"shutdown\"}\n").map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        BufReader::new(c).read_line(&mut line).ok();
+        handle
+            .join()
+            .map_err(|_| "server thread panicked".to_owned())?
+            .map_err(|e| format!("serve: {e}"))?;
+    }
     r.finish();
 
-    // Shut the in-process server down over the wire.
-    use std::io::{BufRead as _, BufReader, Write as _};
-    let mut c = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
-    c.write_all(b"{\"op\":\"shutdown\"}\n").map_err(|e| e.to_string())?;
-    let mut line = String::new();
-    BufReader::new(c).read_line(&mut line).ok();
-    handle
-        .join()
-        .map_err(|_| "server thread panicked".to_owned())?
-        .map_err(|e| format!("serve: {e}"))?;
-
-    if report.errors > 0 {
-        return Err(format!("{} request(s) failed during the load run", report.errors));
+    if total_errors > 0 {
+        return Err(format!("{total_errors} request(s) failed during the load run"));
     }
     Ok(())
 }
