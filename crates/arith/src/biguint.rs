@@ -104,8 +104,9 @@ impl BigUint {
         Some(v)
     }
 
-    /// Best-effort conversion to `f64` (may lose precision; huge values map
-    /// to `f64::INFINITY`). Used only for reporting, never for logic.
+    /// Correctly rounded (nearest-even) conversion to `f64`; values beyond
+    /// the finite range map to `f64::INFINITY`. Used only for reporting,
+    /// never for logic.
     pub fn to_f64(&self) -> f64 {
         let bits = self.bits();
         if bits == 0 {
@@ -114,14 +115,24 @@ impl BigUint {
         if bits <= 64 {
             return self.to_u64().unwrap() as f64;
         }
-        // Take the top 64 bits and scale by the remaining exponent.
+        // Take the top 64 bits — bit 63 is set, so bit 0 of the window sits
+        // below f64's 53-bit mantissa and only ever participates in
+        // tie-breaking. Folding every dropped low bit into it as a sticky
+        // bit makes the (correctly rounded) u64 → f64 cast round the *whole*
+        // integer to nearest-even; the power-of-two scale is exact.
         let shift = bits - 64;
-        let top = (self >> shift).to_u64().unwrap();
-        let exp = shift as i32;
-        if exp > f64::MAX_EXP {
+        let mut top = (self >> shift).to_u64().unwrap();
+        let whole = (shift / BASE_BITS as u64) as usize;
+        let rem = (shift % BASE_BITS as u64) as u32;
+        let sticky = self.limbs[..whole].iter().any(|&l| l != 0)
+            || (rem > 0 && self.limbs[whole] & ((1u32 << rem) - 1) != 0);
+        if sticky {
+            top |= 1;
+        }
+        if shift > f64::MAX_EXP as u64 {
             return f64::INFINITY;
         }
-        (top as f64) * 2f64.powi(exp)
+        (top as f64) * 2f64.powi(shift as i32)
     }
 
     /// `self^exp` by binary exponentiation.

@@ -135,20 +135,9 @@ impl FixUint {
     /// value regardless of representation.
     pub fn to_f64(&self) -> f64 {
         match &self.0 {
-            Repr::Small(v) => {
-                let v = *v;
-                let bits = 128 - v.leading_zeros() as u64;
-                if bits == 0 {
-                    return 0.0;
-                }
-                if bits <= 64 {
-                    // BigUint::to_f64 converts through u64 here.
-                    return (v as u64) as f64;
-                }
-                let shift = bits - 64;
-                let top = (v >> shift) as u64;
-                (top as f64) * 2f64.powi(shift as i32)
-            }
+            // `BigUint::to_f64` is correctly rounded (nearest-even), which
+            // is exactly what the primitive u128 → f64 cast guarantees.
+            Repr::Small(v) => *v as f64,
             Repr::Big(b) => b.to_f64(),
         }
     }

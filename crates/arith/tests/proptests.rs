@@ -248,6 +248,42 @@ fn rational_display_roundtrips() {
 }
 
 #[test]
+fn to_f64_matches_u128_cast() {
+    // Differential against the primitive cast (which Rust guarantees is
+    // correctly rounded, nearest-even). Biased to values just past the
+    // 64-bit window, where the old truncating conversion dropped low bits.
+    let gens = (any::<u64>(), any::<u64>(), 0u64..65);
+    check("to_f64_matches_u128_cast", &cfg(), &gens, |&(a, b, s)| {
+        let v = ((a as u128) << s) + b as u128;
+        prop_assert_eq!(BigUint::from(v).to_f64(), v as f64);
+        Ok(())
+    });
+}
+
+#[test]
+fn to_f64_commutes_with_pow2_scaling() {
+    // (x << k) is exactly x·2^k, and rounding commutes with exact
+    // power-of-two scaling — so the conversion of the shifted value must
+    // equal the scaled conversion, arbitrarily far past 128 bits.
+    let gens = (1u64.., 0u64..700);
+    check("to_f64_commutes_with_pow2_scaling", &cfg(), &gens, |&(a, k)| {
+        let v = &BigUint::from(a) << k;
+        prop_assert_eq!(v.to_f64(), (a as f64) * 2f64.powi(k as i32));
+        Ok(())
+    });
+}
+
+#[test]
+fn to_f64_rounds_to_nearest_even_at_the_64_bit_boundary() {
+    // 2^64 + 2^11 + 1: the bit dropped by the 64-bit window must break the
+    // mantissa tie upward; the old truncating conversion instead landed on
+    // the tie and rounded to even, giving 2^64 exactly.
+    let v = (1u128 << 64) + (1 << 11) + 1;
+    assert_eq!(v as f64, 2f64.powi(64) + 2f64.powi(12));
+    assert_eq!(BigUint::from(v).to_f64(), v as f64);
+}
+
+#[test]
 fn complement_involution() {
     check("complement_involution", &cfg(), &(0u64..1000, 1u64..1000), |&(n, d)| {
         prop_assume!(n <= d);

@@ -48,6 +48,7 @@ mod estimators;
 pub mod landscape;
 pub mod plan;
 pub mod reductions;
+pub mod router;
 pub mod worlds;
 
 pub use estimators::{
@@ -55,3 +56,7 @@ pub use estimators::{
     PathUrReport, PqeReport, UrReport,
 };
 pub use plan::{compile_pqe_plan, compile_ur_plan, PqePlan, UrPlan};
+pub use router::{
+    ConditionalPlan, ConditionalReport, Method, Route, RouteDecision, RoutedAnswer, RoutedPlan,
+    RouterError,
+};

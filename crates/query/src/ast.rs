@@ -160,6 +160,40 @@ impl ConjunctiveQuery {
         let atoms = keep.iter().map(|&i| self.atoms[i].clone()).collect();
         ConjunctiveQuery::new(atoms, self.var_names.clone())
     }
+
+    /// The conjunction `self ∧ other`: `other`'s atoms appended, with its
+    /// variables re-interned **by name** into `self`'s table — so a
+    /// variable named `x` in both queries becomes one joint variable,
+    /// exactly as if the two query texts had been parsed as one
+    /// comma-separated string. Used by conditional evaluation to form
+    /// `Q ∧ E` from a query and its evidence.
+    pub fn conjoin(&self, other: &ConjunctiveQuery) -> ConjunctiveQuery {
+        let mut var_names = self.var_names.clone();
+        let remap: Vec<Var> = other
+            .var_names
+            .iter()
+            .map(|name| match var_names.iter().position(|n| n == name) {
+                Some(i) => Var(i as u32),
+                None => {
+                    var_names.push(name.clone());
+                    Var((var_names.len() - 1) as u32)
+                }
+            })
+            .collect();
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().map(|a| {
+            let terms = a
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Var(v) => Term::Var(remap[v.index()]),
+                    c @ Term::Const(_) => c.clone(),
+                })
+                .collect();
+            Atom::new(a.relation.clone(), terms)
+        }));
+        ConjunctiveQuery::new(atoms, var_names)
+    }
 }
 
 impl fmt::Display for ConjunctiveQuery {
@@ -237,5 +271,28 @@ mod tests {
     fn restrict_atoms_keeps_selection() {
         let q = q2().restrict_atoms(&[1]);
         assert_eq!(q.to_string(), "S(y,z)");
+    }
+
+    #[test]
+    fn conjoin_unifies_variables_by_name() {
+        // T(z,w): z must join with q2's z, w is fresh.
+        let other = ConjunctiveQuery::new(
+            vec![Atom::new("T", vec![Term::Var(Var(0)), Term::Var(Var(1))])],
+            vec!["z".into(), "w".into()],
+        );
+        let joint = q2().conjoin(&other);
+        assert_eq!(joint.to_string(), "R(x,y), S(y,z), T(z,w)");
+        // z is shared: 4 distinct variables, not 5.
+        assert_eq!(joint.vars().len(), 4);
+        assert!(joint.is_self_join_free());
+    }
+
+    #[test]
+    fn conjoin_matches_parsing_the_concatenation() {
+        let a = crate::parse("R(x,y), S(y,z)").unwrap();
+        let b = crate::parse("T(z,'c')").unwrap();
+        let joint = a.conjoin(&b);
+        let parsed = crate::parse("R(x,y), S(y,z), T(z,'c')").unwrap();
+        assert_eq!(joint.to_string(), parsed.to_string());
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! {"op":"estimate","query":"R1(x,y), R2(y,z)","epsilon":0.1,"seed":24301,"method":"auto"}
+//! {"op":"estimate","query":"R1(x,y), R2(y,z)","evidence":"R2('b','c')"}
 //! {"op":"reliability","query":"R1(x,y), R2(y,z)","epsilon":0.1,"seed":24301}
 //! {"op":"classify","query":"R1(x,y), R2(y,z)"}
 //! {"op":"stats"}
@@ -45,6 +46,9 @@ pub enum Request {
         seed: u64,
         /// `auto` | `lifted` | `fpras`.
         method: String,
+        /// Optional evidence conjunction: evaluates `P(Q | E)` instead of
+        /// `P(Q)` (query syntax, parsed server-side).
+        evidence: Option<String>,
         /// Worker threads (0 = server default; never changes the estimate).
         threads: usize,
         /// Artificial pre-execution delay, for load/overload testing.
@@ -154,16 +158,24 @@ impl Request {
                         .map(str::to_owned)
                         .ok_or_else(|| "field \"method\" must be a string".to_owned())?,
                 };
-                if !matches!(method.as_str(), "auto" | "lifted" | "fpras") {
-                    return Err(format!(
-                        "unknown method {method:?} (serve supports auto, lifted, fpras)"
-                    ));
-                }
+                // The router's parser carries the Levenshtein "did you
+                // mean" hint, so a typo like "fprs" is diagnosed instead
+                // of silently falling through to some default.
+                pqe_core::Method::parse(&method)?;
+                let evidence = match v.get("evidence") {
+                    None | Some(Json::Null) => None,
+                    Some(e) => Some(
+                        e.as_str()
+                            .map(str::to_owned)
+                            .ok_or_else(|| "field \"evidence\" must be a string".to_owned())?,
+                    ),
+                };
                 Ok(Request::Estimate {
                     query: req_str(&v, "query")?,
                     epsilon,
                     seed: opt_u64(&v, "seed", DEFAULT_SEED)?,
                     method,
+                    evidence,
                     threads: opt_u64(&v, "threads", 0)? as usize,
                     delay_ms: opt_u64(&v, "delay_ms", 0)?,
                 })
@@ -206,10 +218,36 @@ mod tests {
                 epsilon: DEFAULT_EPSILON,
                 seed: DEFAULT_SEED,
                 method: "auto".into(),
+                evidence: None,
                 threads: 0,
                 delay_ms: 0,
             }
         );
+    }
+
+    #[test]
+    fn decodes_evidence_field() {
+        let r = Request::decode(r#"{"op":"estimate","query":"R(x,y)","evidence":"S('b','c')"}"#)
+            .unwrap();
+        match r {
+            Request::Estimate { evidence, .. } => {
+                assert_eq!(evidence.as_deref(), Some("S('b','c')"));
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        let r = Request::decode(r#"{"op":"estimate","query":"R(x,y)","evidence":null}"#).unwrap();
+        match r {
+            Request::Estimate { evidence, .. } => assert_eq!(evidence, None),
+            other => panic!("wrong variant {other:?}"),
+        }
+        let e = Request::decode(r#"{"op":"estimate","query":"R(x,y)","evidence":7}"#).unwrap_err();
+        assert!(e.contains("evidence"), "{e}");
+    }
+
+    #[test]
+    fn unknown_method_gets_a_did_you_mean_hint() {
+        let e = Request::decode(r#"{"op":"estimate","query":"Q()","method":"fprs"}"#).unwrap_err();
+        assert!(e.contains("did you mean \"fpras\"?"), "{e}");
     }
 
     #[test]

@@ -44,11 +44,11 @@ use crate::flight::{Flight, FlightTable};
 use crate::json::Json;
 use crate::protocol::{error_response, ErrorKind, Request};
 use crate::queue::Queue;
-use pqe_arith::Rational;
 use pqe_automata::FprasConfig;
-use pqe_core::baselines::lifted_pqe;
-use pqe_core::landscape::{self, Classification, Verdict};
-use pqe_core::{compile_pqe_plan, compile_ur_plan, PqePlan, UrPlan};
+use pqe_core::landscape::{self, Verdict};
+use pqe_core::{
+    compile_ur_plan, ConditionalPlan, Method, Route, RoutedAnswer, RoutedPlan, UrPlan,
+};
 use pqe_db::ProbDatabase;
 use pqe_obs::log::{event, Level};
 use pqe_obs::metrics::{Counter, Gauge, Histogram};
@@ -201,14 +201,13 @@ pub struct ServedPlan {
 }
 
 enum PlanKind {
-    /// Safe query via exact lifted inference: the exact probability *is*
-    /// the plan (it depends on nothing but `(Q, H)`).
-    Lifted {
-        classification: Classification,
-        exact: Rational,
-    },
-    /// The FPRAS route: landscape cell + constructed automaton.
-    Fpras(PqePlan),
+    /// An `estimate` plan: the shared router's verdict (Table 1 cell +
+    /// route decision) with the exact rational or constructed automaton
+    /// behind it — the same object the CLI executes, so served digits are
+    /// bit-identical to `pqe estimate`.
+    Routed(RoutedPlan),
+    /// A conditional `estimate` plan: `P(Q | E)` with per-term routing.
+    Conditional(ConditionalPlan),
     /// Uniform reliability: the translated Proposition 1 automaton.
     Ur(UrPlan),
 }
@@ -655,12 +654,12 @@ fn process_job(
     let Job { op, mailbox, seq, received } = job;
     state.metrics.queue_wait_us.record(elapsed_us(received));
     match op {
-        Request::Estimate { query, epsilon, seed, method, threads, delay_ms } => {
+        Request::Estimate { query, epsilon, seed, method, evidence, threads, delay_ms } => {
             let delivered = serve_heavy(
                 state,
                 &mailbox,
                 seq,
-                HeavyOp::Estimate { query, epsilon, seed, method, threads, delay_ms },
+                HeavyOp::Estimate { query, epsilon, seed, method, evidence, threads, delay_ms },
                 sm,
                 cache,
                 received,
@@ -689,7 +688,15 @@ fn process_job(
 
 /// A heavy op with its decoded parameters (the queue-side view).
 enum HeavyOp {
-    Estimate { query: String, epsilon: f64, seed: u64, method: String, threads: usize, delay_ms: u64 },
+    Estimate {
+        query: String,
+        epsilon: f64,
+        seed: u64,
+        method: String,
+        evidence: Option<String>,
+        threads: usize,
+        delay_ms: u64,
+    },
     Reliability { query: String, epsilon: f64, seed: u64, threads: usize, delay_ms: u64 },
 }
 
@@ -720,14 +727,32 @@ fn serve_heavy(
             return true;
         }
     };
+    // Evidence is query syntax too: parse/normalize it up front so a typo
+    // is a `bad_request` before any flight or compilation.
+    let ev = match &op {
+        HeavyOp::Estimate { evidence: Some(e), .. } => match parse(e) {
+            Ok(eq) => Some(eq),
+            Err(err) => {
+                let e = (ErrorKind::BadRequest, format!("evidence: {err}"));
+                mailbox.deliver(seq, finish(state, Err(e)));
+                return true;
+            }
+        },
+        _ => None,
+    };
     if let Err(e) = check_deadline(state, received, "queue") {
         mailbox.deliver(seq, finish(state, Err(e)));
         return true;
     }
     let resolved_threads = if threads != 0 { threads } else { state.cfg.threads };
-    let cache_key = match &op {
-        HeavyOp::Estimate { method, .. } => format!("estimate|{method}|{q}"),
-        HeavyOp::Reliability { .. } => format!("reliability|{q}"),
+    // The plan key pins everything compilation depends on: op, method,
+    // normalized query, and (for conditionals) the normalized evidence.
+    let cache_key = match (&op, &ev) {
+        (HeavyOp::Estimate { method, .. }, None) => format!("estimate|{method}|{q}"),
+        (HeavyOp::Estimate { method, .. }, Some(e)) => {
+            format!("estimate|{method}|{q}|evidence|{e}")
+        }
+        (HeavyOp::Reliability { .. }, _) => format!("reliability|{q}"),
     };
     // The single-flight key pins every input the response depends on —
     // the evaluation inputs (plan key, ε, seed) plus the reported thread
@@ -746,7 +771,7 @@ fn serve_heavy(
         Flight::Leader => {
             let result = match &op {
                 HeavyOp::Estimate { method, .. } => estimate_compute(
-                    state, sm, cache, &q, &cache_key, epsilon, seed, method,
+                    state, sm, cache, &q, ev.as_ref(), &cache_key, epsilon, seed, method,
                     resolved_threads, delay_ms, received,
                 ),
                 HeavyOp::Reliability { .. } => reliability_compute(
@@ -823,6 +848,7 @@ fn estimate_compute(
     sm: &ShardMetrics,
     cache: &mut ShardCache<ServedPlan>,
     q: &ConjunctiveQuery,
+    evidence: Option<&ConjunctiveQuery>,
     cache_key: &str,
     epsilon: f64,
     seed: u64,
@@ -834,8 +860,8 @@ fn estimate_compute(
     apply_delay(delay_ms);
     check_deadline(state, received, "delay")?;
 
-    let (plan, hit) =
-        cache.get_or_insert_with(cache_key, || compile_estimate_plan(state, q, method))?;
+    let (plan, hit) = cache
+        .get_or_insert_with(cache_key, || compile_estimate_plan(state, q, evidence, method))?;
     check_deadline(state, received, "compile")?;
 
     let cfg = FprasConfig::with_epsilon(epsilon)
@@ -849,41 +875,91 @@ fn estimate_compute(
     ];
     let ServedPlan { kind, memo } = plan;
     match kind {
-        PlanKind::Lifted { classification, exact } => {
-            fields.push(("method", Json::str("lifted")));
-            fields.push(("probability", Json::str(format!("{:.6}", exact.to_f64()))));
-            fields.push(("exact", Json::str(exact.to_string())));
-            fields.push(("landscape", Json::str(classification.to_string())));
-            fields.push(("states", Json::from(0usize)));
-        }
-        PlanKind::Fpras(p) => {
-            let memo_key = (epsilon.to_bits(), seed);
-            let (probability, memo_hit) = match memo.get(&memo_key) {
-                Some(s) => (s.clone(), true),
-                None => {
-                    state.metrics.executions.inc();
-                    let s = format!("{:.6}", p.execute(&cfg).probability.to_f64());
-                    if memo.len() >= MEMO_CAP {
-                        memo.clear();
-                    }
-                    memo.insert(memo_key, s.clone());
-                    (s, false)
+        PlanKind::Routed(p) => {
+            fields.push(("method", Json::str(p.decision.route.name())));
+            fields.push(("route", Json::str(p.decision.route.name())));
+            fields.push(("rationale", Json::str(p.decision.rationale.clone())));
+            match p.decision.route {
+                Route::Lifted => {
+                    let RoutedAnswer::Exact(exact) = p.execute(&cfg) else {
+                        unreachable!("lifted route always answers exactly");
+                    };
+                    fields.push(("probability", Json::str(format!("{:.6}", exact.to_f64()))));
+                    fields.push(("exact", Json::str(exact.to_string())));
+                    fields.push(("landscape", Json::str(p.classification.to_string())));
+                    fields.push(("states", Json::from(0usize)));
                 }
-            };
-            if memo_hit {
-                sm.memo_hits.fetch_add(1, Ordering::Relaxed);
-                sm.obs_memo_hits.inc();
-                state.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+                Route::Fpras => {
+                    let memo_key = (epsilon.to_bits(), seed);
+                    let (probability, memo_hit) = match memo.get(&memo_key) {
+                        Some(s) => (s.clone(), true),
+                        None => {
+                            state.metrics.executions.inc();
+                            let s = format!("{:.6}", p.execute(&cfg).to_f64());
+                            if memo.len() >= MEMO_CAP {
+                                memo.clear();
+                            }
+                            memo.insert(memo_key, s.clone());
+                            (s, false)
+                        }
+                    };
+                    if memo_hit {
+                        sm.memo_hits.fetch_add(1, Ordering::Relaxed);
+                        sm.obs_memo_hits.inc();
+                        state.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    check_deadline(state, received, "execute")?;
+                    fields.push(("probability", Json::str(probability)));
+                    fields.push(("memo", Json::str(if memo_hit { "hit" } else { "miss" })));
+                    fields.push(("landscape", Json::str(p.classification.to_string())));
+                    fields.push(("states", Json::from(p.automaton_states())));
+                    fields.push(("epsilon", Json::from(epsilon)));
+                    fields.push(("seed", Json::from(seed)));
+                    fields.push(("threads", Json::from(cfg.effective_threads())));
+                }
             }
+        }
+        PlanKind::Conditional(p) => {
+            // No result memo: a conditional report carries per-execution
+            // provenance (P(E), routes, split ε) beyond one number, and the
+            // plan cache already amortizes the expensive compilation.
+            state.metrics.executions.inc();
+            let report =
+                p.execute(&cfg).map_err(|e| (ErrorKind::EvalError, e.to_string()))?;
             check_deadline(state, received, "execute")?;
-            fields.push(("method", Json::str("fpras")));
-            fields.push(("probability", Json::str(probability)));
-            fields.push(("memo", Json::str(if memo_hit { "hit" } else { "miss" })));
-            fields.push(("landscape", Json::str(p.classification.to_string())));
-            fields.push(("states", Json::from(p.automaton_states())));
+            fields.push(("evidence", Json::str(p.evidence.clone())));
+            fields.push(("method", Json::str(report.joint_route.name())));
+            fields.push(("route", Json::str(report.joint_route.name())));
+            fields.push(("rationale", Json::str(p.joint_decision().rationale.clone())));
+            fields.push((
+                "evidence_route",
+                Json::str(match report.evidence_route {
+                    Some(r) => r.name(),
+                    // Ground evidence: P(E) is the exact product of fact
+                    // probabilities, no routed evaluation at all.
+                    None => "exact-product",
+                }),
+            ));
+            fields.push((
+                "probability",
+                Json::str(format!("{:.6}", report.conditional.to_f64())),
+            ));
+            if let Some(exact) = &report.exact {
+                fields.push(("exact", Json::str(exact.to_string())));
+            }
+            fields.push((
+                "p_evidence",
+                Json::str(format!("{:.6}", report.prob_evidence.to_f64())),
+            ));
+            if let Some(se) = report.split_epsilon {
+                fields.push(("split_epsilon", Json::from(se)));
+            }
+            fields.push(("landscape", Json::str(p.classification().to_string())));
+            fields.push(("states", Json::from(report.automaton_states)));
             fields.push(("epsilon", Json::from(epsilon)));
             fields.push(("seed", Json::from(seed)));
             fields.push(("threads", Json::from(cfg.effective_threads())));
+            let _ = memo; // conditionals bypass the result memo (see above)
         }
         PlanKind::Ur(_) => unreachable!("estimate key never maps to a UR plan"),
     }
@@ -894,25 +970,21 @@ fn estimate_compute(
 fn compile_estimate_plan(
     state: &ServerState,
     q: &ConjunctiveQuery,
+    evidence: Option<&ConjunctiveQuery>,
     method: &str,
 ) -> Result<ServedPlan, ReqError> {
-    let use_lifted = match method {
-        "lifted" => true,
-        "fpras" => false,
-        // `auto`: the CLI routing — lifted when safe, FPRAS otherwise.
-        _ => landscape::classify(q).safe,
-    };
-    if use_lifted {
-        let exact = lifted_pqe(q, &state.h)
-            .map_err(|e| (ErrorKind::EvalError, e.to_string()))?;
-        Ok(ServedPlan::new(PlanKind::Lifted {
-            classification: landscape::classify(q),
-            exact,
-        }))
-    } else {
-        let plan = compile_pqe_plan(q, &state.h)
-            .map_err(|e| (ErrorKind::EvalError, e.to_string()))?;
-        Ok(ServedPlan::new(PlanKind::Fpras(plan)))
+    // `Request::decode` already validated the method, but compile re-parses
+    // it (defense in depth): there is no fallthrough left that could route
+    // an unknown method string as `auto` — a typo is a structured
+    // `bad_request` with the router's "did you mean" hint.
+    let method = Method::parse(method).map_err(|e| (ErrorKind::BadRequest, e))?;
+    match evidence {
+        Some(e) => ConditionalPlan::compile(q, e, &state.h, method)
+            .map(|p| ServedPlan::new(PlanKind::Conditional(p)))
+            .map_err(|e| (ErrorKind::EvalError, e.to_string())),
+        None => RoutedPlan::compile(q, &state.h, method)
+            .map(|p| ServedPlan::new(PlanKind::Routed(p)))
+            .map_err(|e| (ErrorKind::EvalError, e.to_string())),
     }
 }
 

@@ -62,6 +62,32 @@ echo "$profile_out" | grep '^estimate ' | grep -qv ' 0ns ' || {
     echo "  FAIL: profile root total is zero" >&2; exit 1; }
 echo "  ok: --profile renders the span tree with non-zero totals"
 
+# Router + conditional smoke: the route line is printed, ground evidence
+# conditions exactly, impossible evidence is a structured exit-2 error,
+# and a typo'd method gets the hint instead of silent auto-routing.
+echo "router/evidence smoke test:"
+COND_DIR=$(mktemp -d)
+printf '1/2 R(a,b)\n1/3 S(b,c)\n1/5 S(b,d)\n' > "$COND_DIR/cond.pdb"
+cond_out=$(./target/release/pqe estimate --db "$COND_DIR/cond.pdb" \
+    --query 'R(x,y), S(y,z)' 2>/dev/null)
+echo "$cond_out" | grep -q 'route    : lifted \[auto: safe'
+cond_out=$(./target/release/pqe estimate --db "$COND_DIR/cond.pdb" \
+    --query 'R(x,y), S(y,z)' --evidence "S('b','c')" 2>/dev/null)
+echo "$cond_out" | grep -q 'Pr(Q|E) = 1/2'
+echo "$cond_out" | grep -q 'route(E) : exact product (ground evidence)'
+if ./target/release/pqe estimate --db "$COND_DIR/cond.pdb" \
+    --query 'R(x,y), S(y,z)' --evidence "S('zz','zz')" 2> "$COND_DIR/err"; then
+    echo "  FAIL: impossible evidence did not fail" >&2; exit 1
+fi
+grep -q 'P(E) = 0' "$COND_DIR/err"
+if ./target/release/pqe estimate --db "$COND_DIR/cond.pdb" \
+    --query 'R(x,y), S(y,z)' --method fprs 2> "$COND_DIR/err"; then
+    echo "  FAIL: unknown method was accepted" >&2; exit 1
+fi
+grep -q 'did you mean "fpras"' "$COND_DIR/err"
+rm -rf "$COND_DIR"
+echo "  ok: route line, ground P(Q|E), zero-evidence error, method hint"
+
 echo "serve smoke test:"
 SMOKE_DIR=$(mktemp -d)
 trap 'rm -rf "$SMOKE_DIR"' EXIT
@@ -88,8 +114,19 @@ echo "$resp" | grep -q '"verdict":"fpras-only"'
 send '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","epsilon":0.3,"seed":7}'
 echo "$resp" | grep -q '"ok":true'
 echo "$resp" | grep -q '"probability":"0\.'
+echo "$resp" | grep -q '"route":"fpras"'
+# Evidence round-trip: ground evidence on the served instance reports the
+# exact P(E) and both routes.
+send "{\"op\":\"estimate\",\"query\":\"R1(x,y), R2(y,z), R3(z,w)\",\"evidence\":\"R1('a','b')\",\"epsilon\":0.3,\"seed\":7}"
+echo "$resp" | grep -q '"ok":true'
+echo "$resp" | grep -q '"p_evidence":"0\.500000"'
+echo "$resp" | grep -q '"evidence_route":"exact-product"'
+# Unknown method: structured bad_request with the hint, not silent auto.
+send '{"op":"estimate","query":"R1(x,y)","method":"fprs"}'
+echo "$resp" | grep -q '"error":"bad_request"'
+echo "$resp" | grep -q 'did you mean'
 send '{"op":"stats"}'
-echo "$resp" | grep -q '"estimates":1'
+echo "$resp" | grep -q '"estimates":2'
 echo "$resp" | grep -q '"classifies":1'
 send '{"op":"shutdown"}'
 echo "$resp" | grep -q '"ok":true'

@@ -13,11 +13,9 @@
 //! `lifted`, `brute`, `karp-luby`, `mc`.
 
 use pqe::automata::FprasConfig;
-use pqe::core::baselines::{
-    brute_force_pqe, karp_luby_pqe, lifted_pqe, naive_monte_carlo_pqe, Lineage,
-};
+use pqe::core::baselines::{brute_force_pqe, karp_luby_pqe, naive_monte_carlo_pqe, Lineage};
 use pqe::core::worlds::WeightedWorldSampler;
-use pqe::core::{landscape, pqe_estimate, ur_estimate};
+use pqe::core::{landscape, ur_estimate, ConditionalPlan, Method, RoutedAnswer, RoutedPlan};
 use pqe::db::{io as dbio, ProbDatabase};
 use pqe::query::{parse, ConjunctiveQuery};
 use pqe::serve::{run_load, LoadConfig, ServeConfig, Server};
@@ -30,8 +28,8 @@ const USAGE: &str = "\
 pqe — probabilistic query evaluation (van Bremen & Meel, PODS 2023)
 
 USAGE:
-  pqe estimate    --db FILE --query Q [--epsilon E] [--seed N] [--method M] [--threads N]
-                  [--profile]
+  pqe estimate    --db FILE --query Q [--evidence E] [--epsilon E] [--seed N] [--method M]
+                  [--threads N] [--profile]
   pqe reliability --db FILE --query Q [--epsilon E] [--seed N] [--threads N] [--profile]
   pqe classify    --query Q
   pqe sample      --db FILE --query Q [--count N] [--seed N]
@@ -71,12 +69,23 @@ PROFILING:
   perturbation-free).
 
 METHODS (estimate):
-  auto       lifted inference when the query is safe, FPRAS otherwise [default]
+  auto       routed: lifted inference when the query is safe, FPRAS otherwise [default]
   fpras      the paper's PQEEstimate (Theorem 1)
   lifted     exact safe-plan evaluation (hierarchical queries only)
   brute      exact enumeration of all 2^|D| worlds (tiny databases)
   karp-luby  lineage-free Karp-Luby estimator (20k samples)
   mc         naive Monte Carlo (100k worlds, additive error)
+  auto/lifted/fpras dispatch through the core router; the chosen route and
+  its rationale are printed with the result.
+
+EVIDENCE (estimate):
+  --evidence takes a conjunction in query syntax and evaluates the
+  conditional probability P(Q | E). All-constant evidence (e.g.
+  S('b','c')) conditions the database directly and keeps P(E) exact;
+  evidence with variables evaluates P(Q∧E)/P(E) with each term routed
+  independently and ε split across the estimated terms (ε/2 with one
+  FPRAS term, ε/3 with two). P(E) = 0 is a structured error. Only the
+  routed methods (auto, lifted, fpras) support --evidence.
 
 DATABASE FORMAT: one fact per line, optional leading probability:
   0.9  Link(a,b)
@@ -135,7 +144,9 @@ impl Args {
             None => Ok(0.1),
             Some(s) => {
                 let e: f64 = s.parse().map_err(|_| format!("bad --epsilon {s:?}"))?;
-                if e <= 0.0 || e >= 1.0 {
+                // NaN fails both `e <= 0.0` and `e >= 1.0`, so the check
+                // must be written as a negated conjunction.
+                if !(e > 0.0 && e < 1.0) {
                     return Err(format!("--epsilon must lie in (0,1), got {e}"));
                 }
                 Ok(e)
@@ -231,8 +242,15 @@ fn load_query(args: &Args) -> Result<ConjunctiveQuery, String> {
     parse(q).map_err(|e| e.to_string())
 }
 
+/// Every `--method` the estimate command accepts: the three routed
+/// methods (dispatched through `pqe_core::router`) plus the CLI-only
+/// reference baselines.
+const ESTIMATE_METHODS: &[&str] = &["auto", "lifted", "fpras", "brute", "karp-luby", "mc"];
+
 fn cmd_estimate(args: &Args) -> Result<(), String> {
-    args.check_known(&["db", "query", "epsilon", "seed", "method", "threads", "profile"])?;
+    args.check_known(&[
+        "db", "query", "evidence", "epsilon", "seed", "method", "threads", "profile",
+    ])?;
     let _profile = ProfileGuard::start(args.profile(), "estimate");
     let h = load_db(args)?;
     let q = load_query(args)?;
@@ -244,33 +262,82 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
     let method = args.opt("method").unwrap_or("auto");
     let class = landscape::classify(&q);
 
-    let chosen = match method {
-        "auto" => {
-            if class.safe {
-                "lifted"
-            } else {
-                "fpras"
+    if !ESTIMATE_METHODS.contains(&method) {
+        let hint = ESTIMATE_METHODS
+            .iter()
+            .map(|m| (edit_distance(method, m), *m))
+            .filter(|(d, _)| *d <= 2)
+            .min()
+            .map(|(_, m)| format!("; did you mean {m:?}?"))
+            .unwrap_or_default();
+        return Err(format!(
+            "unknown --method {method:?} (methods: {}{hint})",
+            ESTIMATE_METHODS.join(", ")
+        ));
+    }
+
+    // The routed methods go through the shared core router — the same
+    // dispatch `pqe-serve` uses, so CLI and server cannot diverge.
+    if let Ok(routed_method) = Method::parse(method) {
+        let cfg = FprasConfig::with_epsilon(eps)
+            .with_seed(seed)
+            .with_threads(threads);
+        if let Some(ev_text) = args.opt("evidence") {
+            let e = parse(ev_text).map_err(|e| format!("--evidence: {e}"))?;
+            let plan =
+                ConditionalPlan::compile(&q, &e, &h, routed_method).map_err(|e| e.to_string())?;
+            let r = plan.execute(&cfg).map_err(|e| e.to_string())?;
+            match &r.exact {
+                Some(p) => println!(
+                    "Pr(Q|E) = {} ≈ {:.6}   [exact, P(E) = {:.6}]",
+                    p,
+                    p.to_f64(),
+                    r.prob_evidence.to_f64()
+                ),
+                None => println!(
+                    "Pr(Q|E) ≈ {:.6}   [ε = {eps}, per-term ε = {}, P(E) = {:.6}, {} states, {:.1?}]",
+                    r.conditional.to_f64(),
+                    r.split_epsilon.unwrap_or(eps),
+                    r.prob_evidence.to_f64(),
+                    r.automaton_states,
+                    r.elapsed
+                ),
             }
+            let jd = plan.joint_decision();
+            println!("route    : {} [{}]", jd.route.name(), jd.rationale);
+            match plan.evidence_decision() {
+                Some(ed) => println!("route(E) : {} [{}]", ed.route.name(), ed.rationale),
+                None => println!("route(E) : exact product (ground evidence)"),
+            }
+        } else {
+            let plan = RoutedPlan::compile(&q, &h, routed_method).map_err(|e| e.to_string())?;
+            match plan.execute(&cfg) {
+                RoutedAnswer::Exact(p) => println!(
+                    "Pr(Q) = {} ≈ {:.6}   [lifted inference, exact]",
+                    p,
+                    p.to_f64()
+                ),
+                RoutedAnswer::Estimate(r) => println!(
+                    "Pr(Q) ≈ {:.6}   [FPRAS, ε = {eps}, {} states, {:.1?}]",
+                    r.probability.to_f64(),
+                    r.automaton_states,
+                    r.elapsed
+                ),
+            }
+            let d = &plan.decision;
+            println!("route    : {} [{}]", d.route.name(), d.rationale);
         }
-        m => m,
-    };
-    match chosen {
-        "lifted" => {
-            let p = lifted_pqe(&q, &h).map_err(|e| e.to_string())?;
-            println!("Pr(Q) = {} ≈ {:.6}   [lifted inference, exact]", p, p.to_f64());
-        }
-        "fpras" => {
-            let cfg = FprasConfig::with_epsilon(eps)
-                .with_seed(seed)
-                .with_threads(threads);
-            let r = pqe_estimate(&q, &h, &cfg).map_err(|e| e.to_string())?;
-            println!(
-                "Pr(Q) ≈ {:.6}   [FPRAS, ε = {eps}, {} states, {:.1?}]",
-                r.probability.to_f64(),
-                r.automaton_states,
-                r.elapsed
-            );
-        }
+        eprintln!("landscape: {class}");
+        return Ok(());
+    }
+
+    // Reference baselines (CLI-only) don't support conditioning.
+    if args.opt("evidence").is_some() {
+        return Err(format!(
+            "--evidence requires a routed method (auto, lifted, or fpras), got --method {method:?}"
+        ));
+    }
+    match method {
         "brute" => {
             if h.len() > pqe::db::worlds::MAX_ENUM_FACTS {
                 return Err(format!(
@@ -295,7 +362,7 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
             let p = naive_monte_carlo_pqe(&q, &h, 100_000, seed);
             println!("Pr(Q) ≈ {p:.6}   [naive Monte Carlo, 100k worlds, additive error]");
         }
-        other => return Err(format!("unknown --method {other:?}")),
+        _ => unreachable!("validated against ESTIMATE_METHODS above"),
     }
     eprintln!("landscape: {class}");
     Ok(())

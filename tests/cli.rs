@@ -92,6 +92,79 @@ fn auto_routes_safe_queries_to_lifted() {
 }
 
 #[test]
+fn route_line_reports_the_dispatch_decision() {
+    let db = write_db(TWO_PATH_DB);
+    // Auto on a safe query: routed to lifted, with the rationale printed.
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("route    : lifted [auto: safe"), "{stdout}");
+
+    // Forcing FPRAS overrides the auto decision and says so.
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--method", "fpras"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("route    : fpras [forced by --method fpras]"), "{stdout}");
+}
+
+#[test]
+fn evidence_conditions_the_estimate() {
+    let db = write_db(TWO_PATH_DB);
+    // Ground evidence S(b,c): P(Q | E) = Pr_{H[S(b,c):=1]}(Q) = 1/2,
+    // P(E) = 1/3, both exact.
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--evidence", "S('b','c')"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Pr(Q|E) = 1/2"), "{stdout}");
+    assert!(stdout.contains("P(E) = 0.333333"), "{stdout}");
+    assert!(stdout.contains("route(E) : exact product (ground evidence)"), "{stdout}");
+}
+
+#[test]
+fn impossible_evidence_is_a_structured_error() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--evidence", "S('nope','nope')"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("P(E) = 0"), "stderr: {stderr}");
+    assert!(stderr.contains("conditional probability undefined"), "stderr: {stderr}");
+}
+
+#[test]
+fn evidence_requires_a_routed_method() {
+    let db = write_db(TWO_PATH_DB);
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y), S(y,z)", "--evidence", "S('b','c')", "--method", "brute"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--evidence requires a routed method"), "stderr: {stderr}");
+}
+
+#[test]
 fn classify_reports_landscape_cell() {
     let out = pqe()
         .args(["classify", "--query", "R1(x,y), R2(y,z), R3(z,w)"])
@@ -171,6 +244,29 @@ fn errors_use_exit_code_2_and_name_the_problem() {
         .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("(0,1)"));
+
+    // NaN epsilon: every comparison against NaN is false, so the bound
+    // check must be written as !(0 < ε < 1) to catch it.
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y)", "--epsilon", "NaN"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("NaN"));
+
+    // Unknown method: rejected with a "did you mean" hint, never silently
+    // routed as auto.
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db.0)
+        .args(["--query", "R(x,y)", "--method", "fprs"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("did you mean \"fpras\"?"), "stderr: {stderr}");
 
     // Malformed database.
     let bad = write_db("this is not a fact\n");

@@ -1,0 +1,152 @@
+//! End-to-end conditional queries: the router's `P(Q | E)` plans against
+//! brute-force conditioning by world enumeration, on both evidence
+//! strategies (ground product and ε-split ratio), through the public
+//! umbrella API.
+
+use pqe::arith::Rational;
+use pqe::automata::FprasConfig;
+use pqe::core::{ConditionalPlan, Method, Route, RouterError};
+use pqe::db::{generators, worlds, Database, ProbDatabase, Schema};
+use pqe::engine::eval_boolean;
+use pqe::query::{parse, ConjunctiveQuery};
+use pqe_rand::rngs::StdRng;
+use pqe_rand::SeedableRng;
+
+/// Brute-force `P(Q|E)`: sum of world weights where both hold over sum
+/// where `E` holds; `None` when `P(E) = 0`.
+fn brute_conditional(
+    q: &ConjunctiveQuery,
+    e: &ConjunctiveQuery,
+    h: &ProbDatabase,
+) -> Option<Rational> {
+    let mut num = Rational::zero();
+    let mut den = Rational::zero();
+    for world in worlds::enumerate(h.len()) {
+        let sub = h.database().subinstance(&world);
+        if eval_boolean(e, &sub) {
+            let w = h.world_prob(&world);
+            if eval_boolean(q, &sub) {
+                num = &num + &w;
+            }
+            den = &den + &w;
+        }
+    }
+    if den.is_zero() {
+        None
+    } else {
+        Some(&num * &den.recip())
+    }
+}
+
+/// 2-path over R/S plus a disjoint unary relation T for variable evidence.
+fn small_instance(seed: u64) -> ProbDatabase {
+    let mut db = Database::new(Schema::new([("R", 2), ("S", 2), ("T", 1)]));
+    db.add_fact("R", &["a", "b"]).unwrap();
+    db.add_fact("R", &["a2", "b"]).unwrap();
+    db.add_fact("S", &["b", "c"]).unwrap();
+    db.add_fact("S", &["b", "d"]).unwrap();
+    db.add_fact("T", &["a"]).unwrap();
+    db.add_fact("T", &["c"]).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    generators::with_random_probs(db, 6, &mut rng)
+}
+
+#[test]
+fn ground_evidence_matches_brute_force_on_random_instances() {
+    for seed in [11u64, 12, 13] {
+        let h = small_instance(seed);
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        // Ground evidence over Q's own relations and over the disjoint one.
+        for etext in ["S('b','c')", "R('a','b'), S('b','d')", "T('a')"] {
+            let e = parse(etext).unwrap();
+            let Some(brute) = brute_conditional(&q, &e, &h) else {
+                continue; // a random probability of 0 made E impossible
+            };
+            let plan = ConditionalPlan::compile(&q, &e, &h, Method::Auto).unwrap();
+            assert!(plan.evidence_decision().is_none(), "seed {seed} {etext}: ground");
+            let r = plan.execute(&FprasConfig::with_epsilon(0.2)).unwrap();
+            assert_eq!(
+                r.exact.as_ref().unwrap(),
+                &brute,
+                "seed {seed} evidence {etext}"
+            );
+            assert!(r.evidence_route.is_none());
+            assert!(r.split_epsilon.is_none(), "ground path never splits ε");
+        }
+    }
+}
+
+#[test]
+fn variable_evidence_matches_brute_force_on_random_instances() {
+    for seed in [21u64, 22, 23] {
+        let h = small_instance(seed);
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        let e = parse("T(w)").unwrap();
+        let Some(brute) = brute_conditional(&q, &e, &h) else {
+            continue;
+        };
+        let plan = ConditionalPlan::compile(&q, &e, &h, Method::Auto).unwrap();
+        assert!(plan.evidence_decision().is_some(), "seed {seed}: ratio path");
+        let r = plan.execute(&FprasConfig::with_epsilon(0.2).with_seed(seed)).unwrap();
+        // Q∧E and E are both safe here: the ratio is exact.
+        assert_eq!(r.exact.as_ref().unwrap(), &brute, "seed {seed}");
+        assert_eq!(r.evidence_route, Some(Route::Lifted));
+    }
+}
+
+#[test]
+fn fpras_terms_stay_within_the_requested_epsilon() {
+    // Force the FPRAS on both ratio terms: the ε-split must keep the
+    // conditional within (1 ± ε) of the brute-force truth.
+    let eps = 0.3;
+    for seed in [31u64, 32] {
+        let h = small_instance(seed);
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        let e = parse("T(w)").unwrap();
+        let Some(brute) = brute_conditional(&q, &e, &h) else {
+            continue;
+        };
+        let plan = ConditionalPlan::compile(&q, &e, &h, Method::Fpras).unwrap();
+        let r = plan
+            .execute(&FprasConfig::with_epsilon(eps).with_seed(1000 + seed))
+            .unwrap();
+        assert!(r.exact.is_none(), "seed {seed}: forced FPRAS is never exact");
+        assert_eq!(r.split_epsilon, Some(eps / 3.0), "two estimated terms");
+        let est = r.conditional.to_f64();
+        let truth = brute.to_f64();
+        assert!(
+            (est / truth - 1.0).abs() <= eps,
+            "seed {seed}: est {est} vs brute {truth}"
+        );
+    }
+}
+
+#[test]
+fn conditional_answers_are_deterministic_per_seed() {
+    let h = small_instance(41);
+    let q = parse("R(x,y), S(y,z)").unwrap();
+    let e = parse("T(w)").unwrap();
+    let run = || {
+        let plan = ConditionalPlan::compile(&q, &e, &h, Method::Fpras).unwrap();
+        let r = plan.execute(&FprasConfig::with_epsilon(0.25).with_seed(0xC0)).unwrap();
+        format!("{:.12}", r.conditional.to_f64())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn impossible_evidence_is_a_zero_evidence_error() {
+    let h = small_instance(51);
+    let q = parse("R(x,y), S(y,z)").unwrap();
+    // A fact that is not in the database at all.
+    let e = parse("T('missing')").unwrap();
+    let err = match ConditionalPlan::compile(&q, &e, &h, Method::Auto) {
+        Err(err) => err,
+        Ok(_) => panic!("impossible evidence must not compile"),
+    };
+    assert!(
+        matches!(err, RouterError::ZeroEvidence { .. }),
+        "got {err}"
+    );
+    assert!(err.to_string().contains("P(E) = 0"), "{err}");
+}

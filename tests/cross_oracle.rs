@@ -123,6 +123,61 @@ fn oracles_agree_with_extreme_probabilities() {
 }
 
 #[test]
+fn router_agrees_with_itself_across_routes() {
+    // For every `ExactAndFpras` query the router has a real choice: auto
+    // must pick the lifted route (matching the classification), and the
+    // forced-FPRAS route must land within ε of the routed exact answer.
+    use pqe::automata::FprasConfig;
+    use pqe::core::landscape::{self, Verdict};
+    use pqe::core::{Method, Route, RoutedAnswer, RoutedPlan};
+
+    let mut rng = StdRng::seed_from_u64(1007);
+    let cases: Vec<(ConjunctiveQuery, ProbDatabase)> = vec![
+        {
+            let db = generators::layered_graph_connected(2, 2, 0.8, &mut rng);
+            (shapes::path_query(2), generators::with_random_probs(db, 6, &mut rng))
+        },
+        {
+            let db = generators::star_data(2, 2, 2, 0.8, &mut rng);
+            (shapes::star_query(2), generators::with_random_probs(db, 5, &mut rng))
+        },
+    ];
+    for (i, (q, h)) in cases.iter().enumerate() {
+        let class = landscape::classify(q);
+        assert_eq!(class.verdict, Verdict::ExactAndFpras, "case {i}: wrong cell");
+
+        let auto = RoutedPlan::compile(q, h, Method::Auto).unwrap();
+        assert_eq!(auto.decision.route, Route::Lifted, "case {i}: auto must go lifted");
+        assert!(!auto.decision.forced, "case {i}");
+        let cfg = FprasConfig::with_epsilon(0.2).with_seed(4242 + i as u64);
+        let RoutedAnswer::Exact(exact) = auto.execute(&cfg) else {
+            panic!("case {i}: lifted route must answer exactly");
+        };
+        assert_eq!(exact, brute_force_pqe(q, h), "case {i}: lifted wrong");
+
+        let forced = RoutedPlan::compile(q, h, Method::Fpras).unwrap();
+        assert_eq!(forced.decision.route, Route::Fpras, "case {i}");
+        assert!(forced.decision.forced, "case {i}");
+        let est = forced.execute(&cfg).to_f64();
+        let truth = exact.to_f64();
+        assert!(
+            (est / truth - 1.0).abs() <= 0.2,
+            "case {i}: est {est} vs exact {truth}"
+        );
+    }
+
+    // And where there is no choice (unsafe, FprasOnly), auto must follow
+    // the classification to the FPRAS.
+    let db = generators::layered_graph_connected(3, 2, 0.8, &mut rng);
+    let h = generators::with_random_probs(db, 6, &mut rng);
+    let q = shapes::path_query(3);
+    assert_eq!(landscape::classify(&q).verdict, Verdict::FprasOnly);
+    let auto = RoutedPlan::compile(&q, &h, Method::Auto).unwrap();
+    assert_eq!(auto.decision.route, Route::Fpras);
+    assert!(auto.decision.rationale.contains("unsafe"), "{}", auto.decision.rationale);
+}
+
+#[test]
 fn run_based_estimator_agrees_on_pqe_automata() {
     // The run-based importance estimator (unbiased, exact run DP) must
     // agree with exact tree counting on the reduction's automata.

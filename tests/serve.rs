@@ -362,6 +362,100 @@ fn metrics_op_reports_queue_shard_and_histogram_gauges() {
 }
 
 #[test]
+fn unknown_method_is_a_structured_bad_request_with_hint() {
+    let db = write_db(PATH3_DB);
+    let server = ServerProc::start(&db, &["--workers", "1"]);
+    let mut c = server.connect();
+
+    // A typo'd method must never be silently routed as `auto`: the router's
+    // parser rejects it with a Levenshtein hint.
+    let resp = roundtrip(&mut c, r#"{"op":"estimate","query":"R1(x,y)","method":"fprs"}"#);
+    assert!(resp.contains("\"ok\":false"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "error"), "bad_request");
+    assert!(resp.contains("did you mean"), "response: {resp}");
+    assert!(resp.contains("fpras"), "response: {resp}");
+
+    // Legacy CLI-only methods are not served either.
+    let resp = roundtrip(&mut c, r#"{"op":"estimate","query":"R1(x,y)","method":"brute"}"#);
+    assert!(resp.contains("\"ok\":false"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "error"), "bad_request");
+
+    // The connection stays usable and the route is reported on success.
+    let resp = roundtrip(&mut c, r#"{"op":"estimate","query":"R1(x,y)"}"#);
+    assert!(resp.contains("\"ok\":true"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "route"), "lifted");
+    assert!(resp.contains("\"rationale\":\"auto: safe"), "response: {resp}");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
+fn evidence_round_trip_matches_cli_and_reports_routes() {
+    let db = write_db(PATH3_DB);
+    let query = "R1(x,y), R2(y,z), R3(z,w)";
+
+    // CLI conditional digits at a fixed (ε, seed), single-threaded.
+    let out = pqe()
+        .args(["estimate", "--db"])
+        .arg(&db)
+        .args([
+            "--query", query, "--evidence", "R1('a','b')", "--epsilon", "0.25", "--seed",
+            "99", "--threads", "1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let cli_digits = stdout
+        .split('≈')
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .expect("digits in CLI output")
+        .to_owned();
+
+    let server = ServerProc::start(&db, &["--workers", "1", "--threads", "1"]);
+    let mut c = server.connect();
+    let req = format!(
+        r#"{{"op":"estimate","query":"{query}","evidence":"R1('a','b')","epsilon":0.25,"seed":99,"threads":1}}"#
+    );
+    let resp = roundtrip(&mut c, &req);
+    assert!(resp.contains("\"ok\":true"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "probability"), cli_digits);
+    // The 3-path joint is unsafe → FPRAS; ground evidence needs no routed
+    // evaluation at all.
+    assert_eq!(json_str_field(&resp, "route"), "fpras");
+    assert_eq!(json_str_field(&resp, "evidence_route"), "exact-product");
+    assert_eq!(json_str_field(&resp, "p_evidence"), "0.500000");
+    assert_eq!(json_str_field(&resp, "evidence"), "R1('a','b')");
+    assert_eq!(json_str_field(&resp, "cache"), "miss");
+
+    // Same request again: the conditional plan is cached (compiled once),
+    // and the digits are reproduced exactly.
+    let resp = roundtrip(&mut c, &req);
+    assert_eq!(json_str_field(&resp, "cache"), "hit");
+    assert_eq!(json_str_field(&resp, "probability"), cli_digits);
+
+    // Evidence changes the plan key: same query without evidence is a
+    // distinct cache entry, not a collision.
+    let bare = format!(r#"{{"op":"estimate","query":"{query}","epsilon":0.25,"seed":99}}"#);
+    let resp = roundtrip(&mut c, &bare);
+    assert_eq!(json_str_field(&resp, "cache"), "miss");
+
+    // Impossible evidence: structured eval_error naming P(E) = 0.
+    let resp = roundtrip(
+        &mut c,
+        &format!(r#"{{"op":"estimate","query":"{query}","evidence":"R1('zz','zz')"}}"#),
+    );
+    assert!(resp.contains("\"ok\":false"), "response: {resp}");
+    assert_eq!(json_str_field(&resp, "error"), "eval_error");
+    assert!(resp.contains("P(E) = 0"), "response: {resp}");
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&db);
+}
+
+#[test]
 fn unknown_option_suggests_the_intended_flag() {
     let out = pqe()
         .args(["estimate", "--db", "/dev/null", "--query", "R(x)", "--thread", "2"])
