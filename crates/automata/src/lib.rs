@@ -36,6 +36,7 @@
 mod alphabet;
 mod augmented;
 pub mod config;
+mod dot;
 mod forest_reg;
 mod multiplier;
 mod multiplier_nfa;
@@ -51,6 +52,7 @@ mod union_mc;
 pub use alphabet::{Alphabet, SymbolId};
 pub use augmented::{AugSymbol, AugTransition, AugmentedNfta};
 pub use config::FprasConfig;
+pub use dot::{nfa_to_dot, nfta_to_dot};
 pub use multiplier::{required_bits, MulTransition, MultiplierNfta};
 pub use multiplier_nfa::{MulNfaTransition, MultiplierNfa};
 pub use nfa::{Nfa, StateId};

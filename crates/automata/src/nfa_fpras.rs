@@ -489,4 +489,118 @@ mod tests {
             assert_eq!(got, reference, "threads={threads}");
         }
     }
+
+    #[test]
+    fn no_accepting_state_reachable_counts_zero() {
+        // The accepting state sits in a separate component with no inbound
+        // transition at all: every length must count zero, including the
+        // lengths where the live component still has runs.
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let b = alpha.intern("b");
+        let mut m = Nfa::new(alpha);
+        let s = m.add_state();
+        let t = m.add_state();
+        let island = m.add_state();
+        m.set_initial(s);
+        m.set_accepting(island);
+        m.add_transition(s, a, t);
+        m.add_transition(t, b, s);
+        m.add_transition(island, a, island);
+        let cfg = FprasConfig::with_epsilon(0.1).with_seed(5);
+        for n in 0..=8 {
+            assert!(count_nfa(&m, n, &cfg).is_zero(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn self_loop_only_counts_one_per_length() {
+        // A single accepting-initial state with one self-loop accepts
+        // exactly one string of every length — the degenerate unambiguous
+        // case where every level's union has a single singleton part.
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let mut m = Nfa::new(alpha);
+        let s = m.add_state();
+        m.set_initial(s);
+        m.set_accepting(s);
+        m.add_transition(s, a, s);
+        let cfg = FprasConfig::with_epsilon(0.1).with_seed(5);
+        for n in 0..=10 {
+            assert_eq!(count_nfa(&m, n, &cfg).to_f64(), 1.0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn length_zero_accepting_initial_counts_the_empty_string() {
+        // n = 0 with an accepting initial state: |L_0| = 1 (the empty
+        // string), regardless of any outgoing transitions.
+        let mut alpha = Alphabet::new();
+        let a = alpha.intern("a");
+        let mut m = Nfa::new(alpha);
+        let s = m.add_state();
+        let dead = m.add_state();
+        m.set_initial(s);
+        m.set_accepting(s);
+        m.add_transition(s, a, dead);
+        let cfg = FprasConfig::default();
+        assert_eq!(count_nfa(&m, 0, &cfg).to_f64(), 1.0);
+    }
+
+    /// Property: on arbitrary small NFAs — including ones that hit the
+    /// degenerate shapes above by chance — `count_nfa` stays within the
+    /// configured relative error of the exact subset-construction count,
+    /// and agrees exactly on emptiness.
+    #[test]
+    fn random_small_nfas_track_the_exact_count() {
+        use pqe_testkit::prelude::*;
+        let tk = Config::cases(24);
+        check(
+            "random_small_nfas_track_the_exact_count",
+            &tk,
+            &(any::<u32>(), any::<u8>()),
+            |&(trans_bits, accept_bits)| {
+                const STATES: usize = 3;
+                let mut alpha = Alphabet::new();
+                let syms = [alpha.intern("a"), alpha.intern("b")];
+                let mut m = Nfa::new(alpha);
+                let states: Vec<StateId> = (0..STATES).map(|_| m.add_state()).collect();
+                m.set_initial(states[0]);
+                let mut any_accepting = false;
+                for (i, &q) in states.iter().enumerate() {
+                    if (accept_bits >> i) & 1 == 1 {
+                        m.set_accepting(q);
+                        any_accepting = true;
+                    }
+                }
+                prop_assume!(any_accepting);
+                let mut bit = 0;
+                for &src in &states {
+                    for &sym in &syms {
+                        for &dst in &states {
+                            if (trans_bits >> (bit % 32)) & 1 == 1 {
+                                m.add_transition(src, sym, dst);
+                            }
+                            bit += 1;
+                        }
+                    }
+                }
+                let cfg = FprasConfig::with_epsilon(0.2).with_seed(trans_bits as u64);
+                for n in 0..=5usize {
+                    let exact = m.count_strings_exact(n);
+                    let approx = count_nfa(&m, n, &cfg);
+                    if exact.is_zero() {
+                        prop_assert!(approx.is_zero(), "n={n}: expected 0, got {approx}");
+                    } else {
+                        let rel = approx.relative_error_to(&BigFloat::from_biguint(&exact));
+                        prop_assert!(
+                            rel <= 0.2,
+                            "n={n}: exact {exact}, approx {approx}, rel {rel}"
+                        );
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
 }

@@ -45,6 +45,7 @@
 
 pub mod baselines;
 mod estimators;
+pub mod graph_router;
 pub mod landscape;
 pub mod plan;
 pub mod reductions;
@@ -56,6 +57,10 @@ pub use estimators::{
     PathUrReport, PqeReport, UrReport,
 };
 pub use plan::{compile_pqe_plan, compile_ur_plan, PqePlan, UrPlan};
+pub use graph_router::{
+    decide_graph, GraphAnswer, GraphMethod, GraphPlan, GraphRoute, GraphRouteDecision,
+    GraphRouterError,
+};
 pub use router::{
     ConditionalPlan, ConditionalReport, Method, Route, RouteDecision, RoutedAnswer, RoutedPlan,
     RouterError,

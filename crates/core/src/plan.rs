@@ -116,6 +116,15 @@ impl PqePlan {
             PqePlanKind::Automaton(pqe) => pqe.nfta.num_states(),
         }
     }
+
+    /// The compiled NFTA, when one was built (`None` for the trivial
+    /// plan). `--dump-automaton` renders this as Graphviz DOT.
+    pub fn nfta(&self) -> Option<&Nfta> {
+        match &self.kind {
+            PqePlanKind::Certain => None,
+            PqePlanKind::Automaton(pqe) => Some(&pqe.nfta),
+        }
+    }
 }
 
 /// The cacheable prefix of `UREstimate`: the translated Proposition 1

@@ -320,6 +320,15 @@ impl RoutedPlan {
             RoutedKind::Fpras(plan) => plan.automaton_states(),
         }
     }
+
+    /// The compiled NFTA, when the FPRAS route built one
+    /// (`--dump-automaton` reads this).
+    pub fn nfta(&self) -> Option<&pqe_automata::Nfta> {
+        match &self.kind {
+            RoutedKind::Lifted { .. } => None,
+            RoutedKind::Fpras(plan) => plan.nfta(),
+        }
+    }
 }
 
 /// Per-term accuracy for the ratio `P(Q ∧ E)/P(E)` when `fpras_terms` of

@@ -1,0 +1,200 @@
+//! Exact world enumeration — the ground-truth oracle for small graphs.
+//!
+//! `Pr(Q) = Σ_{W ⊨ Q} Pr(W)` over all `2^m` edge subsets, with each
+//! world checked by a product-reachability walk (graph restricted to the
+//! present edges × query label NFA, fixpoint BFS — cycles are fine here,
+//! unlike the compiled route). Exponential in the edge count by
+//! construction; [`MAX_ENUM_EDGES`] bounds what the router will enumerate.
+
+use crate::model::ProbGraph;
+use crate::rpq::{Endpoint, LabelNfa, Rpq};
+use pqe_arith::Rational;
+
+/// Largest edge count the enumeration oracle accepts (`2^16` worlds).
+pub const MAX_ENUM_EDGES: usize = 16;
+
+/// Why the oracle refused the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// Too many edges to enumerate.
+    TooLarge {
+        /// Edges of the offending graph.
+        edges: usize,
+        /// The enumeration bound.
+        bound: usize,
+    },
+    /// An endpoint constant names no vertex of the graph.
+    UnknownVertex(String),
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::TooLarge { edges, bound } => write!(
+                f,
+                "{edges} edges exceed the world-enumeration bound of {bound} (2^{edges} worlds)"
+            ),
+            OracleError::UnknownVertex(v) => {
+                write!(f, "endpoint {v:?} names no vertex of the graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Exact `Pr(Q)` by enumerating every world. Works on cyclic graphs (the
+/// per-world check is a reachability fixpoint, not a scan).
+pub fn enumerate_probability(g: &ProbGraph, rpq: &Rpq) -> Result<Rational, OracleError> {
+    let m = g.num_edges();
+    if m > MAX_ENUM_EDGES {
+        return Err(OracleError::TooLarge { edges: m, bound: MAX_ENUM_EDGES });
+    }
+    let source = resolve(g, &rpq.source)?;
+    let target = resolve(g, &rpq.target)?;
+    let query = rpq.regex.to_label_nfa();
+    let label_map: Vec<Option<usize>> = (0..g.num_labels())
+        .map(|l| query.label_index(g.label_name(crate::LabelId(l as u32))))
+        .collect();
+
+    let mut total = Rational::zero();
+    for mask in 0u64..(1u64 << m) {
+        let mut p = Rational::one();
+        for (i, e) in g.edges().iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                p = &p * &e.prob;
+            } else {
+                p = &p * &e.prob.complement();
+            }
+            if p.is_zero() {
+                break;
+            }
+        }
+        if p.is_zero() {
+            continue;
+        }
+        if world_satisfies(g, &query, &label_map, source, target, mask) {
+            total = &total + &p;
+        }
+    }
+    Ok(total)
+}
+
+/// Whether the world `mask` contains a matching path: fixpoint BFS over
+/// `(vertex, query state)` pairs.
+fn world_satisfies(
+    g: &ProbGraph,
+    query: &LabelNfa,
+    label_map: &[Option<usize>],
+    source: Option<crate::VertexId>,
+    target: Option<crate::VertexId>,
+    mask: u64,
+) -> bool {
+    let n = g.num_vertices();
+    let qn = query.num_states;
+    let mut seen = vec![false; n * qn];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let accepting = |v: usize, q: usize| -> bool {
+        query.accepting[q] && target.map_or(true, |t| t.index() == v)
+    };
+    let sources: Vec<usize> = match source {
+        Some(s) => vec![s.index()],
+        None => (0..n).collect(),
+    };
+    for v in sources {
+        for &q in &query.initial {
+            if !seen[v * qn + q] {
+                seen[v * qn + q] = true;
+                stack.push((v, q));
+            }
+        }
+    }
+    while let Some((v, q)) = stack.pop() {
+        if accepting(v, q) {
+            return true;
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            if mask >> i & 1 == 0 || e.src.index() != v {
+                continue;
+            }
+            let Some(l) = label_map[e.label.index()] else { continue };
+            for &(lab, q2) in &query.trans[q] {
+                if lab == l && !seen[e.dst.index() * qn + q2] {
+                    seen[e.dst.index() * qn + q2] = true;
+                    stack.push((e.dst.index(), q2));
+                }
+            }
+        }
+    }
+    false
+}
+
+fn resolve(g: &ProbGraph, e: &Endpoint) -> Result<Option<crate::VertexId>, OracleError> {
+    match e {
+        Endpoint::Any => Ok(None),
+        Endpoint::Vertex(name) => g
+            .vertex(name)
+            .map(Some)
+            .ok_or_else(|| OracleError::UnknownVertex(name.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpq;
+
+    fn prob(src: &str, q: &str) -> Rational {
+        let g = crate::io::load_str(src).unwrap();
+        enumerate_probability(&g, &rpq::parse(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn single_edge_is_its_probability() {
+        assert_eq!(prob("1/3 a -r-> b\n", "a -> r -> b").to_string(), "1/3");
+        assert_eq!(prob("1/3 a -r-> b\n", "b -> r -> a").to_string(), "0");
+    }
+
+    #[test]
+    fn cycles_are_handled_by_the_fixpoint() {
+        // a→b→a cycle plus an exit; r* can loop arbitrarily.
+        let src = "1/2 a -r-> b\n1/2 b -r-> a\n1/2 b -s-> c\n";
+        // a reaches c iff a→b present and b→c present: 1/4.
+        assert_eq!(prob(src, "a -> r*.s -> c").to_string(), "1/4");
+        // a reaches a via ε regardless of any edge.
+        assert_eq!(prob(src, "a -> r* -> a").to_string(), "1");
+        // Odd r-walks a→…→a need the full cycle... any odd-length walk
+        // ending at a uses both edges: 1/4.
+        assert_eq!(prob(src, "a -> r.r -> a").to_string(), "1/4");
+    }
+
+    #[test]
+    fn zero_probability_edges_never_help() {
+        assert_eq!(prob("0/1 a -r-> b\n1/2 a -s-> b\n", "a -> r|s -> b").to_string(), "1/2");
+    }
+
+    #[test]
+    fn bound_is_enforced() {
+        let mut big = String::new();
+        for i in 0..=MAX_ENUM_EDGES {
+            big.push_str(&format!("1/2 v{i} -r-> v{}\n", i + 1));
+        }
+        let g = crate::io::load_str(&big).unwrap();
+        match enumerate_probability(&g, &rpq::parse("v0 -> r -> v1").unwrap()) {
+            Err(OracleError::TooLarge { edges, bound }) => {
+                assert_eq!(edges, MAX_ENUM_EDGES + 1);
+                assert_eq!(bound, MAX_ENUM_EDGES);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_vertices_are_reported() {
+        let g = crate::io::load_str("1/2 a -r-> b\n").unwrap();
+        match enumerate_probability(&g, &rpq::parse("ghost -> r -> b").unwrap()) {
+            Err(OracleError::UnknownVertex(v)) => assert_eq!(v, "ghost"),
+            other => panic!("expected UnknownVertex, got {other:?}"),
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! {"op":"estimate","query":"R1(x,y), R2(y,z)","epsilon":0.1,"seed":24301,"method":"auto"}
 //! {"op":"estimate","query":"R1(x,y), R2(y,z)","evidence":"R2('b','c')"}
 //! {"op":"reliability","query":"R1(x,y), R2(y,z)","epsilon":0.1,"seed":24301}
+//! {"op":"graph_estimate","rpq":"a -> road* -> b","epsilon":0.1,"seed":24301,"method":"auto"}
 //! {"op":"classify","query":"R1(x,y), R2(y,z)"}
 //! {"op":"stats"}
 //! {"op":"metrics"}
@@ -62,6 +63,23 @@ pub enum Request {
         epsilon: f64,
         /// RNG seed.
         seed: u64,
+        /// Worker threads (0 = server default).
+        threads: usize,
+        /// Artificial pre-execution delay, for load/overload testing.
+        delay_ms: u64,
+    },
+    /// RPQ reliability over the served probabilistic graph (requires the
+    /// server to have been started with one).
+    GraphEstimate {
+        /// RPQ text `source -> regex -> target` (parsed and normalized
+        /// server-side).
+        rpq: String,
+        /// Target relative error.
+        epsilon: f64,
+        /// RNG seed (estimates are bit-identical per seed).
+        seed: u64,
+        /// `auto` | `enum` | `fpras`.
+        method: String,
         /// Worker threads (0 = server default).
         threads: usize,
         /// Artificial pre-execution delay, for load/overload testing.
@@ -193,12 +211,36 @@ impl Request {
                     delay_ms: opt_u64(&v, "delay_ms", 0)?,
                 })
             }
+            "graph_estimate" => {
+                let epsilon = opt_f64(&v, "epsilon", DEFAULT_EPSILON)?;
+                if !(epsilon > 0.0 && epsilon < 1.0) {
+                    return Err(format!("epsilon must lie in (0,1), got {epsilon}"));
+                }
+                let method = match v.get("method") {
+                    None | Some(Json::Null) => "auto".to_owned(),
+                    Some(m) => m
+                        .as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "field \"method\" must be a string".to_owned())?,
+                };
+                // Same early-diagnosis policy as "estimate": typos get the
+                // graph router's "did you mean" hint at decode time.
+                pqe_core::GraphMethod::parse(&method)?;
+                Ok(Request::GraphEstimate {
+                    rpq: req_str(&v, "rpq")?,
+                    epsilon,
+                    seed: opt_u64(&v, "seed", DEFAULT_SEED)?,
+                    method,
+                    threads: opt_u64(&v, "threads", 0)? as usize,
+                    delay_ms: opt_u64(&v, "delay_ms", 0)?,
+                })
+            }
             "classify" => Ok(Request::Classify { query: req_str(&v, "query")? }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op {other:?} (expected estimate, reliability, classify, stats, metrics, shutdown)"
+                "unknown op {other:?} (expected estimate, graph_estimate, reliability, classify, stats, metrics, shutdown)"
             )),
         }
     }
@@ -278,6 +320,30 @@ mod tests {
         assert!(Request::decode(r#"{"op":"estimate","query":"Q()","method":"brute"}"#)
             .unwrap_err()
             .contains("method"));
+    }
+
+    #[test]
+    fn decodes_graph_estimate() {
+        let r = Request::decode(r#"{"op":"graph_estimate","rpq":"a -> r* -> b"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::GraphEstimate {
+                rpq: "a -> r* -> b".into(),
+                epsilon: DEFAULT_EPSILON,
+                seed: DEFAULT_SEED,
+                method: "auto".into(),
+                threads: 0,
+                delay_ms: 0,
+            }
+        );
+        let e = Request::decode(r#"{"op":"graph_estimate"}"#).unwrap_err();
+        assert!(e.contains("rpq"), "{e}");
+        let e = Request::decode(r#"{"op":"graph_estimate","rpq":"a -> r -> b","method":"enm"}"#)
+            .unwrap_err();
+        assert!(e.contains("did you mean \"enum\"?"), "{e}");
+        let e = Request::decode(r#"{"op":"graph_estimate","rpq":"a -> r -> b","epsilon":0}"#)
+            .unwrap_err();
+        assert!(e.contains("epsilon"), "{e}");
     }
 
     #[test]

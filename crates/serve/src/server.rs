@@ -47,9 +47,11 @@ use crate::queue::Queue;
 use pqe_automata::FprasConfig;
 use pqe_core::landscape::{self, Verdict};
 use pqe_core::{
-    compile_ur_plan, ConditionalPlan, Method, Route, RoutedAnswer, RoutedPlan, UrPlan,
+    compile_ur_plan, ConditionalPlan, GraphAnswer, GraphMethod, GraphPlan, GraphRoute, Method,
+    Route, RoutedAnswer, RoutedPlan, UrPlan,
 };
 use pqe_db::ProbDatabase;
+use pqe_graph::{ProbGraph, Rpq};
 use pqe_obs::log::{event, Level};
 use pqe_obs::metrics::{Counter, Gauge, Histogram};
 use pqe_par::FxHashMap;
@@ -78,6 +80,7 @@ struct ServeMetrics {
     /// End-to-end latency per heavy op (received → response built).
     estimate_us: Arc<Histogram>,
     reliability_us: Arc<Histogram>,
+    graph_us: Arc<Histogram>,
     /// Queue admission outcomes (the backpressure counters).
     enqueued: Arc<Counter>,
     queue_rejected: Arc<Counter>,
@@ -98,6 +101,7 @@ impl ServeMetrics {
             queue_wait_us: histogram("serve.queue_wait_us"),
             estimate_us: histogram("serve.request_us.estimate"),
             reliability_us: histogram("serve.request_us.reliability"),
+            graph_us: histogram("serve.request_us.graph_estimate"),
             enqueued: counter("serve.enqueued"),
             queue_rejected: counter("serve.queue_rejected"),
             coalesced: counter("serve.singleflight_coalesced"),
@@ -210,6 +214,9 @@ enum PlanKind {
     Conditional(ConditionalPlan),
     /// Uniform reliability: the translated Proposition 1 automaton.
     Ur(UrPlan),
+    /// A `graph_estimate` plan: the routed RPQ plan over the served
+    /// probabilistic graph (exact enumeration or the product-NFA FPRAS).
+    Graph(GraphPlan),
 }
 
 /// Entries kept per plan before the memo is wholesale cleared; estimates
@@ -228,6 +235,7 @@ pub struct ServerStats {
     requests: AtomicU64,
     estimates: AtomicU64,
     reliabilities: AtomicU64,
+    graph_estimates: AtomicU64,
     classifies: AtomicU64,
     overloaded: AtomicU64,
     timeouts: AtomicU64,
@@ -274,6 +282,9 @@ type Waiter = (Arc<Mailbox>, u64);
 
 struct ServerState {
     h: ProbDatabase,
+    /// The served probabilistic graph, when the server was started with
+    /// one; `graph_estimate` without it is a structured `eval_error`.
+    g: Option<ProbGraph>,
     cfg: ServeConfig,
     addr: SocketAddr,
     queue: Queue<Job>,
@@ -308,6 +319,17 @@ impl Server {
     /// Binds the listener and prepares the shared state. The database is
     /// fixed for the life of the server.
     pub fn bind(cfg: ServeConfig, h: ProbDatabase) -> std::io::Result<Server> {
+        Server::bind_with_graph(cfg, h, None)
+    }
+
+    /// [`Server::bind`] plus an optional probabilistic graph instance,
+    /// served via the `graph_estimate` op. Without one, `graph_estimate`
+    /// requests get a structured `eval_error`.
+    pub fn bind_with_graph(
+        cfg: ServeConfig,
+        h: ProbDatabase,
+        g: Option<ProbGraph>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers = cfg.workers.max(1);
@@ -317,6 +339,7 @@ impl Server {
             listener,
             state: Arc::new(ServerState {
                 h,
+                g,
                 addr,
                 queue: Queue::new(cfg.queue_depth),
                 flights: FlightTable::new(),
@@ -575,10 +598,15 @@ fn dispatch_line(state: &Arc<ServerState>, conn: &mut Conn, line: &str) {
             );
             state.shutdown.store(true, Ordering::Release);
         }
-        heavy @ (Request::Estimate { .. } | Request::Reliability { .. }) => {
+        heavy @ (Request::Estimate { .. }
+        | Request::Reliability { .. }
+        | Request::GraphEstimate { .. }) => {
             match heavy {
                 Request::Estimate { .. } => {
                     state.stats.estimates.fetch_add(1, Ordering::Relaxed)
+                }
+                Request::GraphEstimate { .. } => {
+                    state.stats.graph_estimates.fetch_add(1, Ordering::Relaxed)
                 }
                 _ => state.stats.reliabilities.fetch_add(1, Ordering::Relaxed),
             };
@@ -682,6 +710,20 @@ fn process_job(
                 state.metrics.reliability_us.record(elapsed_us(received));
             }
         }
+        Request::GraphEstimate { rpq, epsilon, seed, method, threads, delay_ms } => {
+            let delivered = serve_heavy(
+                state,
+                &mailbox,
+                seq,
+                HeavyOp::GraphEstimate { rpq, epsilon, seed, method, threads, delay_ms },
+                sm,
+                cache,
+                received,
+            );
+            if delivered {
+                state.metrics.graph_us.record(elapsed_us(received));
+            }
+        }
         other => unreachable!("light op {other:?} reached the work queue"),
     }
 }
@@ -698,6 +740,21 @@ enum HeavyOp {
         delay_ms: u64,
     },
     Reliability { query: String, epsilon: f64, seed: u64, threads: usize, delay_ms: u64 },
+    GraphEstimate {
+        rpq: String,
+        epsilon: f64,
+        seed: u64,
+        method: String,
+        threads: usize,
+        delay_ms: u64,
+    },
+}
+
+/// The normalized query text of a heavy op: a conjunctive query for the
+/// relational ops, an RPQ for `graph_estimate`.
+enum ParsedOp {
+    Cq(ConjunctiveQuery),
+    Rpq(Rpq),
 }
 
 /// Runs one heavy op through parse → single-flight → compute, delivering
@@ -718,14 +775,27 @@ fn serve_heavy(
         | HeavyOp::Reliability { query, epsilon, seed, threads, delay_ms } => {
             (query, *epsilon, *seed, *threads, *delay_ms)
         }
+        HeavyOp::GraphEstimate { rpq, epsilon, seed, threads, delay_ms, .. } => {
+            (rpq, *epsilon, *seed, *threads, *delay_ms)
+        }
     };
     // Parse/normalize first: errors and deadline shedding need no flight.
-    let q = match parse_query(query) {
-        Ok(q) => q,
-        Err(e) => {
-            mailbox.deliver(seq, finish(state, Err(e)));
-            return true;
-        }
+    let parsed = match &op {
+        HeavyOp::GraphEstimate { .. } => match pqe_graph::parse(query) {
+            Ok(r) => ParsedOp::Rpq(r),
+            Err(e) => {
+                let e = (ErrorKind::BadRequest, format!("rpq: {e}"));
+                mailbox.deliver(seq, finish(state, Err(e)));
+                return true;
+            }
+        },
+        _ => match parse_query(query) {
+            Ok(q) => ParsedOp::Cq(q),
+            Err(e) => {
+                mailbox.deliver(seq, finish(state, Err(e)));
+                return true;
+            }
+        },
     };
     // Evidence is query syntax too: parse/normalize it up front so a typo
     // is a `bad_request` before any flight or compilation.
@@ -747,12 +817,18 @@ fn serve_heavy(
     let resolved_threads = if threads != 0 { threads } else { state.cfg.threads };
     // The plan key pins everything compilation depends on: op, method,
     // normalized query, and (for conditionals) the normalized evidence.
-    let cache_key = match (&op, &ev) {
-        (HeavyOp::Estimate { method, .. }, None) => format!("estimate|{method}|{q}"),
-        (HeavyOp::Estimate { method, .. }, Some(e)) => {
+    let cache_key = match (&op, &parsed, &ev) {
+        (HeavyOp::Estimate { method, .. }, ParsedOp::Cq(q), None) => {
+            format!("estimate|{method}|{q}")
+        }
+        (HeavyOp::Estimate { method, .. }, ParsedOp::Cq(q), Some(e)) => {
             format!("estimate|{method}|{q}|evidence|{e}")
         }
-        (HeavyOp::Reliability { .. }, _) => format!("reliability|{q}"),
+        (HeavyOp::Reliability { .. }, ParsedOp::Cq(q), _) => format!("reliability|{q}"),
+        (HeavyOp::GraphEstimate { method, .. }, ParsedOp::Rpq(r), _) => {
+            format!("graph_estimate|{method}|{r}")
+        }
+        _ => unreachable!("op/parse mismatch"),
     };
     // The single-flight key pins every input the response depends on —
     // the evaluation inputs (plan key, ε, seed) plus the reported thread
@@ -769,15 +845,22 @@ fn serve_heavy(
             false
         }
         Flight::Leader => {
-            let result = match &op {
-                HeavyOp::Estimate { method, .. } => estimate_compute(
-                    state, sm, cache, &q, ev.as_ref(), &cache_key, epsilon, seed, method,
+            let result = match (&op, &parsed) {
+                (HeavyOp::Estimate { method, .. }, ParsedOp::Cq(q)) => estimate_compute(
+                    state, sm, cache, q, ev.as_ref(), &cache_key, epsilon, seed, method,
                     resolved_threads, delay_ms, received,
                 ),
-                HeavyOp::Reliability { .. } => reliability_compute(
-                    state, sm, cache, &q, &cache_key, epsilon, seed,
+                (HeavyOp::Reliability { .. }, ParsedOp::Cq(q)) => reliability_compute(
+                    state, sm, cache, q, &cache_key, epsilon, seed,
                     resolved_threads, delay_ms, received,
                 ),
+                (HeavyOp::GraphEstimate { method, .. }, ParsedOp::Rpq(r)) => {
+                    graph_estimate_compute(
+                        state, sm, cache, r, &cache_key, epsilon, seed, method,
+                        resolved_threads, delay_ms, received,
+                    )
+                }
+                _ => unreachable!("op/parse mismatch"),
             };
             let response = finish(state, result);
             // Completing after computing (never before) guarantees every
@@ -961,7 +1044,9 @@ fn estimate_compute(
             fields.push(("threads", Json::from(cfg.effective_threads())));
             let _ = memo; // conditionals bypass the result memo (see above)
         }
-        PlanKind::Ur(_) => unreachable!("estimate key never maps to a UR plan"),
+        PlanKind::Ur(_) | PlanKind::Graph(_) => {
+            unreachable!("estimate key never maps to a UR or graph plan")
+        }
     }
     fields.push(("elapsed_us", Json::from(elapsed_us(received))));
     Ok(Json::obj(fields))
@@ -1052,6 +1137,99 @@ fn reliability_compute(
     ]))
 }
 
+#[allow(clippy::too_many_arguments)]
+fn graph_estimate_compute(
+    state: &ServerState,
+    sm: &ShardMetrics,
+    cache: &mut ShardCache<ServedPlan>,
+    rpq: &Rpq,
+    cache_key: &str,
+    epsilon: f64,
+    seed: u64,
+    method: &str,
+    resolved_threads: usize,
+    delay_ms: u64,
+    received: Instant,
+) -> Result<Json, ReqError> {
+    apply_delay(delay_ms);
+    check_deadline(state, received, "delay")?;
+
+    let Some(g) = &state.g else {
+        return Err((
+            ErrorKind::EvalError,
+            "no graph loaded (start the server with --graph FILE)".to_owned(),
+        ));
+    };
+    // Same defense in depth as `estimate`: decode validated the method, but
+    // compile re-parses so no string can fall through as `auto`.
+    let method = GraphMethod::parse(method).map_err(|e| (ErrorKind::BadRequest, e))?;
+    let (plan, hit) = cache.get_or_insert_with(cache_key, || {
+        GraphPlan::compile(g, rpq, method)
+            .map(|p| ServedPlan::new(PlanKind::Graph(p)))
+            .map_err(|e| (ErrorKind::EvalError, e.to_string()))
+    })?;
+    check_deadline(state, received, "compile")?;
+
+    let cfg = FprasConfig::with_epsilon(epsilon)
+        .with_seed(seed)
+        .with_threads(resolved_threads);
+    let ServedPlan { kind, memo } = plan;
+    let PlanKind::Graph(p) = kind else {
+        unreachable!("graph_estimate key never maps to a relational plan");
+    };
+    let mut fields: Vec<(&'static str, Json)> = vec![
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("graph_estimate")),
+        ("rpq", Json::str(p.rpq.clone())),
+        ("cache", Json::str(if hit { "hit" } else { "miss" })),
+        ("method", Json::str(p.decision.route.name())),
+        ("route", Json::str(p.decision.route.name())),
+        ("rationale", Json::str(p.decision.rationale.clone())),
+    ];
+    match p.decision.route {
+        GraphRoute::Enum => {
+            // No result memo: the exact rational was precomputed at compile
+            // time and does not depend on (ε, seed).
+            let GraphAnswer::Exact(exact) = p.execute(&cfg) else {
+                unreachable!("enumeration route always answers exactly");
+            };
+            fields.push(("probability", Json::str(format!("{:.6}", exact.to_f64()))));
+            fields.push(("exact", Json::str(exact.to_string())));
+            fields.push(("states", Json::from(0usize)));
+        }
+        GraphRoute::Fpras => {
+            let memo_key = (epsilon.to_bits(), seed);
+            let (probability, memo_hit) = match memo.get(&memo_key) {
+                Some(s) => (s.clone(), true),
+                None => {
+                    state.metrics.executions.inc();
+                    let s = format!("{:.6}", p.execute(&cfg).to_f64());
+                    if memo.len() >= MEMO_CAP {
+                        memo.clear();
+                    }
+                    memo.insert(memo_key, s.clone());
+                    (s, false)
+                }
+            };
+            if memo_hit {
+                sm.memo_hits.fetch_add(1, Ordering::Relaxed);
+                sm.obs_memo_hits.inc();
+                state.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            check_deadline(state, received, "execute")?;
+            fields.push(("probability", Json::str(probability)));
+            fields.push(("memo", Json::str(if memo_hit { "hit" } else { "miss" })));
+            fields.push(("states", Json::from(p.automaton_states())));
+            fields.push(("epsilon", Json::from(epsilon)));
+            fields.push(("seed", Json::from(seed)));
+            fields.push(("threads", Json::from(cfg.effective_threads())));
+        }
+    }
+    fields.push(("edges", Json::from(p.num_edges)));
+    fields.push(("elapsed_us", Json::from(elapsed_us(received))));
+    Ok(Json::obj(fields))
+}
+
 fn classify_response(query: &str) -> Result<Json, ReqError> {
     let q = parse_query(query)?;
     let c = landscape::classify(&q);
@@ -1098,7 +1276,13 @@ fn stats_response(state: &ServerState) -> Json {
         ("requests", Json::from(state.stats.requests.load(Ordering::Relaxed))),
         ("estimates", Json::from(state.stats.estimates.load(Ordering::Relaxed))),
         ("reliabilities", Json::from(state.stats.reliabilities.load(Ordering::Relaxed))),
+        ("graph_estimates", Json::from(state.stats.graph_estimates.load(Ordering::Relaxed))),
         ("classifies", Json::from(state.stats.classifies.load(Ordering::Relaxed))),
+        // Router route counters come from the process-global pqe-obs
+        // registry: cumulative across the process lifetime, not per-server.
+        ("router.route.lifted", Json::from(pqe_obs::metrics::counter("router.route.lifted").get())),
+        ("router.route.fpras", Json::from(pqe_obs::metrics::counter("router.route.fpras").get())),
+        ("router.route.graph", Json::from(pqe_obs::metrics::counter("router.route.graph").get())),
         ("cache_hits", Json::from(hits)),
         ("cache_misses", Json::from(misses)),
         ("cache_evictions", Json::from(shard_sum(state, |s| s.evictions.load(Ordering::Relaxed)))),
@@ -1233,9 +1417,24 @@ mod tests {
 
     const DB: &str = "1/2 R1(a,b)\n1/3 R2(b,c)\n1/5 R2(b,d)\n";
 
+    /// Diamond DAG: two edge-disjoint r-paths a→d, each of probability
+    /// 1/4, so Pr(a →rr→ d) = 1 − (3/4)² = 7/16.
+    const GRAPH: &str = "1/2 a -r-> b\n1/2 a -r-> c\n1/2 b -r-> d\n1/2 c -r-> d\n";
+
     fn start(cfg: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
         let h = dbio::load_str(DB).unwrap();
         let server = Server::bind(cfg, h).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    fn start_with_graph(
+        cfg: ServeConfig,
+    ) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>) {
+        let h = dbio::load_str(DB).unwrap();
+        let g = pqe_graph::load_str(GRAPH).unwrap();
+        let server = Server::bind_with_graph(cfg, h, Some(g)).unwrap();
         let addr = server.local_addr();
         let handle = std::thread::spawn(move || server.run());
         (addr, handle)
@@ -1404,6 +1603,68 @@ mod tests {
         let v = c.roundtrip(r#"{"op":"stats"}"#);
         assert_eq!(v.get("timeouts").and_then(Json::as_u64), Some(1));
 
+        c.roundtrip(r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn graph_estimate_roundtrip_enum_and_fpras() {
+        let (addr, handle) = start_with_graph(ServeConfig { workers: 1, ..Default::default() });
+        let mut c = Client::connect(addr);
+
+        // Auto routes the 4-edge diamond to exact enumeration: 7/16.
+        let v = c.roundtrip(r#"{"op":"graph_estimate","rpq":"a -> r r -> d","seed":7}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("op").and_then(Json::as_str), Some("graph_estimate"));
+        assert_eq!(v.get("route").and_then(Json::as_str), Some("enum"));
+        assert_eq!(v.get("probability").and_then(Json::as_str), Some("0.437500"));
+        assert_eq!(v.get("exact").and_then(Json::as_str), Some("7/16"));
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(v.get("edges").and_then(Json::as_u64), Some(4));
+
+        // Forced FPRAS on the same query: within ε of 7/16, and the second
+        // byte-identical request is a plan-cache hit AND a memo hit with
+        // the same digits.
+        let req = r#"{"op":"graph_estimate","rpq":"a -> r r -> d","method":"fpras","epsilon":0.2,"seed":7}"#;
+        let v = c.roundtrip(req);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("route").and_then(Json::as_str), Some("fpras"));
+        assert_eq!(v.get("memo").and_then(Json::as_str), Some("miss"));
+        let p: f64 = v.get("probability").and_then(Json::as_str).unwrap().parse().unwrap();
+        assert!((p - 7.0 / 16.0).abs() <= 0.2 * (7.0 / 16.0), "estimate {p} off 7/16");
+        let first = v.get("probability").and_then(Json::as_str).unwrap().to_owned();
+
+        // Whitespace-insensitive RPQ normalization: same cache entry.
+        let v = c.roundtrip(r#"{"op":"graph_estimate","rpq":"a ->  r . r -> d","method":"fpras","epsilon":0.2,"seed":7}"#,
+        );
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(v.get("memo").and_then(Json::as_str), Some("hit"));
+        assert_eq!(v.get("probability").and_then(Json::as_str), Some(first.as_str()));
+
+        // Satellite: stats reports the graph counters.
+        let v = c.roundtrip(r#"{"op":"stats"}"#);
+        assert_eq!(v.get("graph_estimates").and_then(Json::as_u64), Some(3));
+        assert!(v.get("router.route.graph").and_then(Json::as_u64).is_some());
+        assert!(v.get("router.route.lifted").and_then(Json::as_u64).is_some());
+        assert!(v.get("router.route.fpras").and_then(Json::as_u64).is_some());
+
+        c.roundtrip(r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn graph_estimate_without_graph_is_an_eval_error() {
+        let (addr, handle) = start(ServeConfig::default());
+        let mut c = Client::connect(addr);
+        let v = c.roundtrip(r#"{"op":"graph_estimate","rpq":"a -> r -> b"}"#);
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("eval_error"));
+        assert!(
+            v.get("message").and_then(Json::as_str).unwrap().contains("--graph"),
+            "error should point at the missing --graph flag"
+        );
+        // A bad RPQ is a bad_request, even with no graph loaded.
+        let v = c.roundtrip(r#"{"op":"graph_estimate","rpq":"a -> ((r -> b"}"#);
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("bad_request"));
         c.roundtrip(r#"{"op":"shutdown"}"#);
         handle.join().unwrap().unwrap();
     }

@@ -216,3 +216,78 @@ grep -q '"c64.throughput_rps"' "$BENCH_DIR/BENCH_serve.json"
 grep -q '"c16.hit_p99_us"' "$BENCH_DIR/BENCH_serve.json"
 rm -rf "$BENCH_DIR"
 echo "  ok: bench-serve swept the 1/4/16/64 concurrency axis"
+
+# Graph smoke: both routes on the diamond graph with pinned digits (the
+# enum answer is exact; the FPRAS digits are seed-pinned and must be
+# bit-identical across builds and thread counts), plus the DOT dump.
+echo "graph smoke test:"
+GRAPH_DIR=$(mktemp -d)
+printf '1/2 a -r-> b\n1/2 a -r-> c\n1/2 b -r-> d\n1/2 c -r-> d\n' > "$GRAPH_DIR/diamond.graph"
+graph_out=$(./target/release/pqe graph-estimate --graph "$GRAPH_DIR/diamond.graph" \
+    --rpq 'a -> r r -> d' 2>/dev/null)
+echo "$graph_out" | grep -q 'Pr(a -> r.r -> d) = 7/16 ≈ 0.437500'
+echo "$graph_out" | grep -q 'route    : enum \[auto: 4 edges <= 16'
+graph_out=$(./target/release/pqe graph-estimate --graph "$GRAPH_DIR/diamond.graph" \
+    --rpq 'a -> r r -> d' --method fpras --epsilon 0.2 --seed 7 \
+    --dump-automaton "$GRAPH_DIR/product.dot" 2>/dev/null)
+echo "$graph_out" | grep -q 'Pr(a -> r.r -> d) ≈ 0.441406'
+echo "$graph_out" | grep -q 'route    : fpras \[forced by --method fpras\]'
+cli_digits=$(echo "$graph_out" | sed -n 's/.*≈ \(0\.[0-9]*\).*/\1/p')
+grep -q '^digraph nfa' "$GRAPH_DIR/product.dot"
+grep -q 'doublecircle' "$GRAPH_DIR/product.dot"
+# A cyclic graph past nothing: forced fpras must refuse with structure.
+printf '1/2 a -r-> b\n1/2 b -r-> a\n' > "$GRAPH_DIR/cycle.graph"
+if ./target/release/pqe graph-estimate --graph "$GRAPH_DIR/cycle.graph" \
+    --rpq 'a -> r* -> b' --method fpras 2> "$GRAPH_DIR/err"; then
+    echo "  FAIL: cyclic graph accepted on the fpras route" >&2; exit 1
+fi
+grep -qi 'cyclic' "$GRAPH_DIR/err"
+echo "  ok: enum 7/16, fpras pinned digits, DOT dump, cyclic refusal"
+
+# Serve graph round-trip: the served estimate must be byte-identical to
+# the CLI digits for the same (rpq, ε, seed).
+echo "serve graph smoke test:"
+./target/release/pqe serve --db "$SMOKE_DIR/smoke.pdb" \
+    --graph "$GRAPH_DIR/diamond.graph" --addr 127.0.0.1:0 \
+    > "$SMOKE_DIR/serve4.log" &
+SERVE_PID=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^pqe-serve listening on //p' "$SMOKE_DIR/serve4.log")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "  FAIL: no announce" >&2; kill "$SERVE_PID"; exit 1; }
+port=${addr##*:}
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+send '{"op":"graph_estimate","rpq":"a -> r r -> d"}'
+echo "$resp" | grep -q '"ok":true'
+echo "$resp" | grep -q '"route":"enum"'
+echo "$resp" | grep -q '"exact":"7/16"'
+send '{"op":"graph_estimate","rpq":"a -> r r -> d","method":"fpras","epsilon":0.2,"seed":7}'
+echo "$resp" | grep -q '"route":"fpras"'
+echo "$resp" | grep -q "\"probability\":\"$cli_digits\"" || {
+    echo "  FAIL: served digits differ from CLI ($cli_digits): $resp" >&2; exit 1; }
+send '{"op":"stats"}'
+echo "$resp" | grep -q '"graph_estimates":2'
+echo "$resp" | grep -q '"router.route.graph"'
+send '{"op":"shutdown"}'
+exec 3>&- 3<&-
+wait "$SERVE_PID"
+rm -rf "$GRAPH_DIR"
+echo "  ok: serve graph_estimate byte-identical to CLI, stats counters"
+
+# Graph bench smoke: truncated scale sweep, JSON artifact present (the
+# full sweep to 1012 edges is the committed BENCH_graph.json).
+echo "graph bench smoke test:"
+BENCH_DIR=$(mktemp -d)
+PQE_BENCH_SAMPLES=1 PQE_BENCH_MIN_SAMPLE_MS=1 PQE_BENCH_GRAPH_MAX_EDGES=30 \
+    PQE_BENCH_JSON_DIR="$BENCH_DIR" \
+    cargo bench -q --offline -p pqe-bench --bench graph_scaling > /dev/null
+test -s "$BENCH_DIR/BENCH_graph.json" || {
+    echo "  FAIL: bench smoke run emitted no BENCH_graph.json" >&2; exit 1; }
+grep -q '"suite":"graph"' "$BENCH_DIR/BENCH_graph.json"
+grep -q 'e15_enum/m4' "$BENCH_DIR/BENCH_graph.json"
+grep -q 'e15_fpras_scale/m24' "$BENCH_DIR/BENCH_graph.json"
+rm -rf "$BENCH_DIR"
+echo "  ok: graph_scaling smoke run emitted BENCH_graph.json"

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pqe estimate    --db FILE --query 'R(x,y), S(y,z)' [--epsilon ε] [--seed N] [--method M]
+//! pqe graph-estimate --graph FILE --rpq 'a -> road* -> b' [--epsilon ε] [--seed N] [--method M]
 //! pqe reliability --db FILE --query Q [--epsilon ε] [--seed N]
 //! pqe classify    --query Q
 //! pqe sample      --db FILE --query Q [--count N] [--seed N]
@@ -15,8 +16,12 @@
 use pqe::automata::FprasConfig;
 use pqe::core::baselines::{brute_force_pqe, karp_luby_pqe, naive_monte_carlo_pqe, Lineage};
 use pqe::core::worlds::WeightedWorldSampler;
-use pqe::core::{landscape, ur_estimate, ConditionalPlan, Method, RoutedAnswer, RoutedPlan};
+use pqe::core::{
+    landscape, ur_estimate, ConditionalPlan, GraphAnswer, GraphMethod, GraphPlan, Method,
+    RoutedAnswer, RoutedPlan,
+};
 use pqe::db::{io as dbio, ProbDatabase};
+use pqe::graph::ProbGraph;
 use pqe::query::{parse, ConjunctiveQuery};
 use pqe::serve::{run_load, LoadConfig, ServeConfig, Server};
 use pqe_rand::rngs::StdRng;
@@ -29,15 +34,19 @@ pqe — probabilistic query evaluation (van Bremen & Meel, PODS 2023)
 
 USAGE:
   pqe estimate    --db FILE --query Q [--evidence E] [--epsilon E] [--seed N] [--method M]
-                  [--threads N] [--profile]
+                  [--threads N] [--profile] [--dump-automaton FILE]
   pqe reliability --db FILE --query Q [--epsilon E] [--seed N] [--threads N] [--profile]
+  pqe graph-estimate --graph FILE --rpq 'a -> r* -> b' [--epsilon E] [--seed N]
+                  [--method auto|enum|fpras] [--threads N] [--profile]
+                  [--dump-automaton FILE]
   pqe classify    --query Q
   pqe sample      --db FILE --query Q [--count N] [--seed N]
   pqe marginals   --db FILE --query Q [--samples N] [--seed N]
   pqe influence   --db FILE --query Q [--epsilon E] [--seed N]
   pqe lineage     --db FILE --query Q [--materialize LIMIT]
-  pqe serve       --db FILE [--addr HOST:PORT] [--workers N] [--queue-depth N]
-                  [--deadline-ms N] [--cache-capacity N] [--threads N]
+  pqe serve       --db FILE [--graph FILE] [--addr HOST:PORT] [--workers N]
+                  [--queue-depth N] [--deadline-ms N] [--cache-capacity N]
+                  [--threads N]
   pqe bench-serve [--db FILE] [--query Q] [--connections N] [--requests N]
                   [--repeat-ratio R] [--epsilon E] [--seed N] [--method M]
                   [--workers N]
@@ -87,10 +96,30 @@ EVIDENCE (estimate):
   FPRAS term, ε/3 with two). P(E) = 0 is a structured error. Only the
   routed methods (auto, lifted, fpras) support --evidence.
 
+PROBABILISTIC GRAPHS (graph-estimate):
+  --graph loads an edge-labeled probabilistic graph (one edge per line,
+  optional leading probability), --rpq gives a regular path query
+  `source -> regex -> target` where an endpoint is a vertex name or `_`
+  (existential) and the regex uses labels, `.` (or juxtaposition), `|`,
+  `*`, `?`, and parentheses. Methods: auto (exact world enumeration up
+  to 16 edges, FPRAS on larger acyclic graphs), enum, fpras. Cyclic
+  graphs beyond enumeration reach are a structured error — no combined
+  FPRAS is known for them. `pqe serve --graph FILE` additionally exposes
+  the instance via the `graph_estimate` wire op.
+
+  --dump-automaton FILE writes the compiled automaton (the RPQ product
+  NFA here; the query NFTA on `estimate`) as Graphviz DOT.
+
 DATABASE FORMAT: one fact per line, optional leading probability:
   0.9  Link(a,b)
   3/4  Link(b,c)
        Link(c,d)        # no probability = certain
+
+GRAPH FORMAT: one edge per line, optional leading probability:
+  0.9  a -road-> b
+  1/2  b -road-> c
+       c -rail-> d      # no probability = certain edge
+  node e                # isolated vertex
 ";
 
 struct Args {
@@ -242,6 +271,19 @@ fn load_query(args: &Args) -> Result<ConjunctiveQuery, String> {
     parse(q).map_err(|e| e.to_string())
 }
 
+fn load_graph(args: &Args) -> Result<ProbGraph, String> {
+    let path = args.require("graph")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    pqe::graph::load_str(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Writes a compiled automaton rendered as Graphviz DOT.
+fn dump_automaton(path: &str, dot: String) -> Result<(), String> {
+    std::fs::write(path, dot).map_err(|e| format!("writing {path}: {e}"))?;
+    eprintln!("automaton: wrote {path}");
+    Ok(())
+}
+
 /// Every `--method` the estimate command accepts: the three routed
 /// methods (dispatched through `pqe_core::router`) plus the CLI-only
 /// reference baselines.
@@ -249,7 +291,15 @@ const ESTIMATE_METHODS: &[&str] = &["auto", "lifted", "fpras", "brute", "karp-lu
 
 fn cmd_estimate(args: &Args) -> Result<(), String> {
     args.check_known(&[
-        "db", "query", "evidence", "epsilon", "seed", "method", "threads", "profile",
+        "db",
+        "query",
+        "evidence",
+        "epsilon",
+        "seed",
+        "method",
+        "threads",
+        "profile",
+        "dump-automaton",
     ])?;
     let _profile = ProfileGuard::start(args.profile(), "estimate");
     let h = load_db(args)?;
@@ -283,6 +333,12 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
             .with_seed(seed)
             .with_threads(threads);
         if let Some(ev_text) = args.opt("evidence") {
+            if args.opt("dump-automaton").is_some() {
+                return Err(
+                    "--dump-automaton is not supported with --evidence (two plans, no single automaton)"
+                        .to_owned(),
+                );
+            }
             let e = parse(ev_text).map_err(|e| format!("--evidence: {e}"))?;
             let plan =
                 ConditionalPlan::compile(&q, &e, &h, routed_method).map_err(|e| e.to_string())?;
@@ -311,6 +367,15 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
             }
         } else {
             let plan = RoutedPlan::compile(&q, &h, routed_method).map_err(|e| e.to_string())?;
+            if let Some(path) = args.opt("dump-automaton") {
+                match plan.nfta() {
+                    Some(nfta) => dump_automaton(path, pqe::automata::nfta_to_dot(nfta))?,
+                    None => eprintln!(
+                        "automaton: none compiled ({} route)",
+                        plan.decision.route.name()
+                    ),
+                }
+            }
             match plan.execute(&cfg) {
                 RoutedAnswer::Exact(p) => println!(
                     "Pr(Q) = {} ≈ {:.6}   [lifted inference, exact]",
@@ -335,6 +400,11 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
     if args.opt("evidence").is_some() {
         return Err(format!(
             "--evidence requires a routed method (auto, lifted, or fpras), got --method {method:?}"
+        ));
+    }
+    if args.opt("dump-automaton").is_some() {
+        return Err(format!(
+            "--dump-automaton requires a routed method (auto, lifted, or fpras), got --method {method:?}"
         ));
     }
     match method {
@@ -365,6 +435,61 @@ fn cmd_estimate(args: &Args) -> Result<(), String> {
         _ => unreachable!("validated against ESTIMATE_METHODS above"),
     }
     eprintln!("landscape: {class}");
+    Ok(())
+}
+
+fn cmd_graph_estimate(args: &Args) -> Result<(), String> {
+    args.check_known(&[
+        "graph",
+        "rpq",
+        "epsilon",
+        "seed",
+        "method",
+        "threads",
+        "profile",
+        "dump-automaton",
+    ])?;
+    let _profile = ProfileGuard::start(args.profile(), "graph-estimate");
+    let g = load_graph(args)?;
+    let rpq_text = args.require("rpq")?;
+    let eps = args.epsilon()?;
+    let method = GraphMethod::parse(args.opt("method").unwrap_or("auto"))?;
+    let cfg = FprasConfig::with_epsilon(eps)
+        .with_seed(args.seed()?)
+        .with_threads(args.threads()?);
+    let plan = GraphPlan::compile_str(&g, rpq_text, method).map_err(|e| e.to_string())?;
+    if let Some(path) = args.opt("dump-automaton") {
+        match plan.nfa() {
+            Some(nfa) => dump_automaton(path, pqe::automata::nfa_to_dot(nfa))?,
+            None => eprintln!(
+                "automaton: none compiled ({} route)",
+                plan.decision.route.name()
+            ),
+        }
+    }
+    match plan.execute(&cfg) {
+        GraphAnswer::Exact(p) => println!(
+            "Pr({}) = {} ≈ {:.6}   [world enumeration, exact]",
+            plan.rpq,
+            p,
+            p.to_f64()
+        ),
+        GraphAnswer::Estimate { probability, elapsed } => println!(
+            "Pr({}) ≈ {:.6}   [FPRAS, ε = {eps}, {} states, {:.1?}]",
+            plan.rpq,
+            probability.to_f64(),
+            plan.automaton_states(),
+            elapsed
+        ),
+    }
+    let d = &plan.decision;
+    println!("route    : {} [{}]", d.route.name(), d.rationale);
+    eprintln!(
+        "graph    : {} vertices, {} edges, {}",
+        g.num_vertices(),
+        g.num_edges(),
+        if g.is_acyclic() { "acyclic" } else { "cyclic" }
+    );
     Ok(())
 }
 
@@ -506,6 +631,7 @@ fn cmd_lineage(args: &Args) -> Result<(), String> {
 fn cmd_serve(args: &Args) -> Result<(), String> {
     args.check_known(&[
         "db",
+        "graph",
         "addr",
         "workers",
         "queue-depth",
@@ -515,6 +641,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "threads",
     ])?;
     let h = load_db(args)?;
+    let g = match args.opt("graph") {
+        Some(_) => Some(load_graph(args)?),
+        None => None,
+    };
     let parse_opt = |name: &str, default: usize| -> Result<usize, String> {
         match args.opt(name) {
             None => Ok(default),
@@ -537,7 +667,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         cache_capacity: parse_opt("cache-capacity", defaults.cache_capacity)?.max(1),
         threads: args.threads()?,
     };
-    let server = Server::bind(cfg, h).map_err(|e| format!("bind: {e}"))?;
+    let server = Server::bind_with_graph(cfg, h, g).map_err(|e| format!("bind: {e}"))?;
     // Scripts parse this line for the ephemeral port; keep the format.
     println!("pqe-serve listening on {}", server.local_addr());
     use std::io::Write as _;
@@ -741,6 +871,7 @@ fn run() -> Result<(), String> {
     }
     match cmd.as_str() {
         "estimate" => cmd_estimate(&args),
+        "graph-estimate" => cmd_graph_estimate(&args),
         "reliability" => cmd_reliability(&args),
         "classify" => cmd_classify(&args),
         "sample" => cmd_sample(&args),
