@@ -39,6 +39,7 @@ fn main() {
         epsilon: 0.3,
         seed: 0xE8,
         method: "fpras".to_owned(),
+        ..LoadConfig::default()
     };
     let report = run_load(&load).expect("load run");
 

@@ -62,6 +62,6 @@ pub use graph_router::{
     GraphRouterError,
 };
 pub use router::{
-    ConditionalPlan, ConditionalReport, Method, Route, RouteDecision, RoutedAnswer, RoutedPlan,
-    RouterError,
+    ConditionalPlan, ConditionalReport, Method, Revalidation, Route, RouteDecision, RoutedAnswer,
+    RoutedPlan, RouterError,
 };

@@ -18,7 +18,9 @@
 //! plan across request threads behind an `Arc`.
 
 use crate::landscape::{self, Classification};
-use crate::reductions::{build_pqe_automaton, build_ur_automaton, PqeAutomaton};
+use crate::reductions::{
+    build_pqe_automaton, build_ur_automaton, PqeAutomaton, ReweightError,
+};
 use crate::{EstimateError, PqeReport, UrReport};
 use pqe_arith::{BigFloat, BigUint};
 use pqe_automata::{count_nfta, FprasConfig, Nfta};
@@ -106,6 +108,24 @@ impl PqePlan {
                     elapsed: start.elapsed(),
                 }
             }
+        }
+    }
+
+    /// Recomputes the multiplier gadgets from `h`'s current probabilities
+    /// in place, reusing the compiled automaton structure — the incremental
+    /// refresh for probability-only deltas. Fails with
+    /// [`ReweightError::StructureChanged`] when the fact set differs, in
+    /// which case the caller should recompile. Subsequent
+    /// [`execute`](PqePlan::execute) calls are bit-identical to a freshly
+    /// compiled plan on the same `(q, h, cfg)`.
+    pub fn reweight(
+        &mut self,
+        q: &ConjunctiveQuery,
+        h: &ProbDatabase,
+    ) -> Result<(), ReweightError> {
+        match &mut self.kind {
+            PqePlanKind::Certain => Ok(()),
+            PqePlanKind::Automaton(pqe) => pqe.reweight(q, h),
         }
     }
 

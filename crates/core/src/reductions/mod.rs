@@ -48,5 +48,5 @@ pub(crate) fn fact_multipliers(h: &ProbDatabase, f: FactId) -> FactMultipliers {
     }
 }
 pub use path_pqe::{build_path_pqe_nfa, PathPqeAutomaton};
-pub use pqe_nfta::{build_pqe_automaton, PqeAutomaton};
+pub use pqe_nfta::{build_pqe_automaton, PqeAutomaton, ReweightError};
 pub use ur_nfta::{build_ur_automaton, ReductionError, UrAutomaton};

@@ -15,11 +15,18 @@
 //! padded to a common bit-width `K_f` so all accepted trees keep one target
 //! size `k = |D'| + c + Σ_f K_f` (DESIGN.md §2.2); zero multipliers
 //! (probability-0/1 facts) delete the corresponding transitions.
+//!
+//! The construction splits cleanly in two: everything up to the translated
+//! Proposition 1 automaton depends only on the query and on *which* facts
+//! exist, while the probabilities enter solely through the multiplier
+//! attachment. [`PqeAutomaton::reweight`] exploits this for probability-only
+//! deltas: it re-runs just the attachment against the retained pre-multiplier
+//! automaton, skipping the decomposition and both structural translations.
 
 use super::{build_ur_automaton, fact_multipliers, ReductionError, UrAutomaton};
 use pqe_arith::BigUint;
 use pqe_automata::{MulTransition, MultiplierNfta, Nfta, SymbolId};
-use pqe_db::ProbDatabase;
+use pqe_db::{ProbDatabase, RelId};
 use pqe_query::ConjunctiveQuery;
 use std::collections::HashMap;
 
@@ -34,38 +41,61 @@ pub struct PqeAutomaton {
     pub denominator: BigUint,
     /// The underlying Proposition 1 automaton (before multipliers).
     pub ur: UrAutomaton,
+    /// The translated Proposition 1 automaton the multipliers attach to —
+    /// retained so [`reweight`](PqeAutomaton::reweight) can skip the
+    /// structural phases.
+    nfta0: Nfta,
+    /// Negated-occurrence symbol for each augmented symbol.
+    neg_map: Vec<SymbolId>,
 }
 
-/// Builds the §5.2 PQE automaton for a self-join-free bounded-width query
-/// on a probabilistic database.
-pub fn build_pqe_automaton(
+/// Why an in-place reweight was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReweightError {
+    /// The projected fact set differs from the one the automaton was
+    /// compiled against (a structural delta): rebuild with
+    /// [`build_pqe_automaton`].
+    StructureChanged,
+}
+
+impl std::fmt::Display for ReweightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReweightError::StructureChanged => {
+                write!(f, "fact set changed: automaton must be recompiled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReweightError {}
+
+/// The relations of `Q` resolved against `h`'s schema.
+fn query_relations(
     q: &ConjunctiveQuery,
     h: &ProbDatabase,
-) -> Result<PqeAutomaton, ReductionError> {
-    // Project H onto Q's relations: dropped facts marginalize to 1.
-    let keep: std::collections::BTreeSet<pqe_db::RelId> = q
-        .atoms()
+) -> std::collections::BTreeSet<RelId> {
+    q.atoms()
         .iter()
         .filter_map(|a| h.database().schema().relation(&a.relation))
-        .collect();
-    let hproj = h.project(|r| keep.contains(&r));
+        .collect()
+}
 
-    let ur = {
-        let _s = pqe_obs::span::span("ur_automaton");
-        build_ur_automaton(q, hproj.database())?
-    };
-    debug_assert_eq!(ur.dropped_facts, 0, "projection already applied");
-    let (nfta0, neg_map) = {
-        let _s = pqe_obs::span::span("translate");
-        ur.aug.translate()
-    };
-
+/// Attaches the §5.2 multiplier gadgets for `hproj`'s probabilities to the
+/// translated Proposition 1 automaton, returning the final NFTA and the
+/// total gadget padding `Σ_f K_f`.
+fn attach_multipliers(
+    ur: &UrAutomaton,
+    nfta0: &Nfta,
+    neg_map: &[SymbolId],
+    hproj: &ProbDatabase,
+) -> (Nfta, usize) {
     // Per fact: positive multiplier w_f, negated multiplier d_f − w_f,
     // common gadget width K_f.
     let mut by_symbol: HashMap<SymbolId, (BigUint, u64)> = HashMap::new();
     let mut extra_nodes: usize = 0;
     for f in ur.projected.fact_ids() {
-        let m = fact_multipliers(&hproj, f);
+        let m = fact_multipliers(hproj, f);
         extra_nodes += m.width as usize;
         let sym = ur.fact_symbols[f.index()];
         if let Some(w) = m.positive {
@@ -77,7 +107,7 @@ pub fn build_pqe_automaton(
     }
 
     let _mul_span = pqe_obs::span::span("multipliers");
-    let mut mul = MultiplierNfta::from_nfta_shell(&nfta0);
+    let mut mul = MultiplierNfta::from_nfta_shell(nfta0);
     for t in nfta0.transitions() {
         if t.symbol == ur.padding {
             mul.add_transition(MulTransition {
@@ -107,12 +137,73 @@ pub fn build_pqe_automaton(
         let _s = pqe_obs::span::span("translate_gadgets");
         mul.translate()
     };
+    (nfta, extra_nodes)
+}
+
+/// Builds the §5.2 PQE automaton for a self-join-free bounded-width query
+/// on a probabilistic database.
+pub fn build_pqe_automaton(
+    q: &ConjunctiveQuery,
+    h: &ProbDatabase,
+) -> Result<PqeAutomaton, ReductionError> {
+    // Project H onto Q's relations: dropped facts marginalize to 1.
+    let keep = query_relations(q, h);
+    let hproj = h.project(|r| keep.contains(&r));
+
+    let ur = {
+        let _s = pqe_obs::span::span("ur_automaton");
+        build_ur_automaton(q, hproj.database())?
+    };
+    debug_assert_eq!(ur.dropped_facts, 0, "projection already applied");
+    let (nfta0, neg_map) = {
+        let _s = pqe_obs::span::span("translate");
+        ur.aug.translate()
+    };
+
+    let (nfta, extra_nodes) = attach_multipliers(&ur, &nfta0, &neg_map, &hproj);
     Ok(PqeAutomaton {
         nfta,
         target_size: ur.target_size + extra_nodes,
         denominator: hproj.denominator_product(),
         ur,
+        nfta0,
+        neg_map,
     })
+}
+
+impl PqeAutomaton {
+    /// Re-derives the multiplier gadgets from `h`'s current probabilities,
+    /// reusing the compiled automaton structure — the incremental path for
+    /// probability-only deltas.
+    ///
+    /// `h` must be a descendant of the database the automaton was compiled
+    /// against (same constant interning lineage, as maintained by
+    /// `pqe-delta`): the projected fact set is compared fact-for-fact, and
+    /// any difference — including a changed fact order — returns
+    /// [`ReweightError::StructureChanged`] so the caller can fall back to a
+    /// full recompile.
+    pub fn reweight(
+        &mut self,
+        q: &ConjunctiveQuery,
+        h: &ProbDatabase,
+    ) -> Result<(), ReweightError> {
+        let keep = query_relations(q, h);
+        let hproj = h.project(|r| keep.contains(&r));
+        let old = &self.ur.projected;
+        let new_db = hproj.database();
+        if new_db.len() != old.len()
+            || old.fact_ids().any(|id| old.fact(id) != new_db.fact(id))
+        {
+            return Err(ReweightError::StructureChanged);
+        }
+        let _s = pqe_obs::span::span("reweight");
+        let (nfta, extra_nodes) =
+            attach_multipliers(&self.ur, &self.nfta0, &self.neg_map, &hproj);
+        self.nfta = nfta;
+        self.target_size = self.ur.target_size + extra_nodes;
+        self.denominator = hproj.denominator_product();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -232,5 +323,66 @@ mod tests {
         // ≤ 10 bits per fact.
         assert!(pqe.target_size <= pqe.ur.target_size + 3 * 10);
         assert_eq!(exact_via_automaton(&q, &h), brute_force_pqe(&q, &h));
+    }
+
+    #[test]
+    fn reweight_matches_fresh_compile_exactly() {
+        let db = two_path_db();
+        let probs = vec![
+            Rational::from_ratio(1, 3),
+            Rational::from_ratio(2, 5),
+            Rational::from_ratio(3, 7),
+        ];
+        let h = ProbDatabase::with_probs(db, probs).unwrap();
+        let q = shapes::path_query(2);
+        let mut pqe = build_pqe_automaton(&q, &h).unwrap();
+
+        // Mutate probabilities (including to the 0/1 corner cases, which
+        // change which transitions exist) and reweight in place.
+        let mut h2 = h.clone();
+        h2.set_prob(FactId(0), Rational::from_ratio(9, 11));
+        h2.set_prob(FactId(1), Rational::zero());
+        pqe.reweight(&q, &h2).unwrap();
+
+        let fresh = build_pqe_automaton(&q, &h2).unwrap();
+        assert_eq!(pqe.target_size, fresh.target_size);
+        assert_eq!(pqe.denominator, fresh.denominator);
+        let reweighted = count_trees_exact(&pqe.nfta, pqe.target_size);
+        assert_eq!(reweighted, count_trees_exact(&fresh.nfta, fresh.target_size));
+        assert_eq!(
+            Rational::new(reweighted.into(), pqe.denominator.clone()),
+            brute_force_pqe(&q, &h2)
+        );
+    }
+
+    #[test]
+    fn reweight_refuses_structural_change() {
+        let db = two_path_db();
+        let h = ProbDatabase::uniform(db, Rational::from_ratio(1, 2));
+        let q = shapes::path_query(2);
+        let mut pqe = build_pqe_automaton(&q, &h).unwrap();
+
+        // A new fact in a query relation is structural.
+        let mut db2 = two_path_db();
+        db2.add_fact("R1", &["a", "z"]).unwrap();
+        let h2 = ProbDatabase::uniform(db2, Rational::from_ratio(1, 2));
+        assert_eq!(
+            pqe.reweight(&q, &h2),
+            Err(ReweightError::StructureChanged)
+        );
+
+        // But extra facts in relations outside Q project away: reweight ok.
+        let mut db3 = Database::new(Schema::new([("R1", 2), ("R2", 2), ("Z", 1)]));
+        db3.add_fact("R1", &["a", "b"]).unwrap();
+        db3.add_fact("R2", &["b", "c"]).unwrap();
+        db3.add_fact("R2", &["b", "d"]).unwrap();
+        db3.add_fact("Z", &["zz"]).unwrap();
+        let h3 = ProbDatabase::uniform(db3, Rational::from_ratio(1, 2));
+        pqe.reweight(&q, &h3).unwrap();
+        let trees = count_trees_exact(&pqe.nfta, pqe.target_size);
+        assert_eq!(
+            Rational::new(trees.into(), pqe.denominator.clone()),
+            brute_force_pqe(&q, &h3)
+        );
     }
 }

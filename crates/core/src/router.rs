@@ -36,14 +36,27 @@
 //! zero) is a first-class error, [`RouterError::ZeroEvidence`]: the
 //! conditional probability is undefined, and callers report it as a
 //! structured failure rather than a division by zero.
+//!
+//! **Live databases.** Plans compiled with [`RoutedPlan::compile_at`]
+//! record the [`pqe_delta::Epochs`] of the relations their query mentions.
+//! After a delta, [`RoutedPlan::revalidate`] classifies the plan against
+//! the current epochs and refreshes it as cheaply as the change allows:
+//! untouched relations ⇒ nothing to do (memoized results stay valid too);
+//! probability-only changes ⇒ the lifted route re-evaluates its closed
+//! form and the FPRAS route reweights the compiled automaton in place
+//! ([`PqePlan::reweight`]); structural changes ⇒ a full recompile. The
+//! `router.refresh.{incremental,recompiled}` counters attribute which path
+//! ran.
 
 use crate::baselines::{lifted_pqe, LiftedError};
 use crate::landscape::{self, Classification};
 use crate::plan::{compile_pqe_plan, PqePlan};
+use crate::reductions::ReweightError;
 use crate::{EstimateError, PqeReport};
 use pqe_arith::{BigFloat, Rational};
 use pqe_automata::FprasConfig;
 use pqe_db::{FactId, ProbDatabase};
+use pqe_delta::{EpochStamp, Epochs, Freshness};
 use pqe_query::{ConjunctiveQuery, Term};
 use std::time::{Duration, Instant};
 
@@ -237,6 +250,27 @@ pub struct RoutedPlan {
     /// The route taken and why.
     pub decision: RouteDecision,
     kind: RoutedKind,
+    /// The compiled query, retained so the plan can refresh itself.
+    query: ConjunctiveQuery,
+    /// The requested method, reused verbatim on recompile.
+    method: Method,
+    /// Epochs of the query's relations at compile/refresh time.
+    stamp: EpochStamp,
+}
+
+/// What [`RoutedPlan::revalidate`] (and the conditional counterpart) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Revalidation {
+    /// No relation the plan depends on changed: the plan **and** any
+    /// memoized `(ε, seed)` results are still valid.
+    Current,
+    /// The plan was refreshed; memoized results are stale and must be
+    /// dropped.
+    Refreshed {
+        /// `true` when the compiled structure was reused (lifted re-solve
+        /// or in-place automaton reweight); `false` for a full recompile.
+        incremental: bool,
+    },
 }
 
 enum RoutedKind {
@@ -288,6 +322,20 @@ impl RoutedPlan {
         h: &ProbDatabase,
         method: Method,
     ) -> Result<RoutedPlan, RouterError> {
+        RoutedPlan::compile_at(q, h, method, &Epochs::new())
+    }
+
+    /// [`compile`](RoutedPlan::compile) against a versioned database: the
+    /// plan additionally stamps the current epochs of its query's
+    /// relations, enabling [`revalidate`](RoutedPlan::revalidate) after
+    /// later deltas. (Plain `compile` stamps all-zero epochs — correct for
+    /// a database that never mutates.)
+    pub fn compile_at(
+        q: &ConjunctiveQuery,
+        h: &ProbDatabase,
+        method: Method,
+        epochs: &Epochs,
+    ) -> Result<RoutedPlan, RouterError> {
         let classification = landscape::classify(q);
         let decision = decide(&classification, method);
         match decision.route {
@@ -298,7 +346,70 @@ impl RoutedPlan {
             Route::Lifted => RoutedKind::Lifted { exact: lifted_pqe(q, h)? },
             Route::Fpras => RoutedKind::Fpras(Box::new(compile_pqe_plan(q, h)?)),
         };
-        Ok(RoutedPlan { classification, decision, kind })
+        Ok(RoutedPlan {
+            classification,
+            decision,
+            kind,
+            query: q.clone(),
+            method,
+            stamp: stamp_query(q, epochs),
+        })
+    }
+
+    /// The epoch stamp recorded at compile/refresh time.
+    pub fn stamp(&self) -> &EpochStamp {
+        &self.stamp
+    }
+
+    /// Brings the plan up to date with a mutated database, doing the least
+    /// work the epochs allow (see the module docs). On
+    /// [`Revalidation::Refreshed`] the caller must drop any memoized
+    /// results derived from this plan. On error the plan is left stale —
+    /// drop it.
+    pub fn revalidate(
+        &mut self,
+        h: &ProbDatabase,
+        epochs: &Epochs,
+    ) -> Result<Revalidation, RouterError> {
+        match epochs.freshness(&self.stamp) {
+            Freshness::Current => Ok(Revalidation::Current),
+            Freshness::ProbsChanged => {
+                let refreshed = match &mut self.kind {
+                    RoutedKind::Lifted { exact } => {
+                        // The safe route's artifact *is* the answer:
+                        // re-solving the closed form is the increment.
+                        *exact = lifted_pqe(&self.query, h)?;
+                        true
+                    }
+                    RoutedKind::Fpras(plan) => match plan.reweight(&self.query, h) {
+                        Ok(()) => true,
+                        // The projected fact set moved even though epochs
+                        // said probabilities only (e.g. a caller-managed
+                        // database): recompile.
+                        Err(ReweightError::StructureChanged) => false,
+                    },
+                };
+                if refreshed {
+                    self.stamp = stamp_query(&self.query, epochs);
+                    pqe_obs::metrics::counter("router.refresh.incremental").inc();
+                    Ok(Revalidation::Refreshed { incremental: true })
+                } else {
+                    self.recompile(h, epochs)?;
+                    Ok(Revalidation::Refreshed { incremental: false })
+                }
+            }
+            Freshness::StructureChanged => {
+                self.recompile(h, epochs)?;
+                Ok(Revalidation::Refreshed { incremental: false })
+            }
+        }
+    }
+
+    fn recompile(&mut self, h: &ProbDatabase, epochs: &Epochs) -> Result<(), RouterError> {
+        let q = self.query.clone();
+        *self = RoutedPlan::compile_at(&q, h, self.method, epochs)?;
+        pqe_obs::metrics::counter("router.refresh.recompiled").inc();
+        Ok(())
     }
 
     /// Runs the routed engine. The FPRAS path is exactly
@@ -331,6 +442,11 @@ impl RoutedPlan {
     }
 }
 
+/// Stamps the current epochs of the relations `q` mentions.
+fn stamp_query(q: &ConjunctiveQuery, epochs: &Epochs) -> EpochStamp {
+    epochs.stamp(q.atoms().iter().map(|a| a.relation.as_str()))
+}
+
 /// Per-term accuracy for the ratio `P(Q ∧ E)/P(E)` when `fpras_terms` of
 /// the two terms are estimated rather than exact.
 ///
@@ -360,6 +476,12 @@ pub struct ConditionalPlan {
     /// Rendered (normalized) evidence text.
     pub evidence: String,
     kind: ConditionalKind,
+    /// The compiled ASTs, retained for refresh.
+    q_ast: ConjunctiveQuery,
+    e_ast: ConjunctiveQuery,
+    method: Method,
+    /// Epochs of every relation `Q` or `E` mentions at compile time.
+    stamp: EpochStamp,
 }
 
 enum ConditionalKind {
@@ -409,6 +531,18 @@ impl ConditionalPlan {
         h: &ProbDatabase,
         method: Method,
     ) -> Result<ConditionalPlan, RouterError> {
+        ConditionalPlan::compile_at(q, e, h, method, &Epochs::new())
+    }
+
+    /// [`compile`](ConditionalPlan::compile) against a versioned database,
+    /// stamping the epochs of every relation `Q` or `E` mentions.
+    pub fn compile_at(
+        q: &ConjunctiveQuery,
+        e: &ConjunctiveQuery,
+        h: &ProbDatabase,
+        method: Method,
+        epochs: &Epochs,
+    ) -> Result<ConditionalPlan, RouterError> {
         let all_ground = e
             .atoms()
             .iter()
@@ -456,11 +590,38 @@ impl ConditionalPlan {
                 ev: RoutedPlan::compile(e, h, method)?,
             }
         };
+        let joint_rels = q
+            .atoms()
+            .iter()
+            .chain(e.atoms())
+            .map(|a| a.relation.as_str());
         Ok(ConditionalPlan {
             query: q.to_string(),
             evidence: e.to_string(),
             kind,
+            q_ast: q.clone(),
+            e_ast: e.clone(),
+            method,
+            stamp: epochs.stamp(joint_rels),
         })
+    }
+
+    /// Brings the plan up to date with a mutated database. Conditional
+    /// plans hold conditioned database copies and ratio terms, so any
+    /// staleness — probability-only included — triggers a recompile; only
+    /// [`Freshness::Current`] keeps the plan (and its memoized results).
+    pub fn revalidate(
+        &mut self,
+        h: &ProbDatabase,
+        epochs: &Epochs,
+    ) -> Result<Revalidation, RouterError> {
+        if epochs.freshness(&self.stamp) == Freshness::Current {
+            return Ok(Revalidation::Current);
+        }
+        let (q, e) = (self.q_ast.clone(), self.e_ast.clone());
+        *self = ConditionalPlan::compile_at(&q, &e, h, self.method, epochs)?;
+        pqe_obs::metrics::counter("router.refresh.recompiled").inc();
+        Ok(Revalidation::Refreshed { incremental: false })
     }
 
     /// The route decision for the numerator term.
@@ -838,6 +999,119 @@ mod tests {
             ConditionalPlan::compile(&q, &e, &h, Method::Auto),
             Err(RouterError::ZeroEvidence { .. })
         ));
+    }
+
+    #[test]
+    fn revalidate_scopes_work_to_touched_relations() {
+        use pqe_delta::{Delta, VersionedDb};
+        let mut v = VersionedDb::new(two_path_db());
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        let cfg = FprasConfig::with_epsilon(0.2).with_seed(5);
+
+        let mut lifted = RoutedPlan::compile_at(&q, v.current(), Method::Auto, v.epochs()).unwrap();
+        let mut fpras = RoutedPlan::compile_at(&q, v.current(), Method::Fpras, v.epochs()).unwrap();
+        let mut unrelated =
+            RoutedPlan::compile_at(&parse("R(x,y)").unwrap(), v.current(), Method::Auto, v.epochs())
+                .unwrap();
+
+        // Probability-only delta on S: R-only plan current, others refresh
+        // incrementally (lifted re-solve / automaton reweight).
+        v.apply(&Delta::parse_str("~ 2/3 S(b,c)\n").unwrap()).unwrap();
+        let h = v.snapshot();
+        assert_eq!(
+            unrelated.revalidate(&h, v.epochs()).unwrap(),
+            Revalidation::Current
+        );
+        assert_eq!(
+            lifted.revalidate(&h, v.epochs()).unwrap(),
+            Revalidation::Refreshed { incremental: true }
+        );
+        assert_eq!(
+            fpras.revalidate(&h, v.epochs()).unwrap(),
+            Revalidation::Refreshed { incremental: true }
+        );
+
+        // Both refreshed plans agree bit-for-bit with fresh compiles on
+        // the mutated database.
+        let exact = brute_force_pqe(&q, &h);
+        assert_eq!(lifted.execute(&cfg).exact().unwrap(), &exact);
+        let fresh = RoutedPlan::compile(&q, &h, Method::Fpras).unwrap();
+        assert_eq!(
+            fpras.execute(&cfg).to_bigfloat().to_string(),
+            fresh.execute(&cfg).to_bigfloat().to_string()
+        );
+
+        // Structural delta on S: recompile path.
+        v.apply(&Delta::parse_str("+ 1/4 S(b,e)\n").unwrap()).unwrap();
+        let h = v.snapshot();
+        assert_eq!(
+            unrelated.revalidate(&h, v.epochs()).unwrap(),
+            Revalidation::Current
+        );
+        assert_eq!(
+            fpras.revalidate(&h, v.epochs()).unwrap(),
+            Revalidation::Refreshed { incremental: false }
+        );
+        let fresh = RoutedPlan::compile(&q, &h, Method::Fpras).unwrap();
+        assert_eq!(
+            fpras.execute(&cfg).to_bigfloat().to_string(),
+            fresh.execute(&cfg).to_bigfloat().to_string()
+        );
+        // A second revalidate with nothing new is current again.
+        assert_eq!(
+            fpras.revalidate(&h, v.epochs()).unwrap(),
+            Revalidation::Current
+        );
+    }
+
+    #[test]
+    fn refresh_counters_attribute_incremental_vs_recompile() {
+        use pqe_delta::{Delta, VersionedDb};
+        let inc = pqe_obs::metrics::counter("router.refresh.incremental");
+        let rec = pqe_obs::metrics::counter("router.refresh.recompiled");
+        let mut v = VersionedDb::new(two_path_db());
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        let mut plan = RoutedPlan::compile_at(&q, v.current(), Method::Fpras, v.epochs()).unwrap();
+        let (i0, r0) = (inc.get(), rec.get());
+
+        v.apply(&Delta::parse_str("~ 1/5 R(a,b)\n").unwrap()).unwrap();
+        plan.revalidate(&v.snapshot(), v.epochs()).unwrap();
+        assert_eq!((inc.get(), rec.get()), (i0 + 1, r0));
+
+        v.apply(&Delta::parse_str("- R(a,b)\n").unwrap()).unwrap();
+        plan.revalidate(&v.snapshot(), v.epochs()).unwrap();
+        assert_eq!((inc.get(), rec.get()), (i0 + 1, r0 + 1));
+    }
+
+    #[test]
+    fn conditional_revalidate_recompiles_on_any_staleness() {
+        use pqe_delta::{Delta, VersionedDb};
+        let mut v = VersionedDb::new(two_path_db());
+        let q = parse("R(x,y), S(y,z)").unwrap();
+        let e = parse("S('b','c')").unwrap();
+        let mut plan =
+            ConditionalPlan::compile_at(&q, &e, v.current(), Method::Auto, v.epochs()).unwrap();
+        let cfg = FprasConfig::with_epsilon(0.2);
+
+        // Unrelated relation: current.
+        let mut v2 = v.clone();
+        v2.apply(&Delta::parse_str("+ 1/2 T(q)\n").unwrap()).unwrap();
+        assert_eq!(
+            plan.revalidate(&v2.snapshot(), v2.epochs()).unwrap(),
+            Revalidation::Current
+        );
+
+        // Probability change on an evidence relation: recompile, and the
+        // refreshed plan matches a fresh compile (and brute force).
+        v.apply(&Delta::parse_str("~ 1/2 S(b,d)\n").unwrap()).unwrap();
+        let h = v.snapshot();
+        assert_eq!(
+            plan.revalidate(&h, v.epochs()).unwrap(),
+            Revalidation::Refreshed { incremental: false }
+        );
+        let r = plan.execute(&cfg).unwrap();
+        let brute = brute_conditional(&q, &e, &h).unwrap();
+        assert_eq!(r.exact.as_ref().unwrap(), &brute);
     }
 
     #[test]

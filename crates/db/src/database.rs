@@ -68,6 +68,29 @@ impl Database {
         self.facts.is_empty()
     }
 
+    /// Extends the schema with a new relation (empty to begin with),
+    /// returning the existing id when `name` is already declared.
+    ///
+    /// Existing [`RelId`]s stay valid: relations are only ever appended, so
+    /// mutation layers (`pqe-delta`) can introduce relations without
+    /// invalidating plans compiled against the old schema.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<RelId, DbError> {
+        if let Some(id) = self.schema.relation(name) {
+            let expected = self.schema.arity(id);
+            if arity != expected {
+                return Err(DbError::ArityMismatch {
+                    relation: name.to_owned(),
+                    expected,
+                    got: arity,
+                });
+            }
+            return Ok(id);
+        }
+        let id = self.schema.add_relation(name, arity);
+        self.by_rel.push(Vec::new());
+        Ok(id)
+    }
+
     /// Adds the fact `rel(args…)` by name, interning constants.
     /// Returns the existing id if the fact is already present.
     pub fn add_fact(&mut self, rel: &str, args: &[&str]) -> Result<FactId, DbError> {
@@ -200,6 +223,21 @@ mod tests {
         ));
         assert!(matches!(
             db.add_fact("R", &["a"]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn add_relation_extends_schema_in_place() {
+        let mut db = sample();
+        let t = db.add_relation("T", 1).unwrap();
+        assert!(db.facts_of(t).is_empty());
+        db.add_fact("T", &["a"]).unwrap();
+        assert_eq!(db.facts_of(t).len(), 1);
+        // Idempotent on matching arity, an error otherwise.
+        assert_eq!(db.add_relation("T", 1).unwrap(), t);
+        assert!(matches!(
+            db.add_relation("T", 2),
             Err(DbError::ArityMismatch { .. })
         ));
     }

@@ -1,0 +1,181 @@
+//! Per-relation epoch counters and plan staleness stamps.
+//!
+//! Every relation carries two monotone counters: `structure` advances when
+//! the relation's *fact set* changes (insert/delete) and `probs` advances
+//! when only its probability labelling changes. A compiled plan records the
+//! epochs of the relations its query mentions ([`EpochStamp`]); comparing
+//! the stamp against the live [`Epochs`] classifies the plan as current,
+//! reweightable in place, or needing a recompile — without inspecting the
+//! delta stream itself.
+//!
+//! Epochs are keyed by relation *name*, not `RelId`: inserts may extend the
+//! schema, and names are the identity that stays stable across that.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The two-component epoch of one relation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelEpoch {
+    /// Advances when facts are inserted into or deleted from the relation.
+    pub structure: u64,
+    /// Advances when a fact of the relation has its probability rewritten.
+    pub probs: u64,
+}
+
+/// How a stamped plan relates to the current epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Freshness {
+    /// No relation the plan mentions has changed: the plan *and* any
+    /// memoized results remain valid.
+    Current,
+    /// Only probabilities changed: the automaton structure is reusable,
+    /// multipliers (or the lifted closed form) must be recomputed, and
+    /// memoized results are stale.
+    ProbsChanged,
+    /// The fact set changed: full recompile required.
+    StructureChanged,
+}
+
+/// The live per-relation epoch table of a
+/// [`VersionedDb`](crate::VersionedDb).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Epochs {
+    map: BTreeMap<String, RelEpoch>,
+}
+
+impl Epochs {
+    /// An empty table (every relation at epoch zero).
+    pub fn new() -> Self {
+        Epochs::default()
+    }
+
+    /// The epoch of `rel` (zero if never touched).
+    pub fn get(&self, rel: &str) -> RelEpoch {
+        self.map.get(rel).copied().unwrap_or_default()
+    }
+
+    /// Advances the structure epoch of `rel`.
+    pub fn bump_structure(&mut self, rel: &str) {
+        self.map.entry(rel.to_owned()).or_default().structure += 1;
+    }
+
+    /// Advances the probability epoch of `rel`.
+    pub fn bump_probs(&mut self, rel: &str) {
+        self.map.entry(rel.to_owned()).or_default().probs += 1;
+    }
+
+    /// Records the epochs of the given relations, deduplicated — the stamp
+    /// a plan stores at compile time.
+    pub fn stamp<'a>(&self, rels: impl IntoIterator<Item = &'a str>) -> EpochStamp {
+        let entries: BTreeMap<String, RelEpoch> = rels
+            .into_iter()
+            .map(|r| (r.to_owned(), self.get(r)))
+            .collect();
+        EpochStamp {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// Classifies a stamp against the current table. Structure changes
+    /// dominate: if any stamped relation moved structurally the result is
+    /// [`Freshness::StructureChanged`] even if others only reweighted.
+    pub fn freshness(&self, stamp: &EpochStamp) -> Freshness {
+        let mut probs_changed = false;
+        for (rel, then) in &stamp.entries {
+            let now = self.get(rel);
+            if now.structure != then.structure {
+                return Freshness::StructureChanged;
+            }
+            if now.probs != then.probs {
+                probs_changed = true;
+            }
+        }
+        if probs_changed {
+            Freshness::ProbsChanged
+        } else {
+            Freshness::Current
+        }
+    }
+
+    /// Iterates `(relation, epoch)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, RelEpoch)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of relations ever touched.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing has ever been touched.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A snapshot of the epochs of the relations one plan depends on, taken at
+/// compile time. Re-stamp after every refresh.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EpochStamp {
+    entries: Vec<(String, RelEpoch)>,
+}
+
+impl EpochStamp {
+    /// The stamped relation names.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(r, _)| r.as_str())
+    }
+
+    /// Number of stamped relations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stamp covers no relations (always current).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for RelEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}p{}", self.structure, self.probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_classify_staleness() {
+        let mut e = Epochs::new();
+        let stamp_rs = e.stamp(["R", "S"]);
+        assert_eq!(e.freshness(&stamp_rs), Freshness::Current);
+
+        // Touching an unrelated relation leaves the stamp current.
+        e.bump_probs("T");
+        e.bump_structure("T");
+        assert_eq!(e.freshness(&stamp_rs), Freshness::Current);
+
+        e.bump_probs("R");
+        assert_eq!(e.freshness(&stamp_rs), Freshness::ProbsChanged);
+
+        // Structure dominates probability changes.
+        e.bump_structure("S");
+        assert_eq!(e.freshness(&stamp_rs), Freshness::StructureChanged);
+
+        // Re-stamping at the current epochs is current again.
+        let fresh = e.stamp(["R", "S"]);
+        assert_eq!(e.freshness(&fresh), Freshness::Current);
+    }
+
+    #[test]
+    fn stamp_deduplicates_relations() {
+        let e = Epochs::new();
+        let s = e.stamp(["R", "R", "S"]);
+        assert_eq!(s.len(), 2);
+        assert!(e.stamp([]).is_empty());
+    }
+}

@@ -22,6 +22,14 @@
 //! `BENCH_serve.json`. Failures are broken down by kind
 //! (`overloaded` / `timeout` / `eval_error` / other) so a saturation run
 //! distinguishes backpressure from genuine evaluation failures.
+//!
+//! With `update_mix > 0` the generator interleaves **live updates**:
+//! that fraction of requests sends the configured delta through the
+//! `update` op instead of an estimate, and responses tagged
+//! `"cache":"invalidated"` (a cached plan refreshed after an update
+//! touched its relations) are bucketed separately from plain hits and
+//! misses — the `invalidated` column measures the cost of churn under a
+//! mutating workload.
 
 use crate::json::Json;
 use pqe_obs::metrics::Histogram;
@@ -52,6 +60,11 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Method forwarded with every estimate request.
     pub method: String,
+    /// Probability a request is an `update` (applying `update_delta`)
+    /// instead of an estimate. Ignored when `update_delta` is empty.
+    pub update_mix: f64,
+    /// Delta batch text sent by update requests (`pqe-delta` format).
+    pub update_delta: String,
 }
 
 impl Default for LoadConfig {
@@ -65,6 +78,8 @@ impl Default for LoadConfig {
             epsilon: 0.1,
             seed: 0x10ad,
             method: "auto".to_owned(),
+            update_mix: 0.0,
+            update_delta: String::new(),
         }
     }
 }
@@ -80,11 +95,23 @@ enum RespKind {
     Other,
 }
 
+/// The server's `"cache"` tag, as observed by the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheTag {
+    Hit,
+    Miss,
+    /// A cached plan refreshed after a database update touched it.
+    Invalidated,
+    /// No tag (updates, errors).
+    None,
+}
+
 /// One request's client-side observation.
 #[derive(Debug, Clone, Copy)]
 struct Sample {
     latency_us: u64,
-    hit: bool,
+    cache: CacheTag,
+    is_update: bool,
     kind: RespKind,
 }
 
@@ -113,6 +140,11 @@ pub struct LoadReport {
     pub hits: u64,
     /// Responses tagged `"cache":"miss"`.
     pub misses: u64,
+    /// Responses tagged `"cache":"invalidated"` — a cached plan had to be
+    /// refreshed because an interleaved update touched its relations.
+    pub invalidated: u64,
+    /// Successful `update` requests (present when `update_mix > 0`).
+    pub updates: u64,
     /// Wall clock of the request phase (connect excluded).
     pub elapsed: Duration,
     /// Completed requests per second.
@@ -222,14 +254,24 @@ fn drive_connection(
     let mut samples = Vec::with_capacity(cfg.requests);
     let mut resp = String::new();
     for i in 0..cfg.requests {
-        // 53 uniform bits → [0,1): the hot/cold coin.
+        // 53 uniform bits → [0,1): one coin for update-vs-estimate, one
+        // for hot-vs-cold (drawn unconditionally to keep the estimate
+        // decision stream identical across update mixes).
+        let update_coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         let coin = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        let query_text = if coin < cfg.repeat_ratio {
-            cfg.query.clone()
+        let is_update = !cfg.update_delta.is_empty() && update_coin < cfg.update_mix;
+        let line = if is_update {
+            Json::obj([
+                ("op", Json::str("update")),
+                ("delta", Json::str(cfg.update_delta.as_str())),
+            ])
+            .to_string()
+        } else if coin < cfg.repeat_ratio {
+            estimate_line(&cfg.query, cfg, cfg.seed)
         } else {
-            cold_variant(&hot, (conn_idx as u64) << 32 | i as u64).to_string()
+            let q = cold_variant(&hot, (conn_idx as u64) << 32 | i as u64).to_string();
+            estimate_line(&q, cfg, cfg.seed)
         };
-        let line = estimate_line(&query_text, cfg, cfg.seed);
         let start = Instant::now();
         writer.write_all(line.as_bytes())?;
         writer.write_all(b"\n")?;
@@ -239,12 +281,13 @@ fn drive_connection(
         let latency_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         let v = Json::parse(resp.trim()).ok();
         let kind = classify_resp(v.as_ref());
-        let hit = v
-            .as_ref()
-            .and_then(|v| v.get("cache"))
-            .and_then(Json::as_str)
-            == Some("hit");
-        samples.push(Sample { latency_us, hit, kind });
+        let cache = match v.as_ref().and_then(|v| v.get("cache")).and_then(Json::as_str) {
+            Some("hit") => CacheTag::Hit,
+            Some("miss") => CacheTag::Miss,
+            Some("invalidated") => CacheTag::Invalidated,
+            _ => CacheTag::None,
+        };
+        samples.push(Sample { latency_us, cache, is_update, kind });
     }
     Ok(ConnResult { connect_us, samples })
 }
@@ -295,22 +338,24 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let hit_hist = Histogram::default();
     for s in &samples {
         hist.record(s.latency_us);
-        if s.hit && s.kind == RespKind::Ok {
+        if s.cache == CacheTag::Hit && s.kind == RespKind::Ok {
             hit_hist.record(s.latency_us);
         }
     }
     let hsnap = hist.snapshot();
     let hit_snap = hit_hist.snapshot();
-    let hits: Vec<u64> = samples
-        .iter()
-        .filter(|s| s.hit && s.kind == RespKind::Ok)
-        .map(|s| s.latency_us)
-        .collect();
-    let misses: Vec<u64> = samples
-        .iter()
-        .filter(|s| !s.hit && s.kind == RespKind::Ok)
-        .map(|s| s.latency_us)
-        .collect();
+    let bucket = |tag: CacheTag| -> Vec<u64> {
+        samples
+            .iter()
+            .filter(|s| s.cache == tag && s.kind == RespKind::Ok)
+            .map(|s| s.latency_us)
+            .collect()
+    };
+    let hits = bucket(CacheTag::Hit);
+    let misses = bucket(CacheTag::Miss);
+    let invalidated = bucket(CacheTag::Invalidated);
+    let updates =
+        samples.iter().filter(|s| s.is_update && s.kind == RespKind::Ok).count() as u64;
     let mean = |v: &[u64]| {
         if v.is_empty() {
             0.0
@@ -332,6 +377,8 @@ pub fn run_load(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         other_errors: count(RespKind::Other),
         hits: hits.len() as u64,
         misses: misses.len() as u64,
+        invalidated: invalidated.len() as u64,
+        updates,
         elapsed,
         throughput_rps: if elapsed.as_secs_f64() > 0.0 {
             total as f64 / elapsed.as_secs_f64()
@@ -416,6 +463,49 @@ mod tests {
         assert!(report.connect_mean_us > 0.0, "connect time is measured separately");
 
         // Shut the server down cleanly.
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut r = BufReader::new(c.try_clone().unwrap());
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn update_mix_interleaves_updates_and_buckets_invalidations() {
+        let h = pqe_db::io::load_str("1/2 R1(a,b)\n1/3 R2(b,c)\n1/5 R2(b,d)\n").unwrap();
+        // One worker: the hot plan lives in a single cache, so every
+        // update invalidates it exactly once on its next hot hit.
+        let server = Server::bind(ServeConfig { workers: 1, ..Default::default() }, h).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || server.run());
+
+        let cfg = LoadConfig {
+            addr: addr.to_string(),
+            connections: 1,
+            requests: 40,
+            repeat_ratio: 1.0, // always the hot query
+            query: "R1(x,y), R2(y,z)".to_owned(),
+            epsilon: 0.3,
+            method: "fpras".to_owned(),
+            update_mix: 0.3,
+            update_delta: "~ 1/4 R2(b,c)".to_owned(),
+            ..Default::default()
+        };
+        let report = run_load(&cfg).unwrap();
+        assert_eq!(report.requests, 40);
+        assert_eq!(report.errors, 0);
+        assert!(report.updates > 0, "30% update mix over 40 requests");
+        assert!(
+            report.invalidated > 0,
+            "hot plan touches R2; the hit after each update must be tagged invalidated"
+        );
+        assert_eq!(
+            report.updates + report.hits + report.misses + report.invalidated,
+            40,
+            "every ok response lands in exactly one bucket"
+        );
+
         let mut c = TcpStream::connect(addr).unwrap();
         c.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
         let mut r = BufReader::new(c.try_clone().unwrap());

@@ -9,6 +9,7 @@
 //! {"op":"reliability","query":"R1(x,y), R2(y,z)","epsilon":0.1,"seed":24301}
 //! {"op":"graph_estimate","rpq":"a -> road* -> b","epsilon":0.1,"seed":24301,"method":"auto"}
 //! {"op":"classify","query":"R1(x,y), R2(y,z)"}
+//! {"op":"update","delta":"~ 2/5 R2(b,c)\n+ 1/3 R1(a,e)"}
 //! {"op":"stats"}
 //! {"op":"metrics"}
 //! {"op":"shutdown"}
@@ -89,6 +90,14 @@ pub enum Request {
     Classify {
         /// Query text.
         query: String,
+    },
+    /// Applies a delta batch (the `pqe-delta` text format, `\n`-separated
+    /// ops) to the served database atomically: all ops validate or none
+    /// apply. Bumps the relation epochs of the touched relations; cached
+    /// plans revalidate lazily on their next hit.
+    Update {
+        /// Delta batch text (`+ p F` / `- F` / `~ p F` lines).
+        delta: String,
     },
     /// Service counters and cache statistics.
     Stats,
@@ -236,11 +245,12 @@ impl Request {
                 })
             }
             "classify" => Ok(Request::Classify { query: req_str(&v, "query")? }),
+            "update" => Ok(Request::Update { delta: req_str(&v, "delta")? }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op {other:?} (expected estimate, graph_estimate, reliability, classify, stats, metrics, shutdown)"
+                "unknown op {other:?} (expected estimate, graph_estimate, reliability, classify, update, stats, metrics, shutdown)"
             )),
         }
     }
@@ -344,6 +354,14 @@ mod tests {
         let e = Request::decode(r#"{"op":"graph_estimate","rpq":"a -> r -> b","epsilon":0}"#)
             .unwrap_err();
         assert!(e.contains("epsilon"), "{e}");
+    }
+
+    #[test]
+    fn decodes_update() {
+        let r = Request::decode(r#"{"op":"update","delta":"~ 1/2 R(a,b)"}"#).unwrap();
+        assert_eq!(r, Request::Update { delta: "~ 1/2 R(a,b)".into() });
+        let e = Request::decode(r#"{"op":"update"}"#).unwrap_err();
+        assert!(e.contains("delta"), "{e}");
     }
 
     #[test]

@@ -38,6 +38,20 @@
 //! threads)`; because execution is a pure function of plan + config, a
 //! served estimate is **bit-identical** to the same CLI invocation — hit,
 //! miss, or coalesced.
+//!
+//! The served database is **live**: the `update` op applies a
+//! `pqe-delta` batch atomically under a write lock on the
+//! [`pqe_delta::VersionedDb`], bumping the per-relation epoch counters.
+//! Invalidation is lazy and **scoped**: nothing is broadcast to the
+//! shards; instead each worker snapshots `(facts, epochs, generation)`
+//! at job start, and a cached plan whose recorded generation is behind
+//! revalidates against the epochs of *its own* relations — a plan whose
+//! relations were untouched survives with its `(ε, seed)` memo intact
+//! (`delta.kept_plans`), while a touched plan is refreshed (incremental
+//! reweight or recompile, `delta.invalidated_plans`) and its memo
+//! dropped, reported to the client as `"cache":"invalidated"`. The
+//! single-flight key carries the generation, so responses computed
+//! against different database versions never coalesce.
 
 use crate::cache::{CacheStats, ShardCache};
 use crate::flight::{Flight, FlightTable};
@@ -48,9 +62,10 @@ use pqe_automata::FprasConfig;
 use pqe_core::landscape::{self, Verdict};
 use pqe_core::{
     compile_ur_plan, ConditionalPlan, GraphAnswer, GraphMethod, GraphPlan, GraphRoute, Method,
-    Route, RoutedAnswer, RoutedPlan, UrPlan,
+    Revalidation, Route, RoutedAnswer, RoutedPlan, UrPlan,
 };
 use pqe_db::ProbDatabase;
+use pqe_delta::{Delta, EpochStamp, Epochs, Freshness, VersionedDb};
 use pqe_graph::{ProbGraph, Rpq};
 use pqe_obs::log::{event, Level};
 use pqe_obs::metrics::{Counter, Gauge, Histogram};
@@ -60,7 +75,7 @@ use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Sleep between I/O poll passes when no byte moved (std has no portable
@@ -92,6 +107,12 @@ struct ServeMetrics {
     queue_depth: Arc<Gauge>,
     /// Currently open client connections.
     connections: Arc<Gauge>,
+    /// Successfully applied `update` batches.
+    delta_applied: Arc<Counter>,
+    /// Cached plans refreshed (memo dropped) after a database update.
+    delta_invalidated: Arc<Counter>,
+    /// Cached plans that survived a generation change untouched.
+    delta_kept: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -108,6 +129,9 @@ impl ServeMetrics {
             executions: counter("serve.executions"),
             queue_depth: gauge("serve.queue_depth"),
             connections: gauge("serve.connections"),
+            delta_applied: counter("serve.delta.applied"),
+            delta_invalidated: counter("serve.delta.invalidated_plans"),
+            delta_kept: counter("serve.delta.kept_plans"),
         }
     }
 }
@@ -202,6 +226,9 @@ impl Default for ServeConfig {
 pub struct ServedPlan {
     kind: PlanKind,
     memo: FxHashMap<(u64, u64), String>,
+    /// Database generation the plan (and its memo) was last validated
+    /// against; a hit at a newer generation triggers revalidation.
+    generation: u64,
 }
 
 enum PlanKind {
@@ -212,8 +239,10 @@ enum PlanKind {
     Routed(RoutedPlan),
     /// A conditional `estimate` plan: `P(Q | E)` with per-term routing.
     Conditional(ConditionalPlan),
-    /// Uniform reliability: the translated Proposition 1 automaton.
-    Ur(UrPlan),
+    /// Uniform reliability: the translated Proposition 1 automaton, plus
+    /// the epoch stamp of its query's relations (reliability ignores
+    /// probabilities, so only *structural* epoch bumps invalidate it).
+    Ur { plan: UrPlan, stamp: EpochStamp },
     /// A `graph_estimate` plan: the routed RPQ plan over the served
     /// probabilistic graph (exact enumeration or the product-NFA FPRAS).
     Graph(GraphPlan),
@@ -224,8 +253,8 @@ enum PlanKind {
 const MEMO_CAP: usize = 256;
 
 impl ServedPlan {
-    fn new(kind: PlanKind) -> Self {
-        ServedPlan { kind, memo: FxHashMap::default() }
+    fn new(kind: PlanKind, generation: u64) -> Self {
+        ServedPlan { kind, memo: FxHashMap::default(), generation }
     }
 }
 
@@ -243,6 +272,10 @@ pub struct ServerStats {
     eval_errors: AtomicU64,
     memo_hits: AtomicU64,
     coalesced: AtomicU64,
+    updates: AtomicU64,
+    deltas_applied: AtomicU64,
+    invalidated_plans: AtomicU64,
+    kept_plans: AtomicU64,
 }
 
 /// A per-connection reply slot map: workers deliver responses keyed by
@@ -280,8 +313,27 @@ struct Job {
 /// The waiter identity parked on an in-flight evaluation.
 type Waiter = (Arc<Mailbox>, u64);
 
+/// The immutable view of the versioned database one job runs against:
+/// facts + probabilities, relation epochs, and the generation both belong
+/// to. A worker snapshots once per job, so an `update` landing mid-job
+/// never moves the data under a running evaluation — the next job simply
+/// sees the next generation.
+struct Snapshot {
+    h: Arc<ProbDatabase>,
+    epochs: Arc<Epochs>,
+    generation: u64,
+}
+
+fn take_snapshot(state: &ServerState) -> Snapshot {
+    let db = state.db.read().expect("db lock poisoned");
+    Snapshot { h: db.snapshot(), epochs: db.shared_epochs(), generation: db.generation() }
+}
+
 struct ServerState {
-    h: ProbDatabase,
+    /// The served database, epoch-versioned so `update` can mutate it.
+    /// Readers (workers, `stats`) take cheap `Arc` snapshots; only the
+    /// `update` op writes.
+    db: RwLock<VersionedDb>,
     /// The served probabilistic graph, when the server was started with
     /// one; `graph_estimate` without it is a structured `eval_error`.
     g: Option<ProbGraph>,
@@ -317,7 +369,7 @@ fn verdict_tag(v: Verdict) -> &'static str {
 
 impl Server {
     /// Binds the listener and prepares the shared state. The database is
-    /// fixed for the life of the server.
+    /// the initial version; `update` requests may mutate it later.
     pub fn bind(cfg: ServeConfig, h: ProbDatabase) -> std::io::Result<Server> {
         Server::bind_with_graph(cfg, h, None)
     }
@@ -338,7 +390,7 @@ impl Server {
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
-                h,
+                db: RwLock::new(VersionedDb::new(h)),
                 g,
                 addr,
                 queue: Queue::new(cfg.queue_depth),
@@ -589,6 +641,11 @@ fn dispatch_line(state: &Arc<ServerState>, conn: &mut Conn, line: &str) {
             let r = classify_response(&query);
             conn.mailbox.deliver(seq, finish(state, r));
         }
+        Request::Update { delta } => {
+            state.stats.updates.fetch_add(1, Ordering::Relaxed);
+            let r = apply_update(state, &delta);
+            conn.mailbox.deliver(seq, finish(state, r));
+        }
         Request::Stats => conn.mailbox.deliver(seq, stats_response(state).to_string()),
         Request::Metrics => conn.mailbox.deliver(seq, metrics_response(state).to_string()),
         Request::Shutdown => {
@@ -681,10 +738,12 @@ fn process_job(
 ) {
     let Job { op, mailbox, seq, received } = job;
     state.metrics.queue_wait_us.record(elapsed_us(received));
+    let snap = take_snapshot(state);
     match op {
         Request::Estimate { query, epsilon, seed, method, evidence, threads, delay_ms } => {
             let delivered = serve_heavy(
                 state,
+                &snap,
                 &mailbox,
                 seq,
                 HeavyOp::Estimate { query, epsilon, seed, method, evidence, threads, delay_ms },
@@ -699,6 +758,7 @@ fn process_job(
         Request::Reliability { query, epsilon, seed, threads, delay_ms } => {
             let delivered = serve_heavy(
                 state,
+                &snap,
                 &mailbox,
                 seq,
                 HeavyOp::Reliability { query, epsilon, seed, threads, delay_ms },
@@ -713,6 +773,7 @@ fn process_job(
         Request::GraphEstimate { rpq, epsilon, seed, method, threads, delay_ms } => {
             let delivered = serve_heavy(
                 state,
+                &snap,
                 &mailbox,
                 seq,
                 HeavyOp::GraphEstimate { rpq, epsilon, seed, method, threads, delay_ms },
@@ -761,8 +822,10 @@ enum ParsedOp {
 /// to the caller and every coalesced waiter. Returns `false` when the
 /// request was coalesced (the leader owns delivery and latency
 /// attribution).
+#[allow(clippy::too_many_arguments)]
 fn serve_heavy(
     state: &ServerState,
+    snap: &Snapshot,
     mailbox: &Arc<Mailbox>,
     seq: u64,
     op: HeavyOp,
@@ -831,11 +894,14 @@ fn serve_heavy(
         _ => unreachable!("op/parse mismatch"),
     };
     // The single-flight key pins every input the response depends on —
-    // the evaluation inputs (plan key, ε, seed) plus the reported thread
-    // count and the delay knob — so coalesced responses are exactly what
-    // the follower's own evaluation would have printed.
+    // the evaluation inputs (plan key, database generation, ε, seed)
+    // plus the reported thread count and the delay knob — so coalesced
+    // responses are exactly what the follower's own evaluation would
+    // have printed. The generation keeps an evaluation against the
+    // pre-update database from answering a post-update request.
     let flight_key = format!(
-        "{cache_key}|{:016x}|{seed}|{resolved_threads}|{delay_ms}",
+        "{cache_key}|g{}|{:016x}|{seed}|{resolved_threads}|{delay_ms}",
+        snap.generation,
         epsilon.to_bits()
     );
     match state.flights.join(&flight_key, (Arc::clone(mailbox), seq)) {
@@ -847,16 +913,16 @@ fn serve_heavy(
         Flight::Leader => {
             let result = match (&op, &parsed) {
                 (HeavyOp::Estimate { method, .. }, ParsedOp::Cq(q)) => estimate_compute(
-                    state, sm, cache, q, ev.as_ref(), &cache_key, epsilon, seed, method,
+                    state, snap, sm, cache, q, ev.as_ref(), &cache_key, epsilon, seed, method,
                     resolved_threads, delay_ms, received,
                 ),
                 (HeavyOp::Reliability { .. }, ParsedOp::Cq(q)) => reliability_compute(
-                    state, sm, cache, q, &cache_key, epsilon, seed,
+                    state, snap, sm, cache, q, &cache_key, epsilon, seed,
                     resolved_threads, delay_ms, received,
                 ),
                 (HeavyOp::GraphEstimate { method, .. }, ParsedOp::Rpq(r)) => {
                     graph_estimate_compute(
-                        state, sm, cache, r, &cache_key, epsilon, seed, method,
+                        state, snap, sm, cache, r, &cache_key, epsilon, seed, method,
                         resolved_threads, delay_ms, received,
                     )
                 }
@@ -925,9 +991,123 @@ fn apply_delay(delay_ms: u64) {
     }
 }
 
+/// The `update` op: parses the delta text and applies it atomically under
+/// the write lock. Runs inline on the I/O thread — mutation cost is a
+/// clone-and-patch, small next to any FPRAS run, and serializing updates
+/// through the single I/O thread gives them a total order for free.
+fn apply_update(state: &ServerState, delta: &str) -> Result<Json, ReqError> {
+    let delta = Delta::parse_str(delta)
+        .map_err(|e| (ErrorKind::BadRequest, format!("delta: {e}")))?;
+    let mut db = state.db.write().expect("db lock poisoned");
+    let report =
+        db.apply(&delta).map_err(|e| (ErrorKind::EvalError, format!("delta: {e}")))?;
+    let facts = db.current().len();
+    drop(db);
+    state.stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+    state.metrics.delta_applied.inc();
+    event(Level::Debug, "serve", || {
+        format!(
+            "delta applied: gen {} (+{} -{} ~{})",
+            report.generation, report.inserted, report.deleted, report.reprobed
+        )
+    });
+    Ok(Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::str("update")),
+        ("ops", Json::from(delta.len())),
+        ("inserted", Json::from(report.inserted)),
+        ("deleted", Json::from(report.deleted)),
+        ("reprobed", Json::from(report.reprobed)),
+        (
+            "touched",
+            Json::Arr(report.touched.iter().map(|r| Json::str(r.clone())).collect()),
+        ),
+        (
+            "structural",
+            Json::Arr(report.structural.iter().map(|r| Json::str(r.clone())).collect()),
+        ),
+        ("probability_only", Json::from(report.is_probability_only())),
+        ("generation", Json::from(report.generation)),
+        ("facts", Json::from(facts)),
+    ]))
+}
+
+/// Brings a cache-hit plan up to date with the job's snapshot and returns
+/// the wire cache tag: `"hit"` when the plan (and its memo) survived —
+/// including across a generation change that left its relations untouched
+/// — or `"invalidated"` when it was refreshed and the memo dropped.
+/// Misses pass through as `"miss"` (a fresh compile is already current).
+fn refresh_plan(
+    state: &ServerState,
+    snap: &Snapshot,
+    plan: &mut ServedPlan,
+    hit: bool,
+    q: Option<&ConjunctiveQuery>,
+) -> Result<&'static str, ReqError> {
+    if !hit {
+        return Ok("miss");
+    }
+    if plan.generation == snap.generation {
+        return Ok("hit");
+    }
+    let refreshed = match &mut plan.kind {
+        PlanKind::Routed(p) => {
+            match p.revalidate(&snap.h, &snap.epochs) {
+                Ok(Revalidation::Current) => false,
+                Ok(Revalidation::Refreshed { .. }) => true,
+                // Leave the plan stale (generation not advanced): the next
+                // hit retries the refresh.
+                Err(e) => return Err((ErrorKind::EvalError, e.to_string())),
+            }
+        }
+        PlanKind::Conditional(p) => match p.revalidate(&snap.h, &snap.epochs) {
+            Ok(Revalidation::Current) => false,
+            Ok(Revalidation::Refreshed { .. }) => true,
+            Err(e) => return Err((ErrorKind::EvalError, e.to_string())),
+        },
+        PlanKind::Ur { plan: ur, stamp } => {
+            let q = q.expect("reliability compute passes its query");
+            match snap.epochs.freshness(stamp) {
+                // Probability-only changes never move a reliability: the
+                // UR automaton depends on the fact set alone.
+                Freshness::Current | Freshness::ProbsChanged => {
+                    *stamp = stamp_relations(q, &snap.epochs);
+                    false
+                }
+                Freshness::StructureChanged => {
+                    *ur = compile_ur_plan(q, snap.h.database())
+                        .map_err(|e| (ErrorKind::EvalError, e.to_string()))?;
+                    *stamp = stamp_relations(q, &snap.epochs);
+                    true
+                }
+            }
+        }
+        // The graph instance is separate from the relational database;
+        // deltas never touch it.
+        PlanKind::Graph(_) => false,
+    };
+    plan.generation = snap.generation;
+    if refreshed {
+        plan.memo.clear();
+        state.stats.invalidated_plans.fetch_add(1, Ordering::Relaxed);
+        state.metrics.delta_invalidated.inc();
+        Ok("invalidated")
+    } else {
+        state.stats.kept_plans.fetch_add(1, Ordering::Relaxed);
+        state.metrics.delta_kept.inc();
+        Ok("hit")
+    }
+}
+
+/// Stamps the current epochs of the relations `q` mentions.
+fn stamp_relations(q: &ConjunctiveQuery, epochs: &Epochs) -> EpochStamp {
+    epochs.stamp(q.atoms().iter().map(|a| a.relation.as_str()))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn estimate_compute(
     state: &ServerState,
+    snap: &Snapshot,
     sm: &ShardMetrics,
     cache: &mut ShardCache<ServedPlan>,
     q: &ConjunctiveQuery,
@@ -944,7 +1124,8 @@ fn estimate_compute(
     check_deadline(state, received, "delay")?;
 
     let (plan, hit) = cache
-        .get_or_insert_with(cache_key, || compile_estimate_plan(state, q, evidence, method))?;
+        .get_or_insert_with(cache_key, || compile_estimate_plan(snap, q, evidence, method))?;
+    let cache_tag = refresh_plan(state, snap, plan, hit, None)?;
     check_deadline(state, received, "compile")?;
 
     let cfg = FprasConfig::with_epsilon(epsilon)
@@ -954,9 +1135,9 @@ fn estimate_compute(
         ("ok", Json::Bool(true)),
         ("op", Json::str("estimate")),
         ("query", Json::str(q.to_string())),
-        ("cache", Json::str(if hit { "hit" } else { "miss" })),
+        ("cache", Json::str(cache_tag)),
     ];
-    let ServedPlan { kind, memo } = plan;
+    let ServedPlan { kind, memo, .. } = plan;
     match kind {
         PlanKind::Routed(p) => {
             fields.push(("method", Json::str(p.decision.route.name())));
@@ -1044,7 +1225,7 @@ fn estimate_compute(
             fields.push(("threads", Json::from(cfg.effective_threads())));
             let _ = memo; // conditionals bypass the result memo (see above)
         }
-        PlanKind::Ur(_) | PlanKind::Graph(_) => {
+        PlanKind::Ur { .. } | PlanKind::Graph(_) => {
             unreachable!("estimate key never maps to a UR or graph plan")
         }
     }
@@ -1053,7 +1234,7 @@ fn estimate_compute(
 }
 
 fn compile_estimate_plan(
-    state: &ServerState,
+    snap: &Snapshot,
     q: &ConjunctiveQuery,
     evidence: Option<&ConjunctiveQuery>,
     method: &str,
@@ -1064,11 +1245,11 @@ fn compile_estimate_plan(
     // `bad_request` with the router's "did you mean" hint.
     let method = Method::parse(method).map_err(|e| (ErrorKind::BadRequest, e))?;
     match evidence {
-        Some(e) => ConditionalPlan::compile(q, e, &state.h, method)
-            .map(|p| ServedPlan::new(PlanKind::Conditional(p)))
+        Some(e) => ConditionalPlan::compile_at(q, e, &snap.h, method, &snap.epochs)
+            .map(|p| ServedPlan::new(PlanKind::Conditional(p), snap.generation))
             .map_err(|e| (ErrorKind::EvalError, e.to_string())),
-        None => RoutedPlan::compile(q, &state.h, method)
-            .map(|p| ServedPlan::new(PlanKind::Routed(p)))
+        None => RoutedPlan::compile_at(q, &snap.h, method, &snap.epochs)
+            .map(|p| ServedPlan::new(PlanKind::Routed(p), snap.generation))
             .map_err(|e| (ErrorKind::EvalError, e.to_string())),
     }
 }
@@ -1076,6 +1257,7 @@ fn compile_estimate_plan(
 #[allow(clippy::too_many_arguments)]
 fn reliability_compute(
     state: &ServerState,
+    snap: &Snapshot,
     sm: &ShardMetrics,
     cache: &mut ShardCache<ServedPlan>,
     q: &ConjunctiveQuery,
@@ -1090,17 +1272,21 @@ fn reliability_compute(
     check_deadline(state, received, "delay")?;
 
     let (plan, hit) = cache.get_or_insert_with(cache_key, || {
-        compile_ur_plan(q, state.h.database())
-            .map(|p| ServedPlan::new(PlanKind::Ur(p)))
+        compile_ur_plan(q, snap.h.database())
+            .map(|p| {
+                let stamp = stamp_relations(q, &snap.epochs);
+                ServedPlan::new(PlanKind::Ur { plan: p, stamp }, snap.generation)
+            })
             .map_err(|e| (ErrorKind::EvalError, e.to_string()))
     })?;
+    let cache_tag = refresh_plan(state, snap, plan, hit, Some(q))?;
     check_deadline(state, received, "compile")?;
 
     let cfg = FprasConfig::with_epsilon(epsilon)
         .with_seed(seed)
         .with_threads(resolved_threads);
-    let ServedPlan { kind, memo } = plan;
-    let PlanKind::Ur(ur) = kind else {
+    let ServedPlan { kind, memo, .. } = plan;
+    let PlanKind::Ur { plan: ur, .. } = kind else {
         unreachable!("reliability key never maps to an estimate plan");
     };
     let memo_key = (epsilon.to_bits(), seed);
@@ -1126,10 +1312,10 @@ fn reliability_compute(
         ("ok", Json::Bool(true)),
         ("op", Json::str("reliability")),
         ("query", Json::str(q.to_string())),
-        ("cache", Json::str(if hit { "hit" } else { "miss" })),
+        ("cache", Json::str(cache_tag)),
         ("memo", Json::str(if memo_hit { "hit" } else { "miss" })),
         ("reliability", Json::str(reliability)),
-        ("facts", Json::from(state.h.len())),
+        ("facts", Json::from(snap.h.len())),
         ("epsilon", Json::from(epsilon)),
         ("seed", Json::from(seed)),
         ("threads", Json::from(cfg.effective_threads())),
@@ -1140,6 +1326,7 @@ fn reliability_compute(
 #[allow(clippy::too_many_arguments)]
 fn graph_estimate_compute(
     state: &ServerState,
+    snap: &Snapshot,
     sm: &ShardMetrics,
     cache: &mut ShardCache<ServedPlan>,
     rpq: &Rpq,
@@ -1165,15 +1352,18 @@ fn graph_estimate_compute(
     let method = GraphMethod::parse(method).map_err(|e| (ErrorKind::BadRequest, e))?;
     let (plan, hit) = cache.get_or_insert_with(cache_key, || {
         GraphPlan::compile(g, rpq, method)
-            .map(|p| ServedPlan::new(PlanKind::Graph(p)))
+            .map(|p| ServedPlan::new(PlanKind::Graph(p), snap.generation))
             .map_err(|e| (ErrorKind::EvalError, e.to_string()))
     })?;
+    // Relational deltas never touch the graph instance, but refresh still
+    // advances the plan's generation and counts it as kept.
+    let cache_tag = refresh_plan(state, snap, plan, hit, None)?;
     check_deadline(state, received, "compile")?;
 
     let cfg = FprasConfig::with_epsilon(epsilon)
         .with_seed(seed)
         .with_threads(resolved_threads);
-    let ServedPlan { kind, memo } = plan;
+    let ServedPlan { kind, memo, .. } = plan;
     let PlanKind::Graph(p) = kind else {
         unreachable!("graph_estimate key never maps to a relational plan");
     };
@@ -1181,7 +1371,7 @@ fn graph_estimate_compute(
         ("ok", Json::Bool(true)),
         ("op", Json::str("graph_estimate")),
         ("rpq", Json::str(p.rpq.clone())),
-        ("cache", Json::str(if hit { "hit" } else { "miss" })),
+        ("cache", Json::str(cache_tag)),
         ("method", Json::str(p.decision.route.name())),
         ("route", Json::str(p.decision.route.name())),
         ("rationale", Json::str(p.decision.rationale.clone())),
@@ -1259,6 +1449,13 @@ fn shard_sum(state: &ServerState, f: impl Fn(&ShardMetrics) -> u64) -> u64 {
 }
 
 fn stats_response(state: &ServerState) -> Json {
+    let (facts, generation, deltas, epochs) = {
+        let db = state.db.read().expect("db lock poisoned");
+        let epochs = Json::Obj(
+            db.epochs().iter().map(|(rel, e)| (rel.to_owned(), Json::str(e.to_string()))).collect(),
+        );
+        (db.current().len(), db.generation(), db.deltas_applied(), epochs)
+    };
     let hits = shard_sum(state, |s| s.hits.load(Ordering::Relaxed));
     let misses = shard_sum(state, |s| s.misses.load(Ordering::Relaxed));
     let resident = state.shard_metrics.iter().map(|s| s.resident.load(Ordering::Relaxed)).sum::<u64>();
@@ -1294,7 +1491,26 @@ fn stats_response(state: &ServerState) -> Json {
         ("queue_depth", Json::from(state.queue.depth())),
         ("queue_capacity", Json::from(state.queue.capacity())),
         ("deadline_ms", Json::from(state.cfg.deadline_ms)),
-        ("facts", Json::from(state.h.len())),
+        ("facts", Json::from(facts)),
+        ("generation", Json::from(generation)),
+        ("epochs", epochs),
+        ("updates", Json::from(state.stats.updates.load(Ordering::Relaxed))),
+        ("delta.applied", Json::from(deltas)),
+        (
+            "delta.invalidated_plans",
+            Json::from(state.stats.invalidated_plans.load(Ordering::Relaxed)),
+        ),
+        ("delta.kept_plans", Json::from(state.stats.kept_plans.load(Ordering::Relaxed))),
+        // Refresh counters come from the process-global registry, like
+        // the route counters above.
+        (
+            "router.refresh.incremental",
+            Json::from(pqe_obs::metrics::counter("router.refresh.incremental").get()),
+        ),
+        (
+            "router.refresh.recompiled",
+            Json::from(pqe_obs::metrics::counter("router.refresh.recompiled").get()),
+        ),
         ("overloaded", Json::from(state.stats.overloaded.load(Ordering::Relaxed))),
         ("timeouts", Json::from(state.stats.timeouts.load(Ordering::Relaxed))),
         ("bad_requests", Json::from(state.stats.bad_requests.load(Ordering::Relaxed))),
@@ -1665,6 +1881,115 @@ mod tests {
         // A bad RPQ is a bad_request, even with no graph loaded.
         let v = c.roundtrip(r#"{"op":"graph_estimate","rpq":"a -> ((r -> b"}"#);
         assert_eq!(v.get("error").and_then(Json::as_str), Some("bad_request"));
+        c.roundtrip(r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn update_invalidates_touched_plans_and_keeps_others() {
+        // One worker shard: every plan lives in one cache, so hit/kept/
+        // invalidated accounting is deterministic.
+        let (addr, handle) = start(ServeConfig { workers: 1, ..Default::default() });
+        let mut c = Client::connect(addr);
+
+        // Warm two plans: an FPRAS plan over {R1, R2} and a lifted plan
+        // over {R1} only.
+        let est = r#"{"op":"estimate","query":"R1(x,y), R2(y,z)","method":"fpras","epsilon":0.2,"seed":9}"#;
+        c.roundtrip(est);
+        let v = c.roundtrip(est);
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+        let v = c.roundtrip(r#"{"op":"estimate","query":"R1(x,y)"}"#);
+        assert_eq!(v.get("route").and_then(Json::as_str), Some("lifted"));
+
+        // Probability-only delta touching R2 alone.
+        let v = c.roundtrip(r#"{"op":"update","delta":"~ 1/4 R2(b,c)"}"#);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("generation").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("reprobed").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("probability_only").and_then(Json::as_bool), Some(true));
+
+        // The R1-only plan survives with its memo: still a plain hit.
+        let v = c.roundtrip(r#"{"op":"estimate","query":"R1(x,y)"}"#);
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+
+        // The {R1, R2} plan is refreshed, and its digits are byte-identical
+        // to a fresh compile against the mutated database.
+        let v = c.roundtrip(est);
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("invalidated"));
+        let h2 = dbio::load_str("1/2 R1(a,b)\n1/4 R2(b,c)\n1/5 R2(b,d)\n").unwrap();
+        let q = pqe_query::parse("R1(x,y), R2(y,z)").unwrap();
+        let fresh = RoutedPlan::compile(&q, &h2, Method::Fpras).unwrap();
+        let expect =
+            format!("{:.6}", fresh.execute(&FprasConfig::with_epsilon(0.2).with_seed(9)).to_f64());
+        assert_eq!(v.get("probability").and_then(Json::as_str), Some(expect.as_str()));
+
+        // Once refreshed, the next identical request is a plain hit again
+        // (memo rebuilt at the new generation).
+        let v = c.roundtrip(est);
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(v.get("memo").and_then(Json::as_str), Some("hit"));
+
+        let v = c.roundtrip(r#"{"op":"stats"}"#);
+        assert_eq!(v.get("generation").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("delta.applied").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("delta.invalidated_plans").and_then(Json::as_u64), Some(1));
+        assert!(v.get("delta.kept_plans").and_then(Json::as_u64).unwrap() >= 1);
+        let epochs = v.get("epochs").unwrap();
+        assert_eq!(epochs.get("R2").and_then(Json::as_str), Some("s0p1"));
+
+        c.roundtrip(r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn reliability_survives_prob_deltas_but_not_structural_ones() {
+        let (addr, handle) = start(ServeConfig { workers: 1, ..Default::default() });
+        let mut c = Client::connect(addr);
+
+        let rel = r#"{"op":"reliability","query":"R1(x,y), R2(y,z)","epsilon":0.2,"seed":3}"#;
+        let v = c.roundtrip(rel);
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("miss"));
+        let digits = v.get("reliability").and_then(Json::as_str).unwrap().to_owned();
+
+        // Probability-only update: reliability ignores probabilities, so
+        // the plan AND its memo survive — same digits, memo hit.
+        c.roundtrip(r#"{"op":"update","delta":"~ 9/10 R2(b,c)"}"#);
+        let v = c.roundtrip(rel);
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(v.get("memo").and_then(Json::as_str), Some("hit"));
+        assert_eq!(v.get("reliability").and_then(Json::as_str), Some(digits.as_str()));
+
+        // Structural update: the fact set moved, so the automaton is
+        // recompiled and the memo dropped.
+        let v = c.roundtrip(r#"{"op":"update","delta":"+ 1/2 R2(b,e)"}"#);
+        assert_eq!(v.get("probability_only").and_then(Json::as_bool), Some(false));
+        let v = c.roundtrip(rel);
+        assert_eq!(v.get("cache").and_then(Json::as_str), Some("invalidated"));
+        assert_eq!(v.get("memo").and_then(Json::as_str), Some("miss"));
+        assert_eq!(v.get("facts").and_then(Json::as_u64), Some(4));
+        assert_ne!(v.get("reliability").and_then(Json::as_str), Some(digits.as_str()));
+
+        c.roundtrip(r#"{"op":"shutdown"}"#);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bad_deltas_are_rejected_atomically() {
+        let (addr, handle) = start(ServeConfig { workers: 1, ..Default::default() });
+        let mut c = Client::connect(addr);
+
+        // Parse error: bad sigil, line-numbered message.
+        let v = c.roundtrip(r#"{"op":"update","delta":"* 1/2 R1(a,b)"}"#);
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("bad_request"));
+        // Semantic error on op 2: nothing from op 1 may have applied.
+        let v = c.roundtrip(r#"{"op":"update","delta":"~ 1/4 R1(a,b)\n- R1(zz,zz)"}"#);
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("eval_error"));
+        assert!(v.get("message").and_then(Json::as_str).unwrap().contains("op 2"));
+        let v = c.roundtrip(r#"{"op":"stats"}"#);
+        assert_eq!(v.get("generation").and_then(Json::as_u64), Some(0));
+        assert_eq!(v.get("delta.applied").and_then(Json::as_u64), Some(0));
+        assert_eq!(v.get("updates").and_then(Json::as_u64), Some(2));
+
         c.roundtrip(r#"{"op":"shutdown"}"#);
         handle.join().unwrap().unwrap();
     }

@@ -291,3 +291,100 @@ grep -q 'e15_enum/m4' "$BENCH_DIR/BENCH_graph.json"
 grep -q 'e15_fpras_scale/m24' "$BENCH_DIR/BENCH_graph.json"
 rm -rf "$BENCH_DIR"
 echo "  ok: graph_scaling smoke run emitted BENCH_graph.json"
+
+# Live-update smoke: apply-delta on the CLI, the `update` wire op, scoped
+# invalidation (a plan over untouched relations keeps its cache entry),
+# and — the core contract — the incrementally reweighted digits are
+# byte-identical to a cold server started on the post-delta database.
+echo "delta smoke test:"
+DELTA_DIR=$(mktemp -d)
+printf '1/2 R1(a,b)\n1/3 R2(b,c)\n2/3 R2(b,d)\n1/5 R3(c,e)\n' > "$DELTA_DIR/live.pdb"
+printf '~ 2/5 R3(c,e)\n' > "$DELTA_DIR/batch.delta"
+./target/release/pqe apply-delta --db "$DELTA_DIR/live.pdb" \
+    --delta "$DELTA_DIR/batch.delta" --output "$DELTA_DIR/after.pdb" \
+    > "$DELTA_DIR/apply.log"
+grep -q 'applied 1 op(s): 0 inserted, 0 deleted, 1 reprobed' "$DELTA_DIR/apply.log"
+grep -q 'probability-only' "$DELTA_DIR/apply.log"
+grep -q '^2/5 R3(c,e)$' "$DELTA_DIR/after.pdb"
+
+./target/release/pqe serve --db "$DELTA_DIR/live.pdb" --addr 127.0.0.1:0 \
+    --workers 1 > "$DELTA_DIR/serve.log" &
+SERVE_PID=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^pqe-serve listening on //p' "$DELTA_DIR/serve.log")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "  FAIL: no announce" >&2; kill "$SERVE_PID"; exit 1; }
+port=${addr##*:}
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+# Warm two plans: A touches R3 (FPRAS route), B does not (lifted route).
+send '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","epsilon":0.3,"seed":7}'
+echo "$resp" | grep -q '"cache":"miss"'
+send '{"op":"estimate","query":"R1(x,y), R2(y,z)","epsilon":0.3,"seed":7}'
+echo "$resp" | grep -q '"cache":"miss"'
+# Apply a probability-only delta to R3 over the wire.
+send '{"op":"update","delta":"~ 2/5 R3(c,e)"}'
+echo "$resp" | grep -q '"ok":true'
+echo "$resp" | grep -q '"probability_only":true'
+echo "$resp" | grep -q '"generation":1'
+# B's relations are untouched: the plan AND its memoized answer survive.
+send '{"op":"estimate","query":"R1(x,y), R2(y,z)","epsilon":0.3,"seed":7}'
+echo "$resp" | grep -q '"cache":"hit"'
+# A's plan is stale: reweighted in place, memo dropped, fresh digits.
+send '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","epsilon":0.3,"seed":7}'
+echo "$resp" | grep -q '"cache":"invalidated"'
+live_digits=$(echo "$resp" | sed -n 's/.*"probability":"\([0-9.]*\)".*/\1/p')
+[ -n "$live_digits" ] || { echo "  FAIL: no probability in $resp" >&2; exit 1; }
+send '{"op":"stats"}'
+echo "$resp" | grep -q '"generation":1'
+echo "$resp" | grep -q '"delta.applied":1'
+echo "$resp" | grep -q '"delta.invalidated_plans":1'
+echo "$resp" | grep -q '"R3":"s0p1"'
+send '{"op":"shutdown"}'
+exec 3>&- 3<&-
+wait "$SERVE_PID"
+
+# Cold replica: a fresh server on the apply-delta output must print the
+# same digits for the same (query, ε, seed) — reweighting is exact.
+./target/release/pqe serve --db "$DELTA_DIR/after.pdb" --addr 127.0.0.1:0 \
+    --workers 1 > "$DELTA_DIR/serve2.log" &
+SERVE_PID=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^pqe-serve listening on //p' "$DELTA_DIR/serve2.log")
+    [ -n "$addr" ] && break
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "  FAIL: no announce" >&2; kill "$SERVE_PID"; exit 1; }
+port=${addr##*:}
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+send '{"op":"estimate","query":"R1(x,y), R2(y,z), R3(z,w)","method":"fpras","epsilon":0.3,"seed":7}'
+echo "$resp" | grep -q "\"probability\":\"$live_digits\"" || {
+    echo "  FAIL: cold digits differ from live ($live_digits): $resp" >&2; exit 1; }
+# Atomicity: a batch whose second op is invalid must change nothing.
+send '{"op":"update","delta":"~ 1/4 R1(a,b)\n- R1(zz,zz)"}'
+echo "$resp" | grep -q '"error":"eval_error"'
+send '{"op":"stats"}'
+echo "$resp" | grep -q '"generation":0'
+send '{"op":"shutdown"}'
+exec 3>&- 3<&-
+wait "$SERVE_PID"
+rm -rf "$DELTA_DIR"
+echo "  ok: apply-delta, scoped invalidation, live == cold digits, atomic reject"
+
+# Delta bench smoke: the incremental-vs-cold replay must clear its 5x bar
+# and agree bit for bit (both asserted inside the bench binary), and the
+# JSON artifact (committed as BENCH_delta.json) must land.
+echo "delta bench smoke test:"
+BENCH_DIR=$(mktemp -d)
+PQE_BENCH_JSON_DIR="$BENCH_DIR" \
+    cargo bench -q --offline -p pqe-bench --bench delta_replay > /dev/null
+test -s "$BENCH_DIR/BENCH_delta.json" || {
+    echo "  FAIL: bench smoke run emitted no BENCH_delta.json" >&2; exit 1; }
+grep -q '"suite":"delta"' "$BENCH_DIR/BENCH_delta.json"
+grep -q '"name":"speedup"' "$BENCH_DIR/BENCH_delta.json"
+grep -q '"name":"structural_recompiles"' "$BENCH_DIR/BENCH_delta.json"
+rm -rf "$BENCH_DIR"
+echo "  ok: delta_replay smoke run emitted BENCH_delta.json"

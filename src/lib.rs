@@ -10,6 +10,7 @@ pub use pqe_arith as arith;
 pub use pqe_automata as automata;
 pub use pqe_core as core;
 pub use pqe_db as db;
+pub use pqe_delta as delta;
 pub use pqe_engine as engine;
 pub use pqe_graph as graph;
 pub use pqe_hypertree as hypertree;

@@ -21,6 +21,7 @@ use pqe::core::{
     RoutedAnswer, RoutedPlan,
 };
 use pqe::db::{io as dbio, ProbDatabase};
+use pqe::delta::{Delta, VersionedDb};
 use pqe::graph::ProbGraph;
 use pqe::query::{parse, ConjunctiveQuery};
 use pqe::serve::{run_load, LoadConfig, ServeConfig, Server};
@@ -44,12 +45,13 @@ USAGE:
   pqe marginals   --db FILE --query Q [--samples N] [--seed N]
   pqe influence   --db FILE --query Q [--epsilon E] [--seed N]
   pqe lineage     --db FILE --query Q [--materialize LIMIT]
+  pqe apply-delta --db FILE --delta FILE [--output FILE]
   pqe serve       --db FILE [--graph FILE] [--addr HOST:PORT] [--workers N]
                   [--queue-depth N] [--deadline-ms N] [--cache-capacity N]
                   [--threads N]
   pqe bench-serve [--db FILE] [--query Q] [--connections N] [--requests N]
                   [--repeat-ratio R] [--epsilon E] [--seed N] [--method M]
-                  [--workers N]
+                  [--workers N] [--update-mix R] [--update-delta TEXT]
 
 SERVE CONCURRENCY:
   --workers N      worker shards draining the request queue; each owns a
@@ -120,6 +122,17 @@ GRAPH FORMAT: one edge per line, optional leading probability:
   1/2  b -road-> c
        c -rail-> d      # no probability = certain edge
   node e                # isolated vertex
+
+DELTA FORMAT (apply-delta, serve `update` op): one op per line:
+  + 1/3 R1(a,e)         # insert fact with probability 1/3
+  - R1(a,b)             # delete an existing fact
+  ~ 2/5 R2(b,c)         # re-probability an existing fact
+  A batch validates atomically: either every op applies or none do.
+  apply-delta rewrites --db in place unless --output names another file;
+  a probability-only batch (~ ops) leaves compiled plans structurally
+  valid, so a live server only recounts, never recompiles. bench-serve's
+  --update-mix R sends an `update` carrying --update-delta with
+  probability R per request, exercising scoped cache invalidation.
 ";
 
 struct Args {
@@ -677,6 +690,41 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_apply_delta(args: &Args) -> Result<(), String> {
+    args.check_known(&["db", "delta", "output"])?;
+    let h = load_db(args)?;
+    let delta_path = args.require("delta")?;
+    let text = std::fs::read_to_string(delta_path)
+        .map_err(|e| format!("could not read delta file {delta_path:?}: {e}"))?;
+    let delta = Delta::parse_str(&text).map_err(|e| format!("parse {delta_path}: {e}"))?;
+    let mut db = VersionedDb::new(h);
+    let report = db.apply(&delta).map_err(|e| format!("apply: {e}"))?;
+    println!(
+        "applied {} op(s): {} inserted, {} deleted, {} reprobed",
+        delta.len(),
+        report.inserted,
+        report.deleted,
+        report.reprobed
+    );
+    if !report.touched.is_empty() {
+        println!("touched relations: {}", report.touched.join(", "));
+    }
+    if report.is_probability_only() && !report.is_noop() {
+        println!("probability-only: compiled plans stay structurally valid");
+    } else if !report.structural.is_empty() {
+        println!("structural changes: {}", report.structural.join(", "));
+    }
+    // Default to rewriting the input in place; --output redirects so the
+    // original fixture survives (e.g. for before/after comparisons).
+    let out = match args.opt("output") {
+        Some(p) => p,
+        None => args.require("db")?,
+    };
+    dbio::save(db.current(), out).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} fact(s) to {out}", db.current().len());
+    Ok(())
+}
+
 fn cmd_bench_serve(args: &Args) -> Result<(), String> {
     args.check_known(&[
         "db",
@@ -689,6 +737,8 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         "method",
         "threads",
         "workers",
+        "update-mix",
+        "update-delta",
     ])?;
     // --db is optional here: without it the bench runs over the seeded
     // synthetic triangle-graph instance, so `pqe bench-serve` needs no
@@ -703,16 +753,24 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
             Some(s) => s.parse().map_err(|_| format!("bad --{name} {s:?}")),
         }
     };
-    let repeat_ratio: f64 = match args.opt("repeat-ratio") {
-        None => 0.8,
-        Some(s) => {
-            let r: f64 = s.parse().map_err(|_| format!("bad --repeat-ratio {s:?}"))?;
-            if !(0.0..=1.0).contains(&r) {
-                return Err(format!("--repeat-ratio must lie in [0,1], got {r}"));
+    let parse_ratio = |name: &str, default: f64| -> Result<f64, String> {
+        match args.opt(name) {
+            None => Ok(default),
+            Some(s) => {
+                let r: f64 = s.parse().map_err(|_| format!("bad --{name} {s:?}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("--{name} must lie in [0,1], got {r}"));
+                }
+                Ok(r)
             }
-            r
         }
     };
+    let repeat_ratio = parse_ratio("repeat-ratio", 0.8)?;
+    let update_mix = parse_ratio("update-mix", 0.0)?;
+    let update_delta = args.opt("update-delta").unwrap_or("").to_owned();
+    if update_mix > 0.0 && update_delta.is_empty() {
+        return Err("--update-mix needs --update-delta to supply the batch text".to_owned());
+    }
     // --connections pins a single point; the default sweeps the axis so
     // BENCH_serve.json carries throughput at every concurrency level.
     let axis: Vec<usize> = match args.opt("connections") {
@@ -734,6 +792,8 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         epsilon: args.epsilon()?,
         seed: args.seed()?,
         method: args.opt("method").unwrap_or("auto").to_owned(),
+        update_mix,
+        update_delta,
     };
     let workers = parse_opt("workers", ServeConfig::default().workers)?.max(1);
 
@@ -767,6 +827,12 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
             "  c{conns}: {:.1} rps, p50 {}us, p99 {}us, hit p99 {}us, {} errors",
             report.throughput_rps, report.p50_us, report.p99_us, report.hit_p99_us, report.errors
         );
+        if report.updates > 0 {
+            println!(
+                "  c{conns}: {} updates interleaved, {} plan invalidations observed",
+                report.updates, report.invalidated
+            );
+        }
 
         let p = format!("c{conns}.");
         r.metric(&format!("{p}requests"), report.requests as f64);
@@ -784,6 +850,8 @@ fn cmd_bench_serve(args: &Args) -> Result<(), String> {
         r.metric(&format!("{p}hit_mean_us"), report.hit_mean_us);
         r.metric(&format!("{p}cold_compile_mean_us"), report.miss_mean_us);
         r.metric(&format!("{p}hit_speedup"), report.hit_speedup);
+        r.metric(&format!("{p}updates"), report.updates as f64);
+        r.metric(&format!("{p}invalidated"), report.invalidated as f64);
         if conns == headline {
             // Unprefixed legacy names: dashboards tracking the old
             // single-point report keep working off the headline point.
@@ -878,6 +946,7 @@ fn run() -> Result<(), String> {
         "marginals" => cmd_marginals(&args),
         "influence" => cmd_influence(&args),
         "lineage" => cmd_lineage(&args),
+        "apply-delta" => cmd_apply_delta(&args),
         "serve" => cmd_serve(&args),
         "bench-serve" => cmd_bench_serve(&args),
         "help" | "--help" | "-h" => {
